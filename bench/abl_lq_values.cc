@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Section 2.2 ablation: "If the LQ contains values in addition to
+ * addresses, some flushes may be avoided as the search procedure could
+ * ignore ordering violations from silent stores." We compare the
+ * conventional (value-blind) LQ search against the value-aware variant
+ * on the baseline machine and report ordering squashes and speedup.
+ */
+
+#include "bench_common.hh"
+
+using namespace svw;
+using namespace svw::bench;
+using namespace svw::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    const auto suite = selectSuite(args, workloads::suiteNames());
+
+    FigureTable tbl("Value-aware LQ search ablation (baseline machine)",
+                    {"blind-squash", "value-squash", "speedup%"});
+
+    for (const auto &w : suite) {
+        ExperimentConfig blind;
+        blind.machine = Machine::EightWide;
+        blind.opt = OptMode::Baseline;
+        auto aware = blind;
+        aware.lqValueCheck = true;
+
+        RunRequest rq;
+        rq.workload = w;
+        rq.targetInsts = args.insts;
+        rq.config = blind;
+        RunResult rb = runOne(rq);
+        rq.config = aware;
+        RunResult ra = runOne(rq);
+        tbl.addRow(w, {double(rb.orderingSquashes),
+                       double(ra.orderingSquashes),
+                       speedupPercent(rb, ra)});
+    }
+    tbl.addAverageRow();
+    tbl.print(std::cout, 2);
+    return 0;
+}

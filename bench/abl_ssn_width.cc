@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Section 3.6 claim: 16-bit SSNs (64K-store wrap intervals) cost only
+ * ~0.2% performance relative to infinite-width SSNs, because the
+ * drain-and-clear wrap policy triggers rarely. We sweep SSN width under
+ * SSQ+SVW (the heaviest SSN consumer) and report percent slowdown vs
+ * 64-bit SSNs plus the number of wrap drains observed.
+ */
+
+#include "bench_common.hh"
+
+using namespace svw;
+using namespace svw::bench;
+using namespace svw::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    const std::vector<std::string> suite =
+        selectSuite(args, workloads::fig8Names());
+    const unsigned widths[] = {8, 10, 12, 16, 64};
+
+    FigureTable slow("SSN width ablation: % slowdown vs 64-bit SSNs "
+                     "(SSQ+SVW+UPD)",
+                     {"8b", "10b", "12b", "16b", "64b"});
+    FigureTable drains("SSN width ablation: wrap drains per run",
+                       {"8b", "10b", "12b", "16b", "64b"});
+
+    for (const auto &w : suite) {
+        std::vector<RunResult> rs;
+        for (unsigned bits : widths) {
+            ExperimentConfig c;
+            c.machine = Machine::EightWide;
+            c.opt = OptMode::Ssq;
+            c.svw = SvwMode::Upd;
+            c.ssnBits = bits;
+            RunRequest req;
+            req.workload = w;
+            req.targetInsts = args.insts;
+            req.config = c;
+            rs.push_back(runOne(req));
+        }
+        const RunResult &ref = rs.back();  // 64-bit
+        std::vector<double> srow, drow;
+        for (const auto &r : rs) {
+            srow.push_back(-speedupPercent(ref, r));  // slowdown vs ref
+            drow.push_back(double(r.wrapDrains));
+        }
+        slow.addRow(w, srow);
+        drains.addRow(w, drow);
+    }
+    slow.addAverageRow();
+    drains.addAverageRow();
+    slow.print(std::cout, 2);
+    drains.print(std::cout, 0);
+    return 0;
+}

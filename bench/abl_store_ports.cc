@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Section 4 remark: dual store-retirement ports improve only vortex
+ * (+6% on the paper's 8-wide machine). We sweep the shared D$
+ * commit/re-execution port width under the conventional baseline and
+ * under SSQ+SVW, where extra port bandwidth also absorbs re-executions.
+ */
+
+#include "bench_common.hh"
+
+using namespace svw;
+using namespace svw::bench;
+using namespace svw::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    const auto suite = selectSuite(args, workloads::suiteNames());
+
+    FigureTable tbl("Store retirement port ablation: % speedup of 2 ports "
+                    "over 1",
+                    {"BASE", "SSQ+SVW+UPD"});
+
+    for (const auto &w : suite) {
+        std::vector<double> row;
+        for (OptMode opt : {OptMode::Baseline, OptMode::Ssq}) {
+            ExperimentConfig one;
+            one.machine = Machine::EightWide;
+            one.opt = opt;
+            one.svw = opt == OptMode::Baseline ? SvwMode::None
+                                               : SvwMode::Upd;
+            one.dcachePorts = 1;
+            auto two = one;
+            two.dcachePorts = 2;
+
+            RunRequest rq;
+            rq.workload = w;
+            rq.targetInsts = args.insts;
+            rq.config = one;
+            RunResult r1 = runOne(rq);
+            rq.config = two;
+            RunResult r2 = runOne(rq);
+            row.push_back(speedupPercent(r1, r2));
+        }
+        tbl.addRow(w, row);
+    }
+    tbl.addAverageRow();
+    tbl.print(std::cout, 2);
+    return 0;
+}

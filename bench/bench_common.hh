@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure bench binaries: command-line
+ * sizing, suite iteration, and figure assembly.
+ *
+ * Every binary accepts:
+ *   --insts=N   dynamic-instruction target per run (default 60000)
+ *   --quick     reduce to 20000 instructions per run
+ *   --bench=X   restrict to one workload
+ */
+
+#ifndef SVW_BENCH_BENCH_COMMON_HH
+#define SVW_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/config.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "prog/workloads/workloads.hh"
+
+namespace svw::bench {
+
+struct BenchArgs
+{
+    std::uint64_t insts = 100'000;
+    std::string only;
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--insts=", 0) == 0)
+            args.insts = std::stoull(a.substr(8));
+        else if (a == "--quick")
+            args.insts = 20'000;
+        else if (a.rfind("--bench=", 0) == 0)
+            args.only = a.substr(8);
+        else if (a.rfind("--benchmark", 0) == 0)
+            continue;  // tolerate google-benchmark flags
+        else
+            std::fprintf(stderr, "unknown arg %s\n", a.c_str());
+    }
+    return args;
+}
+
+inline std::vector<std::string>
+selectSuite(const BenchArgs &args, const std::vector<std::string> &base)
+{
+    if (args.only.empty())
+        return base;
+    return {args.only};
+}
+
+/**
+ * Run one workload under a list of configurations (the first one is the
+ * figure's baseline) and return all results, baseline first.
+ */
+inline std::vector<harness::RunResult>
+runConfigs(const std::string &workload, std::uint64_t insts,
+           const std::vector<harness::ExperimentConfig> &configs)
+{
+    std::vector<harness::RunResult> out;
+    for (const auto &cfg : configs) {
+        harness::RunRequest req;
+        req.workload = workload;
+        req.targetInsts = insts;
+        req.config = cfg;
+        out.push_back(harness::runOne(req));
+    }
+    return out;
+}
+
+} // namespace svw::bench
+
+#endif // SVW_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Section 6 future-work extension: SVW as a *replacement* for
+ * re-execution. No verification cache accesses at all — a positive SSBF
+ * test flushes the pipeline at the load and trains the predictors
+ * (store-sets / steering); a negative test commits the load untouched.
+ *
+ * We compare, under NLQ and SSQ: SVW-filtered re-execution vs pure SVW
+ * replacement. Replacement trades re-execution bandwidth for flush
+ * cost, so it wins when the filter is precise and loses when aliasing
+ * or unfilterable windows inflate the positive rate.
+ */
+
+#include "bench_common.hh"
+
+using namespace svw;
+using namespace svw::bench;
+using namespace svw::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    const auto suite = selectSuite(args, workloads::suiteNames());
+
+    FigureTable tbl("SVW as re-execution replacement (section 6): "
+                    "% speedup vs the same optimization with filtered "
+                    "re-execution",
+                    {"NLQ-repl", "NLQ-flushes", "SSQ-repl",
+                     "SSQ-flushes"});
+
+    for (const auto &w : suite) {
+        std::vector<double> row;
+        for (OptMode opt : {OptMode::Nlq, OptMode::Ssq}) {
+            ExperimentConfig rex;
+            rex.machine = Machine::EightWide;
+            rex.opt = opt;
+            rex.svw = SvwMode::Upd;
+            auto repl = rex;
+            repl.svwReplace = true;
+
+            RunRequest rq;
+            rq.workload = w;
+            rq.targetInsts = args.insts;
+            rq.config = rex;
+            RunResult base = runOne(rq);
+            rq.config = repl;
+            RunResult r = runOne(rq);
+            row.push_back(speedupPercent(base, r));
+            row.push_back(double(r.rexFlushes));
+        }
+        tbl.addRow(w, row);
+    }
+    tbl.addAverageRow();
+    tbl.print(std::cout, 2);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 5 reproduction: NLQ-LS re-execution rate (top) and percent
+ * speedup over the conventional baseline (bottom) for four
+ * configurations: NLQ (natural filter only), NLQ+SVW without the
+ * store-forward update, NLQ+SVW with it, and NLQ with perfect
+ * (zero-cost) re-execution.
+ *
+ * Paper expectations (shape): the natural filter leaves a 7-8% average
+ * re-execution rate; SVW-UPD cuts it to ~2%, +UPD to under 1%; speedups
+ * are small (the freed LQ port buys ~1%) and +UPD lands within a hair
+ * of PERFECT.
+ */
+
+#include "bench_common.hh"
+
+using namespace svw;
+using namespace svw::bench;
+using namespace svw::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    const auto suite = selectSuite(args, workloads::suiteNames());
+
+    ExperimentConfig base;
+    base.machine = Machine::EightWide;
+    base.opt = OptMode::Baseline;
+
+    auto nlq = base;
+    nlq.opt = OptMode::Nlq;
+    nlq.svw = SvwMode::None;
+    auto noUpd = nlq;
+    noUpd.svw = SvwMode::NoUpd;
+    auto upd = nlq;
+    upd.svw = SvwMode::Upd;
+    auto perfect = nlq;
+    perfect.svw = SvwMode::Perfect;
+
+    FigureTable rex("Figure 5 (top): NLQ-LS % loads re-executed",
+                    {"NLQ", "+SVW-UPD", "+SVW+UPD", "+PERFECT"});
+    FigureTable speed("Figure 5 (bottom): NLQ-LS % speedup vs baseline",
+                      {"NLQ", "+SVW-UPD", "+SVW+UPD", "+PERFECT"});
+
+    for (const auto &w : suite) {
+        auto rs = runConfigs(w, args.insts, {base, nlq, noUpd, upd, perfect});
+        rex.addRow(w, {rs[1].rexRate, rs[2].rexRate, rs[3].rexRate,
+                       rs[4].rexRate});
+        speed.addRow(w, {speedupPercent(rs[0], rs[1]),
+                         speedupPercent(rs[0], rs[2]),
+                         speedupPercent(rs[0], rs[3]),
+                         speedupPercent(rs[0], rs[4])});
+    }
+    rex.addAverageRow();
+    speed.addAverageRow();
+    rex.print(std::cout);
+    speed.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 7 reproduction: RLE re-execution rate (top; memory-bypassing
+ * share reported separately) and percent speedup over the 4-wide
+ * baseline (bottom), plus the SVW-SQU configuration that disables
+ * squash reuse.
+ *
+ * Paper expectations (shape): RLE's re-execution rate equals its
+ * elimination rate (~28% average); SVW filters ~78% of it; disabling
+ * squash reuse (-SQU) removes most of the remaining re-executions but
+ * costs a little performance; vortex's unfiltered slowdown disappears.
+ */
+
+#include "bench_common.hh"
+
+using namespace svw;
+using namespace svw::bench;
+using namespace svw::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    const auto suite = selectSuite(args, workloads::suiteNames());
+
+    ExperimentConfig base;
+    base.machine = Machine::FourWide;
+    base.opt = OptMode::Baseline;
+
+    ExperimentConfig rle = base;
+    rle.opt = OptMode::Rle;
+    rle.svw = SvwMode::None;
+    auto withSvw = rle;
+    withSvw.svw = SvwMode::Upd;
+    auto noSqu = withSvw;
+    noSqu.rleSquashReuse = false;
+    auto perfect = rle;
+    perfect.svw = SvwMode::Perfect;
+
+    FigureTable rex("Figure 7 (top): RLE % loads re-executed",
+                    {"RLE", "+SVW", "+SVW-SQU", "+PERFECT", "elim%",
+                     "bypass-frac"});
+    FigureTable speed("Figure 7 (bottom): RLE % speedup vs 4-wide base",
+                      {"RLE", "+SVW", "+SVW-SQU", "+PERFECT"});
+
+    for (const auto &w : suite) {
+        auto rs = runConfigs(w, args.insts,
+                             {base, rle, withSvw, noSqu, perfect});
+        rex.addRow(w, {rs[1].rexRate, rs[2].rexRate, rs[3].rexRate,
+                       rs[4].rexRate, rs[2].elimRate, rs[2].bypassShare});
+        speed.addRow(w, {speedupPercent(rs[0], rs[1]),
+                         speedupPercent(rs[0], rs[2]),
+                         speedupPercent(rs[0], rs[3]),
+                         speedupPercent(rs[0], rs[4])});
+    }
+    rex.addAverageRow();
+    speed.addAverageRow();
+    rex.print(std::cout);
+    speed.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Prints the section 4 machine-configuration "table": the two processor
+ * shells and the per-figure overlays, as materialized by the harness.
+ * Serves both as documentation and as a regression check that the
+ * harness builds what the paper describes.
+ */
+
+#include <cstdio>
+
+#include "harness/config.hh"
+
+using namespace svw;
+using namespace svw::harness;
+
+static void
+show(const char *name, const ExperimentConfig &cfg)
+{
+    CoreParams p = buildParams(cfg);
+    std::printf("%-18s width=%u rob=%u iq=%u regs=%u lq=%u sq=%u "
+                "ldIssue=%u stIssue=%u ldExtraLat=%u\n",
+                name, p.issueWidth, p.robEntries, p.iqEntries,
+                p.numPhysRegs, p.lsu.lqEntries, p.lsu.sqEntries,
+                p.loadIssue, p.lsu.storeIssueWidth,
+                p.lsu.loadExtraLatency);
+    std::printf("%-18s rex=%d perfect=%d rexTransit=%u svw=%d +upd=%d "
+                "ssn=%ub ssbf=%u%s%s nlq=%d ssq=%d rle=%d\n\n", "",
+                p.rex.enabled, p.rex.perfect, p.rexTransit, p.svw.enabled,
+                p.svw.updateOnForward, p.svw.ssnBits, p.svw.ssbf.entries,
+                p.svw.ssbf.dualHash ? "+dual" : "",
+                p.svw.ssbf.infinite ? "(inf)" : "", p.lsu.nlq, p.lsu.ssq,
+                p.rle.enabled);
+}
+
+int
+main()
+{
+    std::printf("== Section 4 machine configurations ==\n\n");
+    std::printf("Common: 32KB/2way/2cyc L1s, 2MB/8way/15cyc L2, 150cyc "
+                "memory, 16B buses,\n8K hybrid bpred + 2K BTB, "
+                "store-sets, 15-stage base pipe, 1 store retire port.\n\n");
+
+    ExperimentConfig c;
+    c.machine = Machine::EightWide;
+    c.opt = OptMode::Baseline;
+    show("8w BASE", c);
+    c.opt = OptMode::BaselineAssocSq;
+    show("8w BASE(assocSQ)", c);
+    c.opt = OptMode::Nlq;
+    c.svw = SvwMode::Upd;
+    show("8w NLQ+SVW", c);
+    c.opt = OptMode::Ssq;
+    show("8w SSQ+SVW", c);
+    c.machine = Machine::FourWide;
+    c.opt = OptMode::Baseline;
+    c.svw = SvwMode::None;
+    show("4w BASE", c);
+    c.opt = OptMode::Rle;
+    c.svw = SvwMode::Upd;
+    show("4w RLE+SVW", c);
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Domain example: NLQ-SM — inter-thread memory ordering enforced by
+ * re-execution instead of associative LQ search (paper section 3.2),
+ * exercised with a synthetic coherence agent.
+ *
+ * A polling loop reads a set of flags while an injected "other core"
+ * rewrites cache lines. Every load in flight during an invalidation is
+ * marked for re-execution; the banked SSBF write (SSNRENAME+1 to every
+ * granule of the line) lets SVW skip the loads whose addresses the
+ * invalidation did not touch.
+ *
+ * Build & run:  ./build/examples/nlqsm_coherence
+ */
+
+#include <cstdio>
+
+#include "base/random.hh"
+#include "cpu/core.hh"
+#include "harness/config.hh"
+#include "prog/builder.hh"
+
+using namespace svw;
+using namespace svw::harness;
+
+namespace {
+
+Program
+pollingLoop(Addr &flagsOut)
+{
+    ProgramBuilder b("poll");
+    const Addr flags = b.allocData(4096);  // 64 lines of flags
+    flagsOut = flags;
+    b.loadAddr(1, flags);
+    b.movi(2, 0);
+    b.movi(3, 20'000);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.andi(4, 2, 511);
+    b.slli(4, 4, 3);
+    b.add(4, 4, 1);
+    b.ld8(5, 4, 0);       // poll one flag
+    b.add(6, 6, 5);
+    b.addi(2, 2, 1);
+    b.blt(2, 3, loop);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    for (bool withSvw : {false, true}) {
+        Addr flags = 0;
+        Program prog = pollingLoop(flags);
+
+        ExperimentConfig cfg;
+        cfg.machine = Machine::EightWide;
+        cfg.opt = OptMode::Nlq;
+        cfg.svw = withSvw ? SvwMode::Upd : SvwMode::None;
+        cfg.nlqsm = true;
+
+        stats::StatRegistry reg;
+        Core core(buildParams(cfg), prog, reg);
+
+        // The coherence agent: every 250 cycles, rewrite one random
+        // flag line with its current value (a silent external store:
+        // all the ordering machinery fires, yet any value the program
+        // observes is still correct).
+        Random rng(0xc0);
+        core.perCycleHook = [&](Core &c) {
+            if (c.cycle() % 250 != 249)
+                return;
+            const Addr line = flags + 64 * rng.nextBounded(64);
+            c.externalStore(line, 8, c.memory().read(line, 8));
+        };
+
+        RunOutcome out = core.run(~0ull, 10'000'000);
+
+        auto stat = [&](const char *n) {
+            auto *s = dynamic_cast<const stats::Scalar *>(reg.find(n));
+            return s ? s->value() : 0ull;
+        };
+        std::printf("NLQ-SM %-9s halted=%d cycles=%-8llu "
+                    "invalidations=%-4llu marked=%-6llu "
+                    "re-executed=%-6llu svw-filtered=%llu\n",
+                    withSvw ? "with SVW" : "no SVW", out.halted,
+                    static_cast<unsigned long long>(out.cycles),
+                    static_cast<unsigned long long>(
+                        stat("core.invalidationsSeen")),
+                    static_cast<unsigned long long>(stat("rex.loadsMarked")),
+                    static_cast<unsigned long long>(
+                        stat("rex.loadsReExecuted")),
+                    static_cast<unsigned long long>(
+                        stat("rex.loadsRexSkippedSvw")));
+    }
+
+    std::printf(
+        "\nWithout SVW, every load in the window at each invalidation\n"
+        "re-executes. With SVW, only loads whose address granules the\n"
+        "invalidated line actually covers test positive; the rest skip\n"
+        "the cache port. This is the filtering Cain & Lipasti's NLQ-SM\n"
+        "heuristic cannot do by itself.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Domain example: redundant load elimination via register integration
+ * on the 4-wide machine — how eliminated loads form a re-execution
+ * stream and what SVW filters out of it.
+ *
+ * Uses a pointer-reload kernel (the gap stand-in: loop-invariant
+ * descriptor reloads a compiler cannot hoist) plus gzip (memory
+ * bypassing through a cursor round-trip), and prints the elimination /
+ * re-execution / flush counters under RLE, RLE+SVW, and RLE+SVW-SQU.
+ *
+ * Build & run:  ./build/examples/rle_elimination
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+
+using namespace svw;
+using namespace svw::harness;
+
+static void
+runOneWorkload(const char *workload)
+{
+    const std::uint64_t insts = 50'000;
+
+    ExperimentConfig base;
+    base.machine = Machine::FourWide;
+    base.opt = OptMode::Baseline;
+
+    ExperimentConfig rle = base;
+    rle.opt = OptMode::Rle;
+    rle.svw = SvwMode::None;
+    ExperimentConfig rleSvw = rle;
+    rleSvw.svw = SvwMode::Upd;
+    ExperimentConfig noSqu = rleSvw;
+    noSqu.rleSquashReuse = false;
+
+    std::printf("RLE on %s\n", workload);
+    std::printf("  %-18s %8s %8s %10s %10s %10s\n", "config", "IPC",
+                "elim%", "rex-rate%", "flushes", "speedup%");
+
+    RunRequest req;
+    req.workload = workload;
+    req.targetInsts = insts;
+    req.config = base;
+    RunResult b = runOne(req);
+
+    for (const ExperimentConfig &cfg : {rle, rleSvw, noSqu}) {
+        req.config = cfg;
+        RunResult r = runOne(req);
+        std::printf("  %-18s %8.2f %8.1f %10.1f %10llu %10.1f\n",
+                    r.config.c_str(), r.ipc, r.elimRate, r.rexRate,
+                    static_cast<unsigned long long>(r.rexFlushes),
+                    speedupPercent(b, r));
+    }
+    std::printf("\n");
+}
+
+int
+main()
+{
+    runOneWorkload("gap");    // load reuse of descriptor pointers
+    runOneWorkload("gzip");   // speculative memory bypassing
+    runOneWorkload("twolf");  // squash reuse (SVW-unfilterable residue)
+
+    std::printf(
+        "Reading the tables: RLE's re-execution rate IS its elimination\n"
+        "rate (every eliminated load must verify). SVW filters verified\n"
+        "eliminations whose window saw no conflicting store; what's left\n"
+        "is mostly squash reuse, for which SVW is disabled (section 4.3)\n"
+        "- disable squash reuse (-SQU) and the re-executions vanish, at\n"
+        "a small performance cost.\n");
+    return 0;
+}

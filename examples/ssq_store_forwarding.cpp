@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Domain example: the speculative store queue (SSQ) on a forwarding-
+ * heavy workload — why re-execution without a filter erases the SSQ's
+ * latency win, and how SVW restores it.
+ *
+ * Runs the paper's eon stand-in (stack push/pop through memory, the
+ * FSQ-heaviest kernel) under four configurations and prints a small
+ * comparison table: the associative-SQ baseline (4-cycle loads), SSQ
+ * with unfiltered re-execution, SSQ+SVW, and SSQ with ideal
+ * re-execution.
+ *
+ * Build & run:  ./build/examples/ssq_store_forwarding
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+
+using namespace svw;
+using namespace svw::harness;
+
+int
+main()
+{
+    const char *workload = "eon.c";
+    const std::uint64_t insts = 60'000;
+
+    ExperimentConfig base;
+    base.machine = Machine::EightWide;
+    base.opt = OptMode::BaselineAssocSq;
+
+    ExperimentConfig ssq = base;
+    ssq.opt = OptMode::Ssq;
+    ssq.svw = SvwMode::None;
+    ExperimentConfig ssqSvw = ssq;
+    ssqSvw.svw = SvwMode::Upd;
+    ExperimentConfig perfect = ssq;
+    perfect.svw = SvwMode::Perfect;
+
+    std::printf("SSQ on %s (%llu dynamic instructions)\n\n", workload,
+                static_cast<unsigned long long>(insts));
+    std::printf("%-22s %10s %10s %12s %12s\n", "config", "IPC",
+                "rex-rate%", "fsq-loads%", "speedup%");
+
+    RunResult baseRes;
+    for (const ExperimentConfig *cfg :
+         {&base, &ssq, &ssqSvw, &perfect}) {
+        RunRequest req;
+        req.workload = workload;
+        req.targetInsts = insts;
+        req.config = *cfg;
+        RunResult r = runOne(req);
+        if (cfg == &base)
+            baseRes = r;
+        std::printf("%-22s %10.2f %10.1f %12.1f %12.1f\n",
+                    r.config.c_str(), r.ipc, r.rexRate, r.fsqLoadShare,
+                    cfg == &base ? 0.0 : speedupPercent(baseRes, r));
+    }
+
+    std::printf(
+        "\nReading the table: the SSQ cuts load latency from 4 to 2\n"
+        "cycles, but re-executing 100%% of loads through the single\n"
+        "cache port serializes store commit behind load verification.\n"
+        "SVW filters the verified-safe loads (store-forwarded ones via\n"
+        "the +UPD window shrink), recovering most of the ideal gain.\n");
+    return 0;
+}

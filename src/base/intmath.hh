@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small integer math helpers (powers of two, alignment, log2).
+ */
+
+#ifndef SVW_BASE_INTMATH_HH
+#define SVW_BASE_INTMATH_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace svw {
+
+/** True if @p n is a (non-zero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Floor of log base 2; @p n must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned l = 0;
+    while (n >>= 1)
+        ++l;
+    return l;
+}
+
+/** log2 of a power of two. */
+inline unsigned
+exactLog2(std::uint64_t n)
+{
+    svw_assert(isPowerOf2(n), "exactLog2 of non power of two ", n);
+    return floorLog2(n);
+}
+
+/** Round @p a down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Round @p a up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** True if two byte ranges [a, a+asz) and [b, b+bsz) overlap. */
+constexpr bool
+rangesOverlap(std::uint64_t a, unsigned asz, std::uint64_t b, unsigned bsz)
+{
+    return a < b + bsz && b < a + asz;
+}
+
+/** True if range [inner, inner+isz) is fully contained in [outer, outer+osz). */
+constexpr bool
+rangeContains(std::uint64_t outer, unsigned osz,
+              std::uint64_t inner, unsigned isz)
+{
+    return outer <= inner && inner + isz <= outer + osz;
+}
+
+} // namespace svw
+
+#endif // SVW_BASE_INTMATH_HH

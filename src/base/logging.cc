@@ -1,0 +1,43 @@
+#include "base/logging.hh"
+
+#include <stdexcept>
+
+namespace svw {
+
+bool verboseLogging = false;
+
+namespace logging_detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string("panic: ") + msg + " @ " + file + ":" +
+        std::to_string(line);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    throw std::logic_error(full);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string("fatal: ") + msg + " @ " + file + ":" +
+        std::to_string(line);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    throw std::runtime_error(full);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (verboseLogging)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace logging_detail
+} // namespace svw

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error and status reporting in the style of gem5's base/logging.hh.
+ *
+ * panic()  — simulator bug, should never happen regardless of user input.
+ * fatal()  — the simulation cannot continue due to a user error.
+ * warn()   — functionality that might not be modeled exactly.
+ * inform() — normal status messages.
+ */
+
+#ifndef SVW_BASE_LOGGING_HH
+#define SVW_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace svw {
+
+/** Internal helpers; use the macros below. */
+namespace logging_detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Build a message from streamable parts. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace logging_detail
+
+/** Toggle for inform() output (quiet mode for benches). */
+extern bool verboseLogging;
+
+} // namespace svw
+
+#define svw_panic(...)                                                       \
+    ::svw::logging_detail::panicImpl(                                        \
+        __FILE__, __LINE__, ::svw::logging_detail::format(__VA_ARGS__))
+
+#define svw_fatal(...)                                                       \
+    ::svw::logging_detail::fatalImpl(                                        \
+        __FILE__, __LINE__, ::svw::logging_detail::format(__VA_ARGS__))
+
+#define svw_warn(...)                                                        \
+    ::svw::logging_detail::warnImpl(::svw::logging_detail::format(__VA_ARGS__))
+
+#define svw_inform(...)                                                      \
+    ::svw::logging_detail::informImpl(                                       \
+        ::svw::logging_detail::format(__VA_ARGS__))
+
+/** Assert-like check that is always on; reports as a panic. */
+#define svw_assert(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            svw_panic("assertion '" #cond "' failed ", ##__VA_ARGS__);       \
+        }                                                                    \
+    } while (0)
+
+#endif // SVW_BASE_LOGGING_HH

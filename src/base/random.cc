@@ -1,0 +1,68 @@
+#include "base/random.hh"
+
+#include "base/logging.hh"
+
+namespace svw {
+
+Random::Random(std::uint64_t s)
+{
+    seed(s);
+}
+
+void
+Random::seed(std::uint64_t s)
+{
+    if (s == 0)
+        s = 0x9e3779b97f4a7c15ull;
+    // splitmix64 expansion of the seed into the two state words
+    auto mix = [](std::uint64_t &z) {
+        z += 0x9e3779b97f4a7c15ull;
+        std::uint64_t x = z;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    };
+    state0 = mix(s);
+    state1 = mix(s);
+    if (state0 == 0 && state1 == 0)
+        state1 = 1;
+}
+
+std::uint64_t
+Random::next()
+{
+    std::uint64_t x = state0;
+    const std::uint64_t y = state1;
+    state0 = y;
+    x ^= x << 23;
+    state1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state1 + y;
+}
+
+std::uint64_t
+Random::nextBounded(std::uint64_t bound)
+{
+    svw_assert(bound != 0, "nextBounded(0)");
+    return next() % bound;
+}
+
+std::uint64_t
+Random::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    svw_assert(lo <= hi, "bad range");
+    return lo + nextBounded(hi - lo + 1);
+}
+
+bool
+Random::chancePermille(unsigned permille)
+{
+    return nextBounded(1000) < permille;
+}
+
+double
+Random::nextDouble()
+{
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+} // namespace svw

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All simulator randomness (workload data, injected invalidations, etc.)
+ * flows through Random so that every run is bit-reproducible from a seed.
+ */
+
+#ifndef SVW_BASE_RANDOM_HH
+#define SVW_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace svw {
+
+/**
+ * xorshift128+ generator. Small, fast, and good enough for workload
+ * synthesis; not intended for cryptographic use.
+ */
+class Random
+{
+  public:
+    /** Construct from a non-zero seed; zero seeds are remapped. */
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Bernoulli draw with probability @p permille / 1000. */
+    bool chancePermille(unsigned permille);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+  private:
+    std::uint64_t state0;
+    std::uint64_t state1;
+};
+
+} // namespace svw
+
+#endif // SVW_BASE_RANDOM_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ */
+
+#ifndef SVW_BASE_TYPES_HH
+#define SVW_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace svw {
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Store sequence number (paper section 3: monotonic numbering). */
+using SSN = std::uint64_t;
+
+/** Global, monotonically increasing dynamic instruction sequence number. */
+using InstSeqNum = std::uint64_t;
+
+/** Architectural register index. */
+using RegIndex = std::uint16_t;
+
+/** Physical register index. */
+using PhysRegIndex = std::uint16_t;
+
+/** Sentinel for "no physical register". */
+constexpr PhysRegIndex invalidPhysReg = 0xffff;
+
+/** Maximum access size in bytes for a single load/store. */
+constexpr unsigned maxAccessSize = 8;
+
+} // namespace svw
+
+#endif // SVW_BASE_TYPES_HH

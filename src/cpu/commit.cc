@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Commit stage: in-order retirement, the store-commit cache-port claim
+ * (shared with re-execution; commit has priority by running first each
+ * cycle), the "no store commits before all older loads re-executed"
+ * serialization, and re-execution failure flushes.
+ */
+
+#include "base/logging.hh"
+#include "cpu/core.hh"
+
+namespace svw {
+
+void
+Core::commitStage()
+{
+    const bool rexOn = prm.rex.enabled;
+
+    for (unsigned n = 0; n < prm.commitWidth && !rob.empty(); ++n) {
+        DynInst &d = rob.head();
+
+        if (!d.completed)
+            return;
+        // Model the elongated pre-commit pipe (rex + SVW stages).
+        if (now < d.completeCycle + prm.rexTransit)
+            return;
+        if (rexOn && !d.rexProcessed)
+            return;
+
+        if (d.isLoad() && d.marked() && rexOn) {
+            if (!d.rexDone || now < d.rexDoneCycle)
+                return;
+            if (!d.rexPassed) {
+                handleRexFailure(d);
+                return;
+            }
+            if (tracer)
+                tracer->event(now, TraceEvent::RexPass, d);
+            // Replacement-mode livelock guard: a clean commit ends the
+            // flush streak for this PC.
+            if (prm.rex.svwReplacesReExecution)
+                replaceFlushStreak.erase(d.pc);
+        }
+
+        if (d.isStore()) {
+            if (rexOn && now < rex.storeCommitReadyCycle(d))
+                return;
+            if (!dcachePort.tryClaim(now))
+                return;  // one cache write per port per cycle
+            committedMem.write(d.addr, d.size, d.storeData);
+            mem.accessData(d.addr, true, now);
+            spct.update(d.addr, d.size, d.pc);
+            svw.ssn().onRetire(d.ssn);
+            rex.storeCommitted(d);
+            lsu.commitStore(d);
+            ++retiredStores;
+        }
+
+        if (d.isLoad()) {
+            lsu.commitLoad(d);
+            ++retiredLoads;
+            if (d.eliminated) {
+                // The elimination was verified (or SVW proved it safe):
+                // restart the feeding entry's vulnerability window here.
+                rle.onVerifiedElimination(d, rename, svw.ssn().retired());
+                ++loadsEliminatedRetired;
+                if (d.elimFromBypass)
+                    ++elimBypassRetired;
+                else if (!d.elimFromSquash)
+                    ++elimReuseRetired;
+            }
+            if (d.fsqLoad)
+                ++fsqLoadsRetired;
+        }
+
+        if (d.si->isCondBranch()) {
+            bpred.train(d.pc, d.actualTaken, d.ghistSnap);
+            ++retiredBranches;
+        }
+
+        if (d.si->writesReg()) {
+            archMap[d.si->rd] = d.prd;
+            rename.deref(d.prevPrd);
+        }
+
+        if (tracer)
+            tracer->event(now, TraceEvent::Commit, d);
+
+        const bool halt = d.si->isHalt();
+        ++retired;
+        rob.popHead();
+        if (halt) {
+            haltCommitted = true;
+            return;
+        }
+    }
+}
+
+void
+Core::handleRexFailure(DynInst &load)
+{
+    ++rexFlushes;
+    if (tracer)
+        tracer->event(now, TraceEvent::RexFail, load);
+    if (prm.rex.svwReplacesReExecution && !load.forceRealRex)
+        ++replaceFlushStreak[load.pc];
+
+    // Identify the colliding store through the SPCT (section 2.2) and
+    // train the store-set (and, under SSQ, the steering) predictors.
+    const std::uint64_t storePc = spct.lookup(load.addr);
+    if (storePc != ~std::uint64_t(0) && !load.eliminated)
+        storeSets.train(storePc, load.pc);
+    if (prm.lsu.ssq && !load.eliminated)
+        lsu.trainSteering(load.pc, storePc);
+    // A false elimination: the IT entry that fed this load is stale.
+    if (load.eliminated)
+        rle.onFalseElimination(load, rename);
+
+    // Flush the load and everything younger; refetch from the load.
+    const std::uint64_t loadPc = load.pc;
+    squashAfter(load.seq - 1, loadPc, nullptr);
+}
+
+} // namespace svw

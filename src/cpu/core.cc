@@ -1,0 +1,622 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace svw {
+
+Core::Core(const CoreParams &p, const Program &program,
+           stats::StatRegistry &reg)
+    : retired(reg, "core.retired", "instructions retired"),
+      retiredLoads(reg, "core.retiredLoads", "loads retired"),
+      retiredStores(reg, "core.retiredStores", "stores retired"),
+      retiredBranches(reg, "core.retiredBranches",
+                      "conditional branches retired"),
+      cyclesStat(reg, "core.cycles", "cycles simulated"),
+      branchSquashes(reg, "core.branchSquashes", "control mispredictions"),
+      orderingSquashes(reg, "core.orderingSquashes",
+                       "LQ-search ordering violations"),
+      rexFlushes(reg, "core.rexFlushes", "re-execution mismatch flushes"),
+      loadsEliminatedRetired(reg, "core.loadsEliminatedRetired",
+                             "retired loads that were RLE-eliminated"),
+      elimReuseRetired(reg, "core.elimReuseRetired",
+                       "retired eliminations via load reuse"),
+      elimBypassRetired(reg, "core.elimBypassRetired",
+                        "retired eliminations via memory bypassing"),
+      fsqLoadsRetired(reg, "core.fsqLoadsRetired",
+                      "retired loads steered to the FSQ"),
+      wrapDrainCycles(reg, "core.wrapDrainCycles",
+                      "cycles dispatch stalled for SSN wrap drains"),
+      invalidationsSeen(reg, "core.invalidationsSeen",
+                        "external invalidations observed"),
+      prm(p),
+      prog(program),
+      mem(p.mem, reg),
+      bpred(p.bpred, reg),
+      rename(p.numPhysRegs),
+      rob(p.robEntries),
+      iq(p.iqEntries),
+      svw(p.svw, reg),
+      lsu(p.lsu, committedMem, svw, reg),
+      rex(p.rex, committedMem, svw, dcachePort, reg),
+      rle(p.rle, reg),
+      storeSets(4096, 256, reg),
+      spct(512, 8),
+      dcachePort(p.dcachePorts),
+      storeIssuePorts(p.lsu.storeIssueWidth),
+      fetchPc(program.entry())
+{
+    committedMem.loadProgram(program);
+    rename.regs().setValue(rename.map(regSp), program.stackTop());
+    for (unsigned b = 0; b < p.mem.l1dBanks; ++b)
+        loadBankPorts.emplace_back(1);
+    archMap.fill(0);
+    for (RegIndex a = 0; a < numArchRegs; ++a)
+        archMap[a] = rename.map(a);
+}
+
+std::uint64_t
+Core::archReg(RegIndex a) const
+{
+    return rename.regs().value(archMap[a]);
+}
+
+RunOutcome
+Core::run(std::uint64_t maxInsts, std::uint64_t maxCycles)
+{
+    while (!haltCommitted && retired.value() < maxInsts &&
+           now < maxCycles) {
+        tick();
+    }
+    RunOutcome out;
+    out.halted = haltCommitted;
+    out.cycles = now;
+    out.instructions = retired.value();
+    return out;
+}
+
+void
+Core::tick()
+{
+    if (perCycleHook)
+        perCycleHook(*this);
+    commitStage();
+    rex.tick(rob, rename, now);
+    completeStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    ++now;
+    ++cyclesStat;
+}
+
+// --------------------------------------------------------------------
+// Complete: results arriving this cycle; branch resolution.
+// --------------------------------------------------------------------
+
+void
+Core::completeStage()
+{
+    while (!completionQueue.empty() &&
+           completionQueue.begin()->first <= now) {
+        const InstSeqNum seq = completionQueue.begin()->second;
+        completionQueue.erase(completionQueue.begin());
+        DynInst *inst = rob.findBySeq(seq);
+        if (!inst)
+            continue;  // squashed
+        inst->completed = true;
+        if (tracer)
+            tracer->event(now, TraceEvent::Complete, *inst);
+        if (inst->si->isCtrl())
+            finishBranch(*inst);
+    }
+
+    // Stores whose address issued early capture data as it arrives.
+    for (std::size_t i = 0; i < storesAwaitingData.size();) {
+        DynInst *st = rob.findBySeq(storesAwaitingData[i]);
+        if (!st) {
+            storesAwaitingData[i] = storesAwaitingData.back();
+            storesAwaitingData.pop_back();
+            continue;
+        }
+        if (rename.regs().isReady(st->prs2, now)) {
+            captureStoreData(*st);
+            storesAwaitingData[i] = storesAwaitingData.back();
+            storesAwaitingData.pop_back();
+            continue;
+        }
+        ++i;
+    }
+
+    // Eliminated instructions complete when their shared register does.
+    for (std::size_t i = 0; i < elimPending.size();) {
+        DynInst *inst = rob.findBySeq(elimPending[i]);
+        if (!inst) {
+            elimPending[i] = elimPending.back();
+            elimPending.pop_back();
+            continue;
+        }
+        if (rename.regs().isReady(inst->prd, now)) {
+            inst->completed = true;
+            inst->completeCycle = now;
+            elimPending[i] = elimPending.back();
+            elimPending.pop_back();
+            continue;
+        }
+        ++i;
+    }
+}
+
+void
+Core::captureStoreData(DynInst &store)
+{
+    store.storeData = srcVal(store.prs2);
+    store.dataResolved = true;
+    store.completeCycle = now + 1;
+    completionQueue.emplace(now + 1, store.seq);
+    lsu.storeDataReady(store);
+}
+
+void
+Core::finishBranch(DynInst &inst)
+{
+    if (inst.actualNextPc == inst.predNextPc)
+        return;
+    inst.mispredicted = true;
+    ++branchSquashes;
+    if (inst.si->isIndirectCtrl())
+        bpred.btbUpdate(inst.pc, inst.actualNextPc);
+    squashAfter(inst.seq, inst.actualNextPc, &inst);
+}
+
+// --------------------------------------------------------------------
+// Issue: age-ordered scan of the issue queue.
+// --------------------------------------------------------------------
+
+void
+Core::issueStage()
+{
+    unsigned globalUsed = 0;
+    unsigned intUsed = 0, loadUsed = 0, storeUsed = 0, branchUsed = 0;
+
+    // Work over a snapshot; issue mutates the queue.
+    const std::vector<IssueQueue::Entry> snapshot = iq.entries();
+    for (const IssueQueue::Entry &e : snapshot) {
+        if (globalUsed >= prm.issueWidth)
+            break;
+        DynInst *inst = e.inst;
+        if (inst->issued)
+            continue;
+        const std::size_t squashesBefore =
+            branchSquashes.value() + orderingSquashes.value();
+        if (tryIssue(*inst, intUsed, loadUsed, storeUsed, branchUsed)) {
+            ++globalUsed;
+            iq.remove(e.seq);
+            if (tracer)
+                tracer->event(now, TraceEvent::Issue, *inst);
+        }
+        // A store issue may have triggered an ordering squash that
+        // invalidated the snapshot; stop for this cycle.
+        if (branchSquashes.value() + orderingSquashes.value() !=
+            squashesBefore) {
+            break;
+        }
+    }
+}
+
+bool
+Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
+               unsigned &storeUsed, unsigned &branchUsed)
+{
+    const StaticInst &si = *inst.si;
+
+    switch (si.cls()) {
+      case InstClass::IntAlu:
+      case InstClass::IntMul: {
+        if (intUsed >= prm.intIssue)
+            return false;
+        if (si.readsRs1() && !srcReady(inst.prs1))
+            return false;
+        if (si.readsRs2() && !srcReady(inst.prs2))
+            return false;
+        const std::uint64_t r = evalAlu(si, srcVal(inst.prs1),
+                                        srcVal(inst.prs2), inst.pc);
+        const Cycle done = now + si.execLatency();
+        if (si.writesReg()) {
+            rename.regs().setValue(inst.prd, r);
+            rename.regs().setReadyAt(inst.prd, done);
+        }
+        inst.issued = true;
+        inst.completeCycle = done;
+        completionQueue.emplace(done, inst.seq);
+        ++intUsed;
+        return true;
+      }
+
+      case InstClass::Branch:
+      case InstClass::Jump:
+      case InstClass::JumpReg: {
+        if (branchUsed >= prm.branchIssue)
+            return false;
+        if (si.readsRs1() && !srcReady(inst.prs1))
+            return false;
+        if (si.readsRs2() && !srcReady(inst.prs2))
+            return false;
+        if (si.isCondBranch()) {
+            inst.actualTaken = evalBranchTaken(si, srcVal(inst.prs1),
+                                               srcVal(inst.prs2));
+            inst.actualNextPc = inst.actualTaken
+                ? static_cast<std::uint64_t>(si.imm) : inst.pc + 1;
+        } else if (si.isDirectCtrl()) {
+            inst.actualNextPc = static_cast<std::uint64_t>(si.imm);
+            if (si.isCall()) {
+                rename.regs().setValue(inst.prd, inst.pc + 1);
+                rename.regs().setReadyAt(inst.prd, now + 1);
+            }
+        } else {
+            inst.actualNextPc = srcVal(inst.prs1);
+        }
+        inst.issued = true;
+        inst.completeCycle = now + 1;
+        completionQueue.emplace(now + 1, inst.seq);
+        ++branchUsed;
+        return true;
+      }
+
+      case InstClass::Load: {
+        if (loadUsed >= prm.loadIssue)
+            return false;
+        if (!srcReady(inst.prs1))
+            return false;
+        // Store-sets: wait for the predicted-conflicting store.
+        if (inst.storeSetDep != 0) {
+            DynInst *dep = rob.findBySeq(inst.storeSetDep);
+            if (dep && !dep->addrResolved)
+                return false;
+        }
+        inst.addr = effectiveAddr(si, srcVal(inst.prs1));
+        inst.size = si.memSize();
+        const unsigned bank = mem.dataBank(inst.addr);
+        if (loadBankPorts[bank].freeSlots(now) == 0)
+            return false;
+        issueLoad(inst);
+        if (!inst.issued)
+            return false;  // blocked (partial overlap / FSQ port)
+        loadBankPorts[bank].tryClaim(now);
+        ++loadUsed;
+        return true;
+      }
+
+      case InstClass::Store: {
+        // Stores issue (generate their address, search the LQ) as soon
+        // as the base register is ready; the data is captured whenever
+        // it arrives. Early address resolution is what keeps the NLQ
+        // ambiguous-store windows short.
+        if (storeUsed >= prm.lsu.storeIssueWidth)
+            return false;
+        if (!srcReady(inst.prs1))
+            return false;
+        if (inst.storeSetDep != 0) {
+            DynInst *dep = rob.findBySeq(inst.storeSetDep);
+            if (dep && !dep->addrResolved)
+                return false;
+        }
+        issueStore(inst);
+        ++storeUsed;
+        return true;
+      }
+
+      default:
+        svw_panic("unexpected class in IQ");
+    }
+}
+
+void
+Core::issueLoad(DynInst &load)
+{
+    LoadExecResult res = lsu.executeLoad(load, rob, now);
+    if (res.status != LoadExecResult::Status::Done)
+        return;  // retry next cycle
+
+    load.issued = true;
+    load.addrResolved = true;
+    load.loadValue = res.value;
+    load.specExecuted = res.sawAmbiguousOlderStore || res.bestEffort;
+
+    // NLQ-LS marking: issued in the presence of older ambiguous stores.
+    if (nlq::shouldMarkLoad(prm.lsu.nlq, res))
+        load.rexReasons |= RexNlqSpec;
+
+    Cycle done;
+    if (res.forwarded) {
+        done = now + mem.l1dLatency() + prm.lsu.loadExtraLatency;
+    } else {
+        done = mem.accessData(load.addr, false, now) +
+            prm.lsu.loadExtraLatency;
+    }
+    load.completeCycle = done;
+    if (load.si->writesReg()) {
+        rename.regs().setValue(load.prd, load.loadValue);
+        rename.regs().setReadyAt(load.prd, done);
+    }
+    completionQueue.emplace(done, load.seq);
+}
+
+void
+Core::issueStore(DynInst &store)
+{
+    store.addr = effectiveAddr(*store.si, srcVal(store.prs1));
+    store.size = store.si->memSize();
+    store.addrResolved = true;
+    store.issued = true;
+    storeSets.storeResolved(store.pc, store.seq);
+
+    if (srcReady(store.prs2)) {
+        captureStoreData(store);
+    } else {
+        storesAwaitingData.push_back(store.seq);
+    }
+
+    const InstSeqNum victim = lsu.storeResolved(store, rob);
+    if (victim != 0) {
+        // Associative LQ search found a premature load: flush at the
+        // load and train store-sets with the exact store-load pair.
+        DynInst *load = rob.findBySeq(victim);
+        svw_assert(load, "violating load vanished");
+        ++orderingSquashes;
+        storeSets.train(store.pc, load->pc);
+        const std::uint64_t loadPc = load->pc;
+        squashAfter(victim - 1, loadPc, nullptr);
+    }
+}
+
+// --------------------------------------------------------------------
+// Dispatch: rename, allocate, RLE integration, SSN/SVW assignment.
+// --------------------------------------------------------------------
+
+void
+Core::dispatchStage()
+{
+    if (drainPending) {
+        ++wrapDrainCycles;
+        if (rob.empty()) {
+            svw.wrapClear();
+            rle.wrapClear(rename);
+            svw.ssn().ackWrap();
+            drainPending = false;
+        } else {
+            return;
+        }
+    }
+
+    unsigned n = 0;
+    while (n < prm.dispatchWidth && !fetchQueue.empty()) {
+        DynInst &head = fetchQueue.front();
+        if (head.fetchReadyCycle > now)
+            break;
+        if (!dispatchOne(head))
+            break;
+        fetchQueue.pop_front();
+        ++n;
+    }
+}
+
+bool
+Core::dispatchOne(DynInst &d)
+{
+    const StaticInst &si = *d.si;
+
+    // ---- resource checks (no state change before all pass) ----------
+    if (rob.full())
+        return false;
+    const bool trivial = si.cls() == InstClass::Nop ||
+        si.cls() == InstClass::Halt;
+    if (!trivial && iq.full())
+        return false;
+    if (si.isLoad() && lsu.lqFull())
+        return false;
+    if (si.isStore()) {
+        if (lsu.sqFull())
+            return false;
+        if (lsu.fsqFullFor(d)) {
+            ++lsu.fsqAllocStalls;
+            return false;
+        }
+        if (svw.ssn().nextAssignWraps()) {
+            drainPending = true;
+            return false;
+        }
+    }
+
+    // ---- rename sources ----------------------------------------------
+    d.prs1 = rename.map(si.rs1);
+    d.prs2 = rename.map(si.rs2);
+
+    // ---- RLE integration -----------------------------------------------
+    bool integrated = false;
+    if (si.writesReg()) {
+        if (auto integ = rle.tryIntegrate(si, d.prs1, d.prs2, rename)) {
+            integrated = true;
+            d.eliminated = true;
+            d.elimFromSquash = integ->fromSquash;
+            d.elimFromBypass = integ->fromStore;
+            d.prd = integ->dst;
+            rename.addRef(d.prd);
+            d.prevPrd = rename.map(si.rd);
+            rename.setMap(si.rd, d.prd);
+            if (si.isLoad()) {
+                d.rexReasons |= RexRleElim;
+                // Section 3.4: the window starts at the IT entry,
+                // ld.SVW = IT-ENTRY.SSN. Only when NLQ-SM is active does
+                // section 3.5's composition with SSNRETIRE apply
+                // (eliminated loads stay subject to invalidations).
+                d.svw = prm.nlqsm
+                    ? SvwUnit::composeSvw(integ->ssn, svw.svwAtDispatch())
+                    : integ->ssn;
+                d.svwValid = !integ->fromSquash;
+            }
+        }
+    }
+
+    if (!integrated && si.writesReg()) {
+        if (!rename.hasFreeReg() && !rle.relievePressure(rename))
+            return false;
+        if (!rename.hasFreeReg())
+            return false;
+        d.prevPrd = rename.map(si.rd);
+        d.prd = rename.alloc();
+        rename.setMap(si.rd, d.prd);
+    }
+
+    // ---- class-specific dispatch ---------------------------------------
+    if (si.isStore()) {
+        d.ssn = svw.ssn().assign();
+        d.storeSetDep = storeSets.storeDispatched(d.pc, d.seq);
+    } else if (si.isLoad() && !d.eliminated) {
+        d.svw = svw.svwAtDispatch();
+        d.svwValid = true;
+        if (prm.lsu.ssq)
+            d.rexReasons |= RexSsqAll;
+        d.storeSetDep = storeSets.loadDependency(d.pc);
+        if (prm.rex.svwReplacesReExecution) {
+            auto it = replaceFlushStreak.find(d.pc);
+            if (it != replaceFlushStreak.end() &&
+                it->second >= replaceStreakLimit) {
+                d.forceRealRex = true;
+            }
+        }
+    }
+
+    if (trivial) {
+        d.completed = true;
+        d.issued = true;
+        d.completeCycle = now;
+    }
+
+    d.dispatched = true;
+    DynInst &r = rob.push(std::move(d));
+    if (tracer)
+        tracer->event(now, TraceEvent::Dispatch, r);
+
+    if (si.isLoad())
+        lsu.dispatchLoad(r);
+    else if (si.isStore())
+        lsu.dispatchStore(r);
+
+    if (r.eliminated) {
+        elimPending.push_back(r.seq);
+    } else {
+        if (!trivial)
+            iq.insert(&r);
+        rle.createEntry(r, rename, svw.ssn().ssnRename(), r.ssn);
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Squash.
+// --------------------------------------------------------------------
+
+void
+Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
+                  const DynInst *replay)
+{
+    // ---- branch predictor state repair --------------------------------
+    if (replay) {
+        bpred.restore(replay->ghistSnap, replay->rasTopSnap,
+                      replay->rasTopValSnap);
+        if (replay->si->isCondBranch())
+            bpred.speculativeUpdate(replay->actualTaken);
+        if (replay->si->isCall())
+            bpred.rasPush(replay->pc + 1);
+        if (replay->si->isIndirectCtrl() && replay->si->rs1 == regLink)
+            bpred.rasPop();
+    } else {
+        const DynInst *oldest = rob.lowerBound(keepSeq + 1);
+        if (!oldest && !fetchQueue.empty())
+            oldest = &fetchQueue.front();
+        if (oldest) {
+            bpred.restore(oldest->ghistSnap, oldest->rasTopSnap,
+                          oldest->rasTopValSnap);
+        }
+    }
+
+    // ---- IT entries of squashed creators become squash-reusable -------
+    rle.onSquash(keepSeq, rename);
+
+    // ---- IQ prune must precede ROB pops (it holds ROB pointers) -------
+    iq.squashAfter(keepSeq);
+
+    // ---- rename recovery: youngest-first walk --------------------------
+    while (!rob.empty() && rob.tail().seq > keepSeq) {
+        DynInst &t = rob.tail();
+        if (tracer)
+            tracer->event(now, TraceEvent::Squash, t);
+        // Squash-reuse hygiene: a load that executed speculatively or
+        // forwarded from an in-flight (now squashed) store holds a value
+        // the correct path may never see; kill its IT entry rather than
+        // offering it for reuse. This is exactly the "forwarding store
+        // exists on the squashed path but not the correct path" corner
+        // case of section 4.3.
+        if (t.isLoad() && t.issued && !t.eliminated &&
+            (t.specExecuted || t.forwarded)) {
+            rle.onSquashedSpeculativeLoad(t, rename);
+        }
+        if (t.si->writesReg()) {
+            rename.setMap(t.si->rd, t.prevPrd);
+            rename.deref(t.prd);
+        }
+        if (t.isStore())
+            storeSets.storeSquashed(t.pc, t.seq);
+        rob.popTail();
+    }
+
+    lsu.squashAfter(keepSeq);
+    rex.squashAfter(keepSeq);
+
+    // ---- SSN allocation rollback ----------------------------------------
+    SSN lastSsn = svw.ssn().retired();
+    if (const InstSeqNum stSeq = lsu.youngestStoreSeq()) {
+        DynInst *st = rob.findBySeq(stSeq);
+        svw_assert(st, "SQ tail not in ROB");
+        lastSsn = st->ssn;
+    }
+    svw.ssn().rollbackTo(lastSsn);
+
+    // ---- front end redirect ----------------------------------------------
+    fetchQueue.clear();
+    fetchPc = newFetchPc;
+    fetchStopped = newFetchPc >= prog.textSize();
+    fetchResumeCycle = now + prm.mispredictRedirect;
+    lastFetchLine = ~Addr(0);
+    drainPending = false;
+}
+
+// --------------------------------------------------------------------
+// External (other-agent) store: the NLQ-SM stimulus.
+// --------------------------------------------------------------------
+
+void
+Core::externalStore(Addr addr, unsigned size, std::uint64_t value)
+{
+    ++invalidationsSeen;
+    committedMem.write(addr, size, value);
+    const unsigned lineBytes = mem.lineBytes();
+    const Addr firstLine = alignDownAddr(addr, lineBytes);
+    const Addr lastLine = alignDownAddr(addr + size - 1, lineBytes);
+    for (Addr line = firstLine; line <= lastLine; line += lineBytes) {
+        mem.invalidateLine(line);
+        svw.invalidation(line, lineBytes);
+    }
+    if (prm.nlqsm) {
+        // NLQ-SM: every load in the window at invalidation time must
+        // re-execute (identified in hardware by remembering the LQ tail).
+        for (DynInst &inst : rob) {
+            if (inst.isLoad() && !inst.rexSvwStageDone)
+                inst.rexReasons |= RexNlqSm;
+        }
+    }
+}
+
+} // namespace svw

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The out-of-order core: a value-accurate timing model of the paper's
+ * two machine configurations (8-wide NLQ/SSQ machine, 4-wide RLE
+ * machine), with the re-execution pipeline and SVW attached.
+ *
+ * Values are computed exactly: wrong-path instructions really execute,
+ * premature loads really read stale memory, silent stores really store
+ * silently. That is what makes value-based re-execution (and SVW's
+ * filtering of it) meaningful to simulate. Every run can be checked
+ * against the in-order functional interpreter.
+ */
+
+#ifndef SVW_CPU_CORE_HH
+#define SVW_CPU_CORE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/bpred.hh"
+#include "cpu/iq.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+#include "cpu/tracer.hh"
+#include "func/memory_image.hh"
+#include "lsu/lsu.hh"
+#include "lsu/spct.hh"
+#include "lsu/store_sets.hh"
+#include "mem/hierarchy.hh"
+#include "mem/port.hh"
+#include "prog/program.hh"
+#include "rex/rex_engine.hh"
+#include "rle/rle.hh"
+#include "stats/stats.hh"
+#include "svw/svw.hh"
+
+namespace svw {
+
+/** Full machine configuration. */
+struct CoreParams
+{
+    // Widths (paper section 4).
+    unsigned fetchWidth = 8;
+    unsigned dispatchWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+    unsigned intIssue = 5;      ///< integer ALU+mul issue slots
+    unsigned loadIssue = 2;
+    unsigned branchIssue = 1;
+
+    // Structures.
+    unsigned robEntries = 512;
+    unsigned iqEntries = 200;
+    unsigned numPhysRegs = 448;
+
+    // Pipeline shape (15-stage base pipe).
+    unsigned frontendDepth = 7;      ///< fetch->dispatch stages
+    unsigned mispredictRedirect = 3; ///< execute->refetch bubble (plus
+                                     ///< the front-end refill)
+    /** Extra pre-commit stages from the rex pipeline (+2 NLQ/SSQ, +4 RLE)
+     * and the SVW stage (+1). */
+    unsigned rexTransit = 0;
+
+    unsigned dcachePorts = 1;  ///< shared store-commit / rex port
+
+    BPredParams bpred{};
+    MemParams mem{};
+    LsuParams lsu{};
+    SvwConfig svw{};
+    RexParams rex{};
+    RleParams rle{};
+
+    bool nlqsm = false;  ///< mark in-flight loads on invalidations
+};
+
+/** Aggregate outcome of a run. */
+struct RunOutcome
+{
+    bool halted = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+};
+
+/** The out-of-order core. */
+class Core
+{
+  public:
+    Core(const CoreParams &params, const Program &prog,
+         stats::StatRegistry &reg);
+
+    /** Run until Halt commits or a cap is reached. */
+    RunOutcome run(std::uint64_t maxInsts, std::uint64_t maxCycles);
+
+    /** Advance a single cycle (exposed for tests and injectors). */
+    void tick();
+
+    bool halted() const { return haltCommitted; }
+    Cycle cycle() const { return now; }
+    std::uint64_t retiredInstCount() const { return retired.value(); }
+
+    /** Architectural view for golden-model comparison. */
+    std::uint64_t archReg(RegIndex a) const;
+    const MemoryImage &memory() const { return committedMem; }
+
+    /**
+     * External (simulated other-agent) store: the NLQ-SM stimulus.
+     * Writes memory, invalidates the caches, updates the SSBF with
+     * SSNRENAME+1 and marks in-flight loads for re-execution.
+     */
+    void externalStore(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Hook invoked at the top of every cycle (invalidation injectors). */
+    std::function<void(Core &)> perCycleHook;
+
+    /** Attach (or detach, with nullptr) a pipeline event tracer. */
+    void setTracer(Tracer *t) { tracer = t; }
+
+    // Component access for white-box tests.
+    SvwUnit &svwUnit() { return svw; }
+    RexEngine &rexEngine() { return rex; }
+    LoadStoreUnit &lsuUnit() { return lsu; }
+    RleUnit &rleUnit() { return rle; }
+    const CoreParams &params() const { return prm; }
+
+  public:
+    // --- stats --------------------------------------------------------
+    stats::Scalar retired;
+    stats::Scalar retiredLoads;
+    stats::Scalar retiredStores;
+    stats::Scalar retiredBranches;
+    stats::Scalar cyclesStat;
+    stats::Scalar branchSquashes;
+    stats::Scalar orderingSquashes;  ///< LQ-CAM violations (baseline)
+    stats::Scalar rexFlushes;        ///< re-execution value mismatches
+    stats::Scalar loadsEliminatedRetired;
+    stats::Scalar elimReuseRetired;
+    stats::Scalar elimBypassRetired;
+    stats::Scalar fsqLoadsRetired;
+    stats::Scalar wrapDrainCycles;
+    stats::Scalar invalidationsSeen;
+
+  private:
+    // --- pipeline stages (one call each per tick) ----------------------
+    void commitStage();
+    void completeStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // --- helpers -------------------------------------------------------
+    bool dispatchOne(DynInst &inst);
+    bool tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
+                  unsigned &storeUsed, unsigned &branchUsed);
+    void issueLoad(DynInst &load);
+    void issueStore(DynInst &store);
+    void captureStoreData(DynInst &store);
+    void finishBranch(DynInst &inst);
+
+    /**
+     * Squash everything younger than @p keepSeq and refetch at
+     * @p newFetchPc. @p replay identifies a control instruction whose
+     * own predictor effects must be replayed with the real outcome.
+     */
+    void squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
+                     const DynInst *replay);
+
+    void handleRexFailure(DynInst &load);
+
+    /** Read a source operand value. */
+    std::uint64_t srcVal(PhysRegIndex p) const
+    {
+        return rename.regs().value(p);
+    }
+
+    bool srcReady(PhysRegIndex p) const
+    {
+        return rename.regs().isReady(p, now);
+    }
+
+    CoreParams prm;
+    const Program &prog;
+    Tracer *tracer = nullptr;
+
+    MemoryImage committedMem;   ///< committed ("cache") state
+    MemHierarchy mem;
+    BPred bpred;
+    RenameState rename;
+    ROB rob;
+    IssueQueue iq;
+    SvwUnit svw;
+    LoadStoreUnit lsu;
+    RexEngine rex;
+    RleUnit rle;
+    StoreSets storeSets;
+    SPCT spct;
+
+    CyclePort dcachePort;       ///< shared store-commit / rex port
+    std::vector<CyclePort> loadBankPorts;
+    CyclePort storeIssuePorts;
+
+    Cycle now = 0;
+    InstSeqNum seqCounter = 0;
+    bool haltCommitted = false;
+
+    // Fetch state.
+    std::uint64_t fetchPc;
+    bool fetchStopped = false;   ///< halted / ran off text on this path
+    Cycle fetchResumeCycle = 0;
+    std::deque<DynInst> fetchQueue;
+    Addr lastFetchLine = ~Addr(0);
+
+    // SSN wrap drain (section 3.6).
+    bool drainPending = false;
+
+    /**
+     * Replacement-mode livelock guard: per-PC streak of consecutive
+     * SSBF-hit flushes; past a small threshold the refetched load
+     * re-executes for real (section 6 mode stays forward-progressing
+     * even when a hot granule keeps its SSBF entry fresh).
+     */
+    std::unordered_map<std::uint64_t, unsigned> replaceFlushStreak;
+    static constexpr unsigned replaceStreakLimit = 2;
+
+    // Completion bookkeeping.
+    std::multimap<Cycle, InstSeqNum> completionQueue;
+    std::vector<InstSeqNum> elimPending;  ///< eliminated insts awaiting
+                                          ///< their shared register
+    std::vector<InstSeqNum> storesAwaitingData;
+
+    /** Architectural rename map, updated at commit (golden compare). */
+    std::array<PhysRegIndex, numArchRegs> archMap{};
+
+    /** Helper for line alignment without pulling intmath into the header
+     * users. */
+    static Addr alignDownAddr(Addr a, unsigned align)
+    {
+        return a & ~static_cast<Addr>(align - 1);
+    }
+};
+
+} // namespace svw
+
+#endif // SVW_CPU_CORE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * DynInst: the per-dynamic-instruction record shared by every pipeline
+ * stage, the load/store unit, the re-execution engine, and SVW.
+ */
+
+#ifndef SVW_CPU_DYNINST_HH
+#define SVW_CPU_DYNINST_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "isa/inst.hh"
+
+namespace svw {
+
+/** Why a load was marked for pre-commit re-execution (bitmask). */
+enum RexReason : std::uint8_t {
+    RexNone    = 0,
+    RexNlqSpec = 1 << 0,  ///< issued past an older unresolved store (NLQ-LS)
+    RexSsqAll  = 1 << 1,  ///< SSQ marks every load
+    RexRleElim = 1 << 2,  ///< load eliminated by register integration
+    RexNlqSm   = 1 << 3,  ///< in-flight during a coherence invalidation
+};
+
+/** One in-flight dynamic instruction. */
+struct DynInst
+{
+    // --- identity ----------------------------------------------------
+    InstSeqNum seq = 0;
+    std::uint64_t pc = 0;
+    const StaticInst *si = nullptr;
+
+    // --- control flow -------------------------------------------------
+    std::uint64_t predNextPc = 0;
+    std::uint64_t actualNextPc = 0;
+    bool actualTaken = false;   ///< conditional-branch outcome
+    bool mispredicted = false;
+    /** Branch-history / RAS snapshot taken at fetch, for squash repair. */
+    std::uint64_t ghistSnap = 0;
+    std::uint32_t rasTopSnap = 0;
+    std::uint64_t rasTopValSnap = 0;
+
+    // --- rename -------------------------------------------------------
+    PhysRegIndex prs1 = invalidPhysReg;
+    PhysRegIndex prs2 = invalidPhysReg;
+    PhysRegIndex prd = invalidPhysReg;
+    PhysRegIndex prevPrd = invalidPhysReg;  ///< old mapping of arch rd
+
+    // --- status -------------------------------------------------------
+    bool dispatched = false;
+    bool issued = false;
+    bool completed = false;
+    Cycle fetchReadyCycle = 0;   ///< when it exits the front end
+    Cycle completeCycle = 0;     ///< result available
+
+    // --- memory -------------------------------------------------------
+    Addr addr = 0;
+    unsigned size = 0;
+    bool addrResolved = false;
+    bool dataResolved = false;     ///< store data captured (stores only)
+    std::uint64_t storeData = 0;   ///< store value (low bytes significant)
+    std::uint64_t loadValue = 0;   ///< value obtained at execution
+    bool forwarded = false;        ///< got value from an in-flight store
+    bool specExecuted = false;     ///< executed past ambiguity / via a
+                                   ///< best-effort structure (value may
+                                   ///< be stale)
+    SSN fwdStoreSSN = 0;           ///< SSN of the forwarding store
+    bool committedToCache = false;
+
+    // --- SSN / SVW (paper sections 3, 3.1-3.5) -------------------------
+    SSN ssn = 0;        ///< store sequence number (stores only)
+    SSN svw = 0;        ///< SSN of youngest older store load is NOT
+                        ///< vulnerable to
+    bool svwValid = false;
+
+    // --- re-execution -------------------------------------------------
+    std::uint8_t rexReasons = RexNone;
+    bool rexProcessed = false;   ///< passed the rex SVW stage
+    bool rexSvwStageDone = false;///< SVW stage work (test/stats) performed
+    bool rexNeedsCache = false;  ///< SVW test positive: awaiting the port
+    bool rexFiltered = false;    ///< SVW test negative: skipped cache access
+    bool forceRealRex = false;   ///< replacement-mode escape hatch: this
+                                 ///< load re-executes for real (it flushed
+                                 ///< repeatedly on SSBF hits)
+    bool rexDone = false;        ///< re-execution (if any) finished
+    bool rexPassed = true;       ///< value matched (false => flush)
+    Cycle rexDoneCycle = 0;
+
+    // --- optimization bookkeeping --------------------------------------
+    bool eliminated = false;     ///< RLE removed it from execution
+    bool elimFromSquash = false; ///< integrated a squashed incarnation
+    bool elimFromBypass = false; ///< integrated a store's data register
+    bool fsqLoad = false;        ///< steered to the FSQ (SSQ)
+    bool fsqStore = false;       ///< allocated an FSQ entry (SSQ)
+    InstSeqNum storeSetDep = 0;  ///< store this op must wait for (0 = none)
+
+    bool marked() const { return rexReasons != RexNone; }
+    bool isLoad() const { return si->isLoad(); }
+    bool isStore() const { return si->isStore(); }
+};
+
+} // namespace svw
+
+#endif // SVW_CPU_DYNINST_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fetch stage: follows the branch predictor down (possibly wrong) paths,
+ * snapshots predictor state for recovery, and models I-cache timing.
+ */
+
+#include "base/logging.hh"
+#include "cpu/core.hh"
+
+namespace svw {
+
+namespace {
+
+constexpr Addr textBase = 0x8000'0000ull;
+
+} // namespace
+
+void
+Core::fetchStage()
+{
+    if (haltCommitted || fetchStopped || now < fetchResumeCycle)
+        return;
+
+    const std::size_t fqCap =
+        static_cast<std::size_t>(prm.frontendDepth + 1) * prm.fetchWidth;
+    if (fetchQueue.size() >= fqCap)
+        return;
+
+    // I-cache: probe the line holding the first instruction.
+    const Addr line = alignDownAddr(textBase + fetchPc * 4,
+                                    prm.mem.l1i.lineBytes);
+    if (line != lastFetchLine) {
+        const Cycle done = mem.accessInst(line, now);
+        lastFetchLine = line;
+        if (done > now + prm.mem.l1i.latency) {
+            fetchResumeCycle = done;
+            return;
+        }
+    }
+
+    for (unsigned i = 0; i < prm.fetchWidth; ++i) {
+        if (fetchPc >= prog.textSize()) {
+            // Ran off the program text on a wrong path; wait for the
+            // squash that must be coming.
+            fetchStopped = true;
+            return;
+        }
+
+        DynInst d;
+        d.seq = ++seqCounter;
+        d.pc = fetchPc;
+        d.si = &prog.inst(fetchPc);
+        d.ghistSnap = bpred.ghist();
+        d.rasTopSnap = bpred.rasTop();
+        d.rasTopValSnap = bpred.rasTopValue();
+        d.fetchReadyCycle = now + prm.frontendDepth;
+
+        const StaticInst &si = *d.si;
+        if (si.isCondBranch()) {
+            const bool taken = bpred.predictDirection(d.pc);
+            bpred.speculativeUpdate(taken);
+            d.predNextPc = taken ? static_cast<std::uint64_t>(si.imm)
+                                 : d.pc + 1;
+        } else if (si.isDirectCtrl()) {
+            d.predNextPc = static_cast<std::uint64_t>(si.imm);
+            if (si.isCall())
+                bpred.rasPush(d.pc + 1);
+        } else if (si.isIndirectCtrl()) {
+            if (si.rs1 == regLink) {
+                d.predNextPc = bpred.rasPop();
+            } else {
+                const std::uint64_t t = bpred.btbLookup(d.pc);
+                d.predNextPc = t ? t : d.pc + 1;
+                if (!t)
+                    ++bpred.btbMisses;
+            }
+        } else {
+            d.predNextPc = d.pc + 1;
+        }
+        d.actualNextPc = d.predNextPc;  // non-control: always correct
+
+        const bool isHalt = si.isHalt();
+        const bool redirects = d.predNextPc != d.pc + 1;
+        fetchPc = d.predNextPc;
+        if (tracer)
+            tracer->event(now, TraceEvent::Fetch, d);
+        fetchQueue.push_back(std::move(d));
+
+        if (isHalt) {
+            fetchStopped = true;
+            return;
+        }
+        if (redirects)
+            return;  // at most one taken branch per fetch cycle
+        if (fetchQueue.size() >= fqCap)
+            return;
+    }
+}
+
+} // namespace svw

@@ -1,0 +1,26 @@
+#include "cpu/iq.hh"
+
+#include <algorithm>
+
+namespace svw {
+
+void
+IssueQueue::remove(InstSeqNum seq)
+{
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [seq](const Entry &e) { return e.seq == seq; });
+    if (it != entries_.end())
+        entries_.erase(it);
+}
+
+void
+IssueQueue::squashAfter(InstSeqNum keepSeq)
+{
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [keepSeq](const Entry &e) {
+                                      return e.seq > keepSeq;
+                                  }),
+                   entries_.end());
+}
+
+} // namespace svw

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Issue queue: holds dispatched, un-issued instructions in age order;
+ * the scheduler scans it oldest-first each cycle.
+ *
+ * Entries carry a raw DynInst pointer: ROB storage is a std::deque, so
+ * references stay valid until the element is erased, and the core prunes
+ * the IQ before popping squashed ROB entries.
+ */
+
+#ifndef SVW_CPU_IQ_HH
+#define SVW_CPU_IQ_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "cpu/dyninst.hh"
+
+namespace svw {
+
+/** Age-ordered issue queue. */
+class IssueQueue
+{
+  public:
+    struct Entry
+    {
+        InstSeqNum seq;
+        DynInst *inst;
+    };
+
+    explicit IssueQueue(unsigned capacity) : cap(capacity) {}
+
+    bool full() const { return entries_.size() >= cap; }
+    std::size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return cap; }
+
+    void insert(DynInst *inst)
+    {
+        entries_.push_back(Entry{inst->seq, inst});
+    }
+
+    /** Remove an issued entry by sequence number. */
+    void remove(InstSeqNum seq);
+
+    /** Drop all entries with seq > @p keepSeq (squash). Must run before
+     * the ROB discards the squashed instructions. */
+    void squashAfter(InstSeqNum keepSeq);
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    unsigned cap;
+    std::vector<Entry> entries_;  ///< kept in insertion (age) order
+};
+
+} // namespace svw
+
+#endif // SVW_CPU_IQ_HH

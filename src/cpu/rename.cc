@@ -1,0 +1,55 @@
+#include "cpu/rename.hh"
+
+#include "base/logging.hh"
+
+namespace svw {
+
+PhysRegFile::PhysRegFile(unsigned n)
+    : vals(n, 0), ready(n, 0), refs(n, 0), gens(n, 0)
+{
+}
+
+bool
+PhysRegFile::dropRef(PhysRegIndex p)
+{
+    svw_assert(refs[p] > 0, "dropRef of free register ", p);
+    return --refs[p] == 0;
+}
+
+RenameState::RenameState(unsigned numPhysRegs)
+    : file(numPhysRegs)
+{
+    svw_assert(numPhysRegs > numArchRegs + 8,
+               "too few physical registers: ", numPhysRegs);
+    // Registers [0, numArchRegs) start as the architectural state;
+    // they carry one reference held by the map table.
+    for (RegIndex a = 0; a < numArchRegs; ++a) {
+        mapTable[a] = a;
+        file.addRef(a);
+        file.setReadyAt(a, 0);
+    }
+    for (unsigned p = numPhysRegs; p-- > numArchRegs;)
+        freeList.push_back(static_cast<PhysRegIndex>(p));
+}
+
+PhysRegIndex
+RenameState::alloc()
+{
+    svw_assert(!freeList.empty(), "physical register underflow");
+    PhysRegIndex p = freeList.back();
+    freeList.pop_back();
+    file.addRef(p);
+    file.setReadyAt(p, notReady);
+    return p;
+}
+
+void
+RenameState::deref(PhysRegIndex p)
+{
+    if (file.dropRef(p)) {
+        file.bumpGeneration(p);
+        freeList.push_back(p);
+    }
+}
+
+} // namespace svw

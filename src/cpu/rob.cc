@@ -1,0 +1,23 @@
+#include "cpu/rob.hh"
+
+#include <algorithm>
+
+namespace svw {
+
+DynInst *
+ROB::findBySeq(InstSeqNum seq)
+{
+    DynInst *inst = lowerBound(seq);
+    return inst && inst->seq == seq ? inst : nullptr;
+}
+
+DynInst *
+ROB::lowerBound(InstSeqNum seq)
+{
+    auto it = std::lower_bound(
+        insts.begin(), insts.end(), seq,
+        [](const DynInst &d, InstSeqNum s) { return d.seq < s; });
+    return it == insts.end() ? nullptr : &*it;
+}
+
+} // namespace svw

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reorder buffer: an age-ordered window of in-flight DynInsts, addressed
+ * by sequence number. Also the structure the re-execution engine walks
+ * (its rex-head pointer is a sequence number into this window).
+ */
+
+#ifndef SVW_CPU_ROB_HH
+#define SVW_CPU_ROB_HH
+
+#include <deque>
+
+#include "cpu/dyninst.hh"
+
+namespace svw {
+
+/** Age-ordered instruction window. Entries are sorted by seq. */
+class ROB
+{
+  public:
+    explicit ROB(unsigned capacity) : cap(capacity) {}
+
+    bool full() const { return insts.size() >= cap; }
+    bool empty() const { return insts.empty(); }
+    std::size_t size() const { return insts.size(); }
+    unsigned capacity() const { return cap; }
+
+    DynInst &push(DynInst &&inst)
+    {
+        insts.push_back(std::move(inst));
+        return insts.back();
+    }
+
+    DynInst &head() { return insts.front(); }
+    const DynInst &head() const { return insts.front(); }
+    DynInst &tail() { return insts.back(); }
+
+    void popHead() { insts.pop_front(); }
+    void popTail() { insts.pop_back(); }
+
+    /** Find by sequence number (binary search). nullptr if absent. */
+    DynInst *findBySeq(InstSeqNum seq);
+
+    /** First entry with seq >= @p seq (nullptr if none). */
+    DynInst *lowerBound(InstSeqNum seq);
+
+    std::deque<DynInst>::iterator begin() { return insts.begin(); }
+    std::deque<DynInst>::iterator end() { return insts.end(); }
+    std::deque<DynInst>::const_iterator begin() const { return insts.begin(); }
+    std::deque<DynInst>::const_iterator end() const { return insts.end(); }
+
+  private:
+    unsigned cap;
+    std::deque<DynInst> insts;
+};
+
+} // namespace svw
+
+#endif // SVW_CPU_ROB_HH

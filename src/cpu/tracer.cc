@@ -1,0 +1,72 @@
+#include "cpu/tracer.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "cpu/dyninst.hh"
+#include "isa/disasm.hh"
+
+namespace svw {
+
+const char *
+traceEventName(TraceEvent ev)
+{
+    switch (ev) {
+      case TraceEvent::Fetch: return "F";
+      case TraceEvent::Dispatch: return "D";
+      case TraceEvent::Issue: return "I";
+      case TraceEvent::Complete: return "C";
+      case TraceEvent::RexPass: return "Rp";
+      case TraceEvent::RexFail: return "Rx";
+      case TraceEvent::Commit: return "R";
+      case TraceEvent::Squash: return "S";
+    }
+    return "?";
+}
+
+void
+Tracer::event(Cycle cycle, TraceEvent ev, const DynInst &inst)
+{
+    std::ostringstream os;
+    os << std::setw(8) << cycle << " " << std::setw(2)
+       << traceEventName(ev) << " seq=" << inst.seq << " pc=" << inst.pc
+       << " " << disassemble(*inst.si);
+    if (inst.si->isMem() && inst.addrResolved) {
+        os << " addr=0x" << std::hex << inst.addr << std::dec;
+    }
+    if (inst.isLoad() && inst.marked()) {
+        os << " marked=0x" << std::hex << unsigned(inst.rexReasons)
+           << std::dec << " svw=" << inst.svw;
+    }
+    if (inst.eliminated)
+        os << " elim";
+    *out << os.str() << "\n";
+}
+
+void
+Tracer::note(Cycle cycle, const char *what, std::uint64_t arg)
+{
+    *out << std::setw(8) << cycle << " !! " << what << " " << arg << "\n";
+}
+
+void
+CountingTracer::event(Cycle, TraceEvent ev, const DynInst &)
+{
+    ++counts[static_cast<unsigned>(ev)];
+}
+
+void
+CountingTracer::note(Cycle, const char *, std::uint64_t)
+{
+    ++notes;
+}
+
+std::ostream &
+CountingTracer::nullStream()
+{
+    static std::ostringstream sink;
+    sink.str("");
+    return sink;
+}
+
+} // namespace svw

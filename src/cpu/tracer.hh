@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Pipeline event tracer: an optional, gem5-`--debug`-style textual log
+ * of per-instruction pipeline events (fetch, dispatch, issue, complete,
+ * rex, commit, squash), for debugging workloads and machine
+ * configurations.
+ *
+ * The tracer is attached to a Core via Core::setTracer and costs nothing
+ * when absent. Events are a stable, parseable one-line format:
+ *
+ *   <cycle> <event> seq=<n> pc=<n> <disasm> [key=value ...]
+ */
+
+#ifndef SVW_CPU_TRACER_HH
+#define SVW_CPU_TRACER_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "base/types.hh"
+
+namespace svw {
+
+struct DynInst;
+
+/** Event kinds the core reports. */
+enum class TraceEvent : std::uint8_t
+{
+    Fetch,
+    Dispatch,
+    Issue,
+    Complete,
+    RexPass,      ///< passed the rex SVW stage (filtered or verified)
+    RexFail,      ///< re-execution value mismatch
+    Commit,
+    Squash,       ///< instruction discarded
+};
+
+/** Name of a trace event. */
+const char *traceEventName(TraceEvent ev);
+
+/**
+ * Sink for pipeline events. The default implementation formats to an
+ * ostream; tests subclass it to capture events programmatically.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(std::ostream &os) : out(&os) {}
+    virtual ~Tracer() = default;
+
+    /** Report one event for one instruction at @p cycle. */
+    virtual void event(Cycle cycle, TraceEvent ev, const DynInst &inst);
+
+    /** Report a free-form core-level note (squash causes, drains). */
+    virtual void note(Cycle cycle, const char *what, std::uint64_t arg);
+
+  protected:
+    std::ostream *out;
+};
+
+/** Tracer that counts events per kind (used by tests). */
+class CountingTracer : public Tracer
+{
+  public:
+    CountingTracer() : Tracer(nullStream()) {}
+
+    void event(Cycle cycle, TraceEvent ev, const DynInst &inst) override;
+    void note(Cycle cycle, const char *what, std::uint64_t arg) override;
+
+    std::uint64_t count(TraceEvent ev) const
+    {
+        return counts[static_cast<unsigned>(ev)];
+    }
+    std::uint64_t noteCount() const { return notes; }
+
+  private:
+    static std::ostream &nullStream();
+
+    std::uint64_t counts[8] = {};
+    std::uint64_t notes = 0;
+};
+
+} // namespace svw
+
+#endif // SVW_CPU_TRACER_HH

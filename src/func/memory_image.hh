@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sparse byte-addressable memory image.
+ *
+ * Used three ways in the reproduction: as the functional interpreter's
+ * memory, as the timing simulator's committed ("cache") state, and as the
+ * re-execution pipeline's in-order pre-commit view (committed state plus
+ * the rex store buffer). Unwritten memory reads as zero.
+ */
+
+#ifndef SVW_FUNC_MEMORY_IMAGE_HH
+#define SVW_FUNC_MEMORY_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace svw {
+
+class Program;
+
+/** Sparse paged memory; little-endian multi-byte accesses. */
+class MemoryImage
+{
+  public:
+    static constexpr unsigned pageBytes = 4096;
+
+    /** Read @p size bytes (1/2/4/8) at @p addr, zero-extended. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes of @p value at @p addr. */
+    void write(Addr addr, unsigned size, std::uint64_t value);
+
+    void readBytes(Addr addr, std::uint8_t *buf, std::uint64_t len) const;
+    void writeBytes(Addr addr, const std::uint8_t *buf, std::uint64_t len);
+
+    /** Apply a program's initial data segments. */
+    void loadProgram(const Program &prog);
+
+    /** Number of pages ever written (footprint metric). */
+    std::size_t pageCount() const { return pages.size(); }
+
+    /**
+     * Compare with @p other over the union of touched pages.
+     * @return true if every byte matches (untouched pages read as zero).
+     */
+    bool identicalTo(const MemoryImage &other) const;
+
+    /** Drop all contents. */
+    void clear() { pages.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+
+    const Page *findPage(Addr addr) const;
+    Page &getPage(Addr addr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace svw
+
+#endif // SVW_FUNC_MEMORY_IMAGE_HH

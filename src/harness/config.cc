@@ -1,0 +1,133 @@
+#include "harness/config.hh"
+
+#include "base/logging.hh"
+
+namespace svw::harness {
+
+std::string
+configLabel(const ExperimentConfig &cfg)
+{
+    std::string s;
+    switch (cfg.opt) {
+      case OptMode::Baseline: s = "BASE"; break;
+      case OptMode::BaselineAssocSq: s = "BASE-ASSOC-SQ"; break;
+      case OptMode::Nlq: s = "NLQ"; break;
+      case OptMode::Ssq: s = "SSQ"; break;
+      case OptMode::Rle: s = "RLE"; break;
+      case OptMode::Composed: s = "NLQ+SSQ+RLE"; break;
+    }
+    const bool baseline = cfg.opt == OptMode::Baseline ||
+        cfg.opt == OptMode::BaselineAssocSq;
+    if (!baseline) {
+        switch (cfg.svw) {
+          case SvwMode::None: break;
+          case SvwMode::NoUpd: s += "+SVW-UPD"; break;
+          case SvwMode::Upd: s += "+SVW+UPD"; break;
+          case SvwMode::Perfect: s += "+PERFECT"; break;
+        }
+        if (cfg.svwReplace)
+            s += "-REPL";
+    }
+    if (!cfg.rleSquashReuse)
+        s += "-SQU";
+    return s;
+}
+
+CoreParams
+buildParams(const ExperimentConfig &cfg)
+{
+    CoreParams p;
+
+    // ---- machine shell (paper section 4) ------------------------------
+    if (cfg.machine == Machine::EightWide) {
+        p.fetchWidth = p.dispatchWidth = p.issueWidth = p.commitWidth = 8;
+        p.intIssue = 5;
+        p.loadIssue = 2;
+        p.branchIssue = 1;
+        p.robEntries = 512;
+        p.iqEntries = 200;
+        p.numPhysRegs = 448;
+        p.lsu.lqEntries = 128;
+        p.lsu.sqEntries = 64;
+    } else {
+        p.fetchWidth = p.dispatchWidth = p.issueWidth = p.commitWidth = 4;
+        p.intIssue = 3;
+        p.loadIssue = 1;
+        p.branchIssue = 1;
+        p.robEntries = 128;
+        p.iqEntries = 50;
+        p.numPhysRegs = 160;
+        p.lsu.lqEntries = 32;
+        p.lsu.sqEntries = 16;
+    }
+    p.dcachePorts = cfg.dcachePorts;
+
+    // ---- optimization -----------------------------------------------------
+    const bool baseline = cfg.opt == OptMode::Baseline ||
+        cfg.opt == OptMode::BaselineAssocSq;
+
+    switch (cfg.opt) {
+      case OptMode::Baseline:
+        break;
+      case OptMode::BaselineAssocSq:
+        // Loads serialize with the large associative SQ: 4-cycle loads.
+        p.lsu.loadExtraLatency = 2;
+        break;
+      case OptMode::Nlq:
+        p.lsu.nlq = true;
+        p.lsu.storeIssueWidth = 2;  // the freed LQ CAM port
+        break;
+      case OptMode::Ssq:
+        p.lsu.ssq = true;
+        break;
+      case OptMode::Rle:
+        p.rle.enabled = true;
+        break;
+      case OptMode::Composed:
+        p.lsu.nlq = true;
+        p.lsu.storeIssueWidth = 2;
+        p.lsu.ssq = true;
+        p.rle.enabled = true;
+        break;
+    }
+    p.rle.squashReuse = cfg.rleSquashReuse;
+    // Full register integration (ALU ops included): squash reuse of a
+    // load requires its recomputed address chain to integrate too, so
+    // the load's key matches its squashed incarnation.
+    p.rle.integrateAlu = true;
+    p.rle.maxPinnedRegs = cfg.machine == Machine::FourWide ? 48 : 96;
+
+    // ---- re-execution + SVW ------------------------------------------------
+    p.rex.enabled = !baseline;
+    p.rex.perfect = cfg.svw == SvwMode::Perfect;
+    p.rex.cacheLatency = p.mem.l1d.latency;
+    // Stores that passed the rex SVW stage stay architecturally visible
+    // in the SQ until they commit; the engine's internal buffer is
+    // bounded by the SQ, not a separate small structure.
+    p.rex.storeBufferEntries = p.lsu.sqEntries;
+
+    p.svw.enabled = !baseline &&
+        (cfg.svw == SvwMode::NoUpd || cfg.svw == SvwMode::Upd);
+    p.svw.updateOnForward = cfg.svw == SvwMode::Upd;
+    p.svw.ssnBits = cfg.ssnBits;
+    p.svw.ssbf = cfg.ssbf;
+    p.svw.speculativeSsbfUpdate = cfg.speculativeSsbfUpdate;
+    p.rex.svwReplacesReExecution = cfg.svwReplace && p.svw.enabled;
+    p.lsu.lqValueCheck = cfg.lqValueCheck;
+
+    if (p.rex.enabled) {
+        // "If no loads re-execute, the re-execution pipeline acts as a
+        // trivial one-stage extension to the commit pipeline" (section
+        // 2.1): the +2/+4 stages are the re-executing loads' cache /
+        // register-file latency, which the rex engine models per load.
+        p.rexTransit = 1;
+        const bool rle = cfg.opt == OptMode::Rle ||
+            cfg.opt == OptMode::Composed;
+        p.rex.regfileReadLatency = rle ? 2 : 0;
+    }
+
+    p.nlqsm = cfg.nlqsm;
+    return p;
+}
+
+} // namespace svw::harness

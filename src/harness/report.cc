@@ -1,0 +1,52 @@
+#include "harness/report.hh"
+
+#include <iomanip>
+
+#include "base/logging.hh"
+
+namespace svw::harness {
+
+FigureTable::FigureTable(std::string t, std::vector<std::string> colNames)
+    : title(std::move(t)), cols(std::move(colNames))
+{
+}
+
+void
+FigureTable::addRow(const std::string &name, const std::vector<double> &vals)
+{
+    svw_assert(vals.size() == cols.size(), "row width mismatch in ", title);
+    rows.push_back(Row{name, vals});
+}
+
+void
+FigureTable::addAverageRow()
+{
+    svw_assert(!rows.empty(), "average of empty table");
+    std::vector<double> avg(cols.size(), 0.0);
+    for (const Row &r : rows)
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            avg[c] += r.vals[c];
+    for (double &v : avg)
+        v /= double(rows.size());
+    rows.push_back(Row{"avg", std::move(avg)});
+}
+
+void
+FigureTable::print(std::ostream &os, unsigned precision) const
+{
+    os << "\n== " << title << " ==\n";
+    os << std::left << std::setw(10) << "bench";
+    for (const std::string &c : cols)
+        os << std::right << std::setw(14) << c;
+    os << "\n";
+    for (const Row &r : rows) {
+        os << std::left << std::setw(10) << r.name;
+        for (double v : r.vals) {
+            os << std::right << std::setw(14) << std::fixed
+               << std::setprecision(precision) << v;
+        }
+        os << "\n";
+    }
+}
+
+} // namespace svw::harness

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Paper-style result tables: one row per benchmark, one column per
+ * configuration, plus the arithmetic mean row the figures report.
+ */
+
+#ifndef SVW_HARNESS_REPORT_HH
+#define SVW_HARNESS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace svw::harness {
+
+/** A benchmark x configuration matrix of doubles with pretty printing. */
+class FigureTable
+{
+  public:
+    FigureTable(std::string title, std::vector<std::string> colNames);
+
+    void addRow(const std::string &name, const std::vector<double> &vals);
+
+    /** Append an "avg" row of per-column arithmetic means. */
+    void addAverageRow();
+
+    void print(std::ostream &os, unsigned precision = 1) const;
+
+    const std::vector<double> &row(std::size_t i) const
+    {
+        return rows[i].vals;
+    }
+    std::size_t numRows() const { return rows.size(); }
+
+  private:
+    struct Row
+    {
+        std::string name;
+        std::vector<double> vals;
+    };
+
+    std::string title;
+    std::vector<std::string> cols;
+    std::vector<Row> rows;
+};
+
+} // namespace svw::harness
+
+#endif // SVW_HARNESS_REPORT_HH

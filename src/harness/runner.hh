@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Experiment runner: executes one (workload, configuration) cell,
+ * cross-checks the timing simulation against the functional golden
+ * model, and extracts the metrics the paper's figures plot.
+ */
+
+#ifndef SVW_HARNESS_RUNNER_HH
+#define SVW_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "harness/config.hh"
+
+namespace svw::harness {
+
+/** Metrics of a single run (one bar of a paper figure). */
+struct RunResult
+{
+    std::string workload;
+    std::string config;
+    bool halted = false;
+    bool goldenOk = true;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    double ipc = 0.0;
+
+    // Re-execution figures of merit.
+    std::uint64_t loadsMarked = 0;
+    std::uint64_t loadsReExecuted = 0;
+    std::uint64_t loadsFilteredBySvw = 0;
+    std::uint64_t rexFlushes = 0;
+    double rexRate = 0.0;       ///< re-executions / retired loads (%)
+    double markedRate = 0.0;    ///< marked loads / retired loads (%)
+
+    // Optimization-specific splits.
+    double elimRate = 0.0;      ///< RLE: eliminated / retired loads (%)
+    double bypassShare = 0.0;   ///< RLE: bypass fraction of eliminations
+    double fsqLoadShare = 0.0;  ///< SSQ: FSQ-steered retired loads (%)
+
+    std::uint64_t branchSquashes = 0;
+    std::uint64_t orderingSquashes = 0;
+    std::uint64_t wrapDrains = 0;
+};
+
+/** Run request. */
+struct RunRequest
+{
+    ExperimentConfig config{};
+    std::string workload;
+    std::uint64_t targetInsts = 100'000;
+    std::uint64_t maxCycles = 0;   ///< 0 = auto (generous multiple)
+    bool goldenCheck = true;
+    /** Optional per-cycle hook (invalidation injectors). */
+    std::function<void(Core &)> hook;
+};
+
+/** Execute one cell. Throws (via svw_fatal) on golden-model mismatch
+ * when goldenCheck is set. */
+RunResult runOne(const RunRequest &req);
+
+/** Paper-style percent speedup of @p test over @p base (same program). */
+double speedupPercent(const RunResult &base, const RunResult &test);
+
+} // namespace svw::harness
+
+#endif // SVW_HARNESS_RUNNER_HH

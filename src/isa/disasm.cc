@@ -1,0 +1,63 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace svw {
+
+namespace {
+
+std::string
+reg(RegIndex r)
+{
+    return "r" + std::to_string(r);
+}
+
+} // namespace
+
+std::string
+disassemble(const StaticInst &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    switch (inst.cls()) {
+      case InstClass::Nop:
+      case InstClass::Halt:
+        break;
+      case InstClass::IntAlu:
+      case InstClass::IntMul:
+        if (inst.readsRs2()) {
+            os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+               << reg(inst.rs2);
+        } else if (inst.readsRs1()) {
+            os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+               << inst.imm;
+        } else {
+            os << " " << reg(inst.rd) << ", " << inst.imm;
+        }
+        break;
+      case InstClass::Load:
+        os << " " << reg(inst.rd) << ", " << inst.imm << "("
+           << reg(inst.rs1) << ")";
+        break;
+      case InstClass::Store:
+        os << " " << reg(inst.rs2) << ", " << inst.imm << "("
+           << reg(inst.rs1) << ")";
+        break;
+      case InstClass::Branch:
+        os << " " << reg(inst.rs1) << ", " << reg(inst.rs2) << ", @"
+           << inst.imm;
+        break;
+      case InstClass::Jump:
+        if (inst.isCall())
+            os << " " << reg(inst.rd) << ", @" << inst.imm;
+        else
+            os << " @" << inst.imm;
+        break;
+      case InstClass::JumpReg:
+        os << " " << reg(inst.rs1);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace svw

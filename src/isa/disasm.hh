@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Textual disassembly of mini-RISC instructions (debug aid).
+ */
+
+#ifndef SVW_ISA_DISASM_HH
+#define SVW_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace svw {
+
+/** Render one instruction as assembly text, e.g. "add r3, r1, r2". */
+std::string disassemble(const StaticInst &inst);
+
+} // namespace svw
+
+#endif // SVW_ISA_DISASM_HH

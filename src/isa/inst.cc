@@ -1,0 +1,231 @@
+#include "isa/inst.hh"
+
+#include "base/logging.hh"
+
+namespace svw {
+
+InstClass
+StaticInst::cls() const
+{
+    switch (op) {
+      case Opcode::Nop:
+        return InstClass::Nop;
+      case Opcode::Halt:
+        return InstClass::Halt;
+      case Opcode::Mul:
+        return InstClass::IntMul;
+      case Opcode::Ld1: case Opcode::Ld2: case Opcode::Ld4: case Opcode::Ld8:
+        return InstClass::Load;
+      case Opcode::St1: case Opcode::St2: case Opcode::St4: case Opcode::St8:
+        return InstClass::Store;
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt: case Opcode::Bge:
+        return InstClass::Branch;
+      case Opcode::Jmp: case Opcode::Jal:
+        return InstClass::Jump;
+      case Opcode::Jr:
+        return InstClass::JumpReg;
+      default:
+        return InstClass::IntAlu;
+    }
+}
+
+bool
+StaticInst::isLoad() const
+{
+    return op == Opcode::Ld1 || op == Opcode::Ld2 || op == Opcode::Ld4 ||
+        op == Opcode::Ld8;
+}
+
+bool
+StaticInst::isStore() const
+{
+    return op == Opcode::St1 || op == Opcode::St2 || op == Opcode::St4 ||
+        op == Opcode::St8;
+}
+
+bool
+StaticInst::isCondBranch() const
+{
+    return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt ||
+        op == Opcode::Bge;
+}
+
+bool
+StaticInst::isDirectCtrl() const
+{
+    return op == Opcode::Jmp || op == Opcode::Jal;
+}
+
+bool
+StaticInst::isIndirectCtrl() const
+{
+    return op == Opcode::Jr;
+}
+
+unsigned
+StaticInst::memSize() const
+{
+    switch (op) {
+      case Opcode::Ld1: case Opcode::St1: return 1;
+      case Opcode::Ld2: case Opcode::St2: return 2;
+      case Opcode::Ld4: case Opcode::St4: return 4;
+      case Opcode::Ld8: case Opcode::St8: return 8;
+      default: return 0;
+    }
+}
+
+bool
+StaticInst::writesReg() const
+{
+    if (rd == 0)
+        return false;
+    switch (cls()) {
+      case InstClass::IntAlu:
+      case InstClass::IntMul:
+      case InstClass::Load:
+        return true;
+      case InstClass::Jump:
+        return op == Opcode::Jal;
+      default:
+        return false;
+    }
+}
+
+bool
+StaticInst::readsRs1() const
+{
+    switch (op) {
+      case Opcode::Nop: case Opcode::Halt: case Opcode::MovI:
+      case Opcode::Jmp: case Opcode::Jal:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+StaticInst::readsRs2() const
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And: case Opcode::Or:
+      case Opcode::Xor: case Opcode::Sll: case Opcode::Srl: case Opcode::Sra:
+      case Opcode::Mul: case Opcode::Slt: case Opcode::Sltu:
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt: case Opcode::Bge:
+      case Opcode::St1: case Opcode::St2: case Opcode::St4: case Opcode::St8:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+StaticInst::execLatency() const
+{
+    switch (cls()) {
+      case InstClass::IntMul:
+        return 3;
+      default:
+        return 1;
+    }
+}
+
+std::uint64_t
+evalAlu(const StaticInst &inst, std::uint64_t a, std::uint64_t b,
+        std::uint64_t pc)
+{
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    const std::uint64_t imm = static_cast<std::uint64_t>(inst.imm);
+    const auto simm = inst.imm;
+
+    switch (inst.op) {
+      case Opcode::Add:  return a + b;
+      case Opcode::Sub:  return a - b;
+      case Opcode::And:  return a & b;
+      case Opcode::Or:   return a | b;
+      case Opcode::Xor:  return a ^ b;
+      case Opcode::Sll:  return a << (b & 63);
+      case Opcode::Srl:  return a >> (b & 63);
+      case Opcode::Sra:  return static_cast<std::uint64_t>(sa >> (b & 63));
+      case Opcode::Mul:  return a * b;
+      case Opcode::Slt:  return sa < sb ? 1 : 0;
+      case Opcode::Sltu: return a < b ? 1 : 0;
+
+      case Opcode::AddI: return a + imm;
+      case Opcode::AndI: return a & imm;
+      case Opcode::OrI:  return a | imm;
+      case Opcode::XorI: return a ^ imm;
+      case Opcode::SllI: return a << (imm & 63);
+      case Opcode::SrlI: return a >> (imm & 63);
+      case Opcode::SraI: return static_cast<std::uint64_t>(sa >> (imm & 63));
+      case Opcode::SltI: return sa < simm ? 1 : 0;
+      case Opcode::MovI: return imm;
+
+      case Opcode::Jal:  return pc + 1;
+
+      default:
+        return 0;
+    }
+}
+
+bool
+evalBranchTaken(const StaticInst &inst, std::uint64_t a, std::uint64_t b)
+{
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    switch (inst.op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt: return sa < sb;
+      case Opcode::Bge: return sa >= sb;
+      default:
+        svw_panic("evalBranchTaken on non-branch ", opcodeName(inst.op));
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Mul: return "mul";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::AddI: return "addi";
+      case Opcode::AndI: return "andi";
+      case Opcode::OrI: return "ori";
+      case Opcode::XorI: return "xori";
+      case Opcode::SllI: return "slli";
+      case Opcode::SrlI: return "srli";
+      case Opcode::SraI: return "srai";
+      case Opcode::SltI: return "slti";
+      case Opcode::MovI: return "movi";
+      case Opcode::Ld1: return "ld1";
+      case Opcode::Ld2: return "ld2";
+      case Opcode::Ld4: return "ld4";
+      case Opcode::Ld8: return "ld8";
+      case Opcode::St1: return "st1";
+      case Opcode::St2: return "st2";
+      case Opcode::St4: return "st4";
+      case Opcode::St8: return "st8";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jr: return "jr";
+      default: return "???";
+    }
+}
+
+} // namespace svw

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The mini-RISC instruction set used by the synthetic workloads.
+ *
+ * This is the reproduction's stand-in for the paper's Alpha AXP user-level
+ * ISA (run through SimpleScalar). It is a 64-bit load/store RISC with 32
+ * integer registers (r0 hardwired to zero), byte/half/word/quad loads and
+ * stores, conditional branches, and jump-and-link / jump-register for
+ * calls and returns. Instructions are kept decoded (struct form) rather
+ * than bit-encoded; a "PC" is an instruction index into the program text.
+ */
+
+#ifndef SVW_ISA_INST_HH
+#define SVW_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace svw {
+
+/** Number of architectural integer registers (r0 reads as zero). */
+constexpr unsigned numArchRegs = 32;
+
+/** Register conventionally used as the stack pointer by workloads. */
+constexpr RegIndex regSp = 30;
+
+/** Register conventionally used as the link register (Jal target). */
+constexpr RegIndex regLink = 31;
+
+/** Opcodes of the mini-RISC ISA. */
+enum class Opcode : std::uint8_t {
+    Nop,
+    Halt,
+
+    // ALU register-register
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Mul, Slt, Sltu,
+
+    // ALU register-immediate (rd = rs1 op imm); MovI ignores rs1
+    AddI, AndI, OrI, XorI, SllI, SrlI, SraI, SltI, MovI,
+
+    // Loads: rd = mem[rs1 + imm]; zero-extended for sizes < 8
+    Ld1, Ld2, Ld4, Ld8,
+
+    // Stores: mem[rs1 + imm] = rs2 (low bytes)
+    St1, St2, St4, St8,
+
+    // Control: conditional branches compare rs1 vs rs2, target = imm
+    Beq, Bne, Blt, Bge,
+
+    // Unconditional: Jmp target = imm; Jal rd = pc + 1, target = imm;
+    // Jr target = rs1 value (an instruction index)
+    Jmp, Jal, Jr,
+
+    NumOpcodes
+};
+
+/** Coarse classes used by the pipeline for scheduling and queues. */
+enum class InstClass : std::uint8_t {
+    IntAlu,     ///< single-cycle integer op
+    IntMul,     ///< multi-cycle integer multiply
+    Load,
+    Store,
+    Branch,     ///< conditional branch
+    Jump,       ///< direct unconditional jump / call
+    JumpReg,    ///< indirect jump (return)
+    Nop,
+    Halt
+};
+
+/**
+ * A decoded static instruction. Program text is a vector of these; the
+ * dynamic pipeline references them by PC (index).
+ */
+struct StaticInst
+{
+    Opcode op = Opcode::Nop;
+    RegIndex rd = 0;   ///< destination register (0 = discard)
+    RegIndex rs1 = 0;  ///< first source / base / branch lhs
+    RegIndex rs2 = 0;  ///< second source / store data / branch rhs
+    std::int64_t imm = 0;  ///< immediate / mem offset / branch target index
+
+    InstClass cls() const;
+
+    bool isLoad() const;
+    bool isStore() const;
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isCondBranch() const;
+    bool isDirectCtrl() const;   ///< Jmp or Jal
+    bool isIndirectCtrl() const; ///< Jr
+    bool isCtrl() const
+    {
+        return isCondBranch() || isDirectCtrl() || isIndirectCtrl();
+    }
+    bool isCall() const { return op == Opcode::Jal; }
+    bool isHalt() const { return op == Opcode::Halt; }
+
+    /** Access size in bytes for memory ops, 0 otherwise. */
+    unsigned memSize() const;
+
+    /** True if the instruction writes rd (and rd != r0). */
+    bool writesReg() const;
+
+    /** True if rs1 (rs2) is a real source for this opcode. */
+    bool readsRs1() const;
+    bool readsRs2() const;
+
+    /** Execution latency in cycles once issued (cache adds its own). */
+    unsigned execLatency() const;
+};
+
+/**
+ * Evaluate the ALU/branch semantics of @p inst over operand values.
+ * For loads/stores this computes nothing (address math is separate).
+ *
+ * @param inst the static instruction
+ * @param a value of rs1
+ * @param b value of rs2
+ * @param pc the instruction's own PC (for Jal link values)
+ * @return value to write to rd (0 if none)
+ */
+std::uint64_t evalAlu(const StaticInst &inst, std::uint64_t a,
+                      std::uint64_t b, std::uint64_t pc);
+
+/** Evaluate a conditional branch's taken/not-taken outcome. */
+bool evalBranchTaken(const StaticInst &inst, std::uint64_t a, std::uint64_t b);
+
+/** Effective address of a memory instruction. */
+inline Addr
+effectiveAddr(const StaticInst &inst, std::uint64_t base)
+{
+    return base + static_cast<std::uint64_t>(inst.imm);
+}
+
+/** Opcode mnemonic (for the disassembler and debug output). */
+const char *opcodeName(Opcode op);
+
+} // namespace svw
+
+#endif // SVW_ISA_INST_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * LoadStoreUnit: construction, dispatch, retirement, squash.
+ * Execution paths live in conventional.cc (SQ/LQ CAM) and ssq.cc.
+ */
+
+#include "lsu/lsu.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace svw {
+
+LoadStoreUnit::LoadStoreUnit(const LsuParams &p, MemoryImage &img,
+                             SvwUnit &svwUnit, stats::StatRegistry &reg)
+    : forwards(reg, "lsu.forwards", "loads forwarded from in-flight stores"),
+      bestEffortHits(reg, "lsu.bestEffortHits",
+                     "loads served by best-effort buffers (SSQ)"),
+      partialBlocks(reg, "lsu.partialBlocks",
+                    "load issue retries due to partial store overlap"),
+      lqSearches(reg, "lsu.lqSearches", "associative LQ searches"),
+      lqViolations(reg, "lsu.lqViolations",
+                   "ordering violations found by LQ search"),
+      fsqForwards(reg, "lsu.fsqForwards", "forwards out of the FSQ"),
+      fsqAllocStalls(reg, "lsu.fsqAllocStalls",
+                     "dispatch stalls: FSQ full for a steered store"),
+      steeringTrainings(reg, "lsu.steeringTrainings",
+                        "steering predictor trainings"),
+      prm(p),
+      committed(img),
+      svw(svwUnit)
+{
+    fwdBufs.resize(2);  // matches the 2-way interleaved L1D
+    loadFsqBits.assign(prm.steeringEntries, false);
+    storeFsqBits.assign(prm.steeringEntries, false);
+}
+
+bool
+LoadStoreUnit::fsqFullFor(const DynInst &store) const
+{
+    if (!prm.ssq || !storeSteeredToFsq(store.pc))
+        return false;
+    return fsq.size() >= prm.fsqEntries;
+}
+
+void
+LoadStoreUnit::dispatchLoad(DynInst &load)
+{
+    svw_assert(!lqFull(), "LQ overflow");
+    if (prm.ssq)
+        load.fsqLoad = loadSteeredToFsq(load.pc);
+    lq.push_back(load.seq);
+}
+
+void
+LoadStoreUnit::dispatchStore(DynInst &store)
+{
+    svw_assert(!sqFull(), "SQ overflow");
+    sq.push_back(store.seq);
+    if (prm.ssq && storeSteeredToFsq(store.pc)) {
+        svw_assert(fsq.size() < prm.fsqEntries, "FSQ overflow");
+        store.fsqStore = true;
+        fsq.push_back(store.seq);
+    }
+}
+
+std::uint64_t
+LoadStoreUnit::extractForward(const DynInst &store, const DynInst &load)
+{
+    // Store fully covers the load; shift out the leading bytes.
+    const unsigned byteOff =
+        static_cast<unsigned>(load.addr - store.addr);
+    std::uint64_t v = store.storeData >> (8 * byteOff);
+    if (load.size < 8)
+        v &= (std::uint64_t(1) << (8 * load.size)) - 1;
+    return v;
+}
+
+LoadExecResult
+LoadStoreUnit::executeLoad(DynInst &load, ROB &rob, Cycle now)
+{
+    LoadExecResult res = prm.ssq ? searchSsq(load, rob, now)
+                                 : searchSq(load, rob);
+    if (res.status != LoadExecResult::Status::Done)
+        return res;
+
+    if (res.forwarded) {
+        ++forwards;
+        load.forwarded = true;
+        load.fwdStoreSSN = res.fwdSsn;
+        // +UPD: shrink the vulnerability window to the forwarding store.
+        // Best-effort forwards do not maintain the invariants required
+        // (the matched entry may not be the youngest older store).
+        if (!res.bestEffort)
+            svw.onStoreForward(load, res.fwdSsn);
+    }
+    load.loadValue = res.value;
+    return res;
+}
+
+void
+LoadStoreUnit::commitLoad(const DynInst &load)
+{
+    svw_assert(!lq.empty() && lq.front() == load.seq,
+               "LQ commit out of order");
+    lq.erase(lq.begin());
+}
+
+void
+LoadStoreUnit::commitStore(const DynInst &store)
+{
+    svw_assert(!sq.empty() && sq.front() == store.seq,
+               "SQ commit out of order");
+    sq.erase(sq.begin());
+    if (prm.ssq) {
+        // The committed store enters its bank's best-effort forwarding
+        // buffer (an 8-entry window in front of the cache bank).
+        const unsigned bank = static_cast<unsigned>(store.addr >> 6) & 1;
+        auto &buf = fwdBufs[bank];
+        if (buf.size() >= prm.fwdBufEntriesPerBank)
+            buf.pop_front();
+        buf.push_back(FwdBufEntry{store.addr, store.size, store.storeData});
+    }
+    if (store.fsqStore) {
+        auto it = std::find(fsq.begin(), fsq.end(), store.seq);
+        svw_assert(it != fsq.end(), "FSQ entry lost");
+        fsq.erase(it);
+    }
+}
+
+void
+LoadStoreUnit::squashAfter(InstSeqNum keepSeq)
+{
+    auto prune = [keepSeq](std::vector<InstSeqNum> &q) {
+        q.erase(std::remove_if(q.begin(), q.end(),
+                               [keepSeq](InstSeqNum s) { return s > keepSeq; }),
+                q.end());
+    };
+    prune(lq);
+    prune(sq);
+    prune(fsq);
+    // Best-effort buffers are not cleaned: they are speculative by
+    // construction and re-execution verifies every load under SSQ.
+}
+
+bool
+LoadStoreUnit::loadSteeredToFsq(std::uint64_t pc) const
+{
+    return loadFsqBits[steeringIndex(pc)];
+}
+
+bool
+LoadStoreUnit::storeSteeredToFsq(std::uint64_t pc) const
+{
+    return storeFsqBits[steeringIndex(pc)];
+}
+
+void
+LoadStoreUnit::trainSteering(std::uint64_t loadPc, std::uint64_t storePc)
+{
+    ++steeringTrainings;
+    loadFsqBits[steeringIndex(loadPc)] = true;
+    if (storePc != ~std::uint64_t(0))
+        storeFsqBits[steeringIndex(storePc)] = true;
+}
+
+} // namespace svw

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Load-store unit supporting the paper's three organizations, composably:
+ *
+ *  - Conventional (Figure 2a): associative SQ search for store-to-load
+ *    forwarding; associative LQ search at store resolution for
+ *    memory-ordering violations; one store issue per cycle (the LQ CAM
+ *    port); under Figure 6's baseline the big associative SQ adds two
+ *    cycles to every load.
+ *  - NLQ (Figure 2b): the LQ CAM is removed (two stores may issue per
+ *    cycle); loads that issue past older unresolved stores are marked
+ *    for pre-commit re-execution.
+ *  - SSQ (Figure 2c): the SQ splits into a non-associative RSQ (all
+ *    stores; off the load path) and a small single-ported FSQ holding
+ *    only predicted-forwarding stores; other loads use best-effort
+ *    per-bank forwarding buffers. Every load is marked for re-execution.
+ *
+ * Values: a load takes its value from a forwarding structure or from the
+ * committed memory image at issue time — so premature loads naturally
+ * read stale values, which is what re-execution later detects.
+ */
+
+#ifndef SVW_LSU_LSU_HH
+#define SVW_LSU_LSU_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "base/types.hh"
+#include "cpu/dyninst.hh"
+#include "cpu/rob.hh"
+#include "func/memory_image.hh"
+#include "stats/stats.hh"
+#include "svw/svw.hh"
+
+namespace svw {
+
+/** LSU configuration knobs (see file comment). */
+struct LsuParams
+{
+    unsigned lqEntries = 128;
+    unsigned sqEntries = 64;
+    bool nlq = false;
+    bool ssq = false;
+    unsigned fsqEntries = 16;
+    unsigned fsqPorts = 1;
+    unsigned fwdBufEntriesPerBank = 8;
+    unsigned loadExtraLatency = 0;   ///< +2 under the associative-SQ baseline
+    /** Value-aware LQ search: skip violations whose store wrote the
+     * value the load already read (silent stores, section 2.2). */
+    bool lqValueCheck = false;
+    unsigned storeIssueWidth = 1;    ///< 2 once the LQ CAM is gone (NLQ)
+    unsigned steeringEntries = 4096; ///< SSQ steering predictor bits
+};
+
+/** Outcome of attempting to execute a load this cycle. */
+struct LoadExecResult
+{
+    enum class Status
+    {
+        Done,          ///< value obtained; see fields
+        BlockedPartial,///< partial store overlap: retry later
+        BlockedPort,   ///< structure port busy (FSQ): retry later
+    };
+    Status status = Status::Done;
+    std::uint64_t value = 0;
+    bool forwarded = false;      ///< value from an in-flight store
+    bool bestEffort = false;     ///< value from a best-effort buffer
+    SSN fwdSsn = 0;
+    bool sawAmbiguousOlderStore = false;
+    bool cacheMiss = false;
+};
+
+/**
+ * The load/store unit. Owns the LQ/SQ (as ordered seq lists), the SSQ
+ * structures, and the steering predictor. The core owns the ROB and
+ * passes it in so the LSU can dereference sequence numbers.
+ */
+class LoadStoreUnit
+{
+  public:
+    LoadStoreUnit(const LsuParams &params, MemoryImage &committed,
+                  SvwUnit &svwUnit, stats::StatRegistry &reg);
+
+    const LsuParams &params() const { return prm; }
+
+    // --- dispatch ------------------------------------------------------
+    bool lqFull() const { return lq.size() >= prm.lqEntries; }
+    bool sqFull() const { return sq.size() >= prm.sqEntries; }
+    /** FSQ allocation check for a steered store (SSQ). */
+    bool fsqFullFor(const DynInst &store) const;
+
+    void dispatchLoad(DynInst &load);
+    void dispatchStore(DynInst &store);
+
+    // --- execution -------------------------------------------------------
+    /**
+     * Execute a load whose address is in @p load.addr. Reads forwarding
+     * structures / the committed image; does not model cache latency
+     * (the core layers that on top).
+     */
+    LoadExecResult executeLoad(DynInst &load, ROB &rob, Cycle now);
+
+    /** A store's data became available (best-effort buffer insertion). */
+    void storeDataReady(DynInst &store);
+
+    /**
+     * A store resolved its address (issued).
+     * @return seq of the oldest younger load that already issued with an
+     *         overlapping address (ordering violation; 0 = none).
+     *         Always 0 when the LQ CAM is removed (NLQ).
+     */
+    InstSeqNum storeResolved(DynInst &store, ROB &rob);
+
+    // --- retirement / squash --------------------------------------------
+    void commitLoad(const DynInst &load);
+    void commitStore(const DynInst &store);
+    void squashAfter(InstSeqNum keepSeq);
+
+    // --- SSQ steering predictor ------------------------------------------
+    bool loadSteeredToFsq(std::uint64_t pc) const;
+    bool storeSteeredToFsq(std::uint64_t pc) const;
+    /** Train after a re-execution failure (missed forwarding). */
+    void trainSteering(std::uint64_t loadPc, std::uint64_t storePc);
+
+    std::size_t lqSize() const { return lq.size(); }
+    std::size_t sqSize() const { return sq.size(); }
+    std::size_t fsqSize() const { return fsq.size(); }
+
+    /** Seq of the youngest in-flight store (0 if none); SSN rollback. */
+    InstSeqNum youngestStoreSeq() const
+    {
+        return sq.empty() ? 0 : sq.back();
+    }
+
+  public:
+    stats::Scalar forwards;
+    stats::Scalar bestEffortHits;
+    stats::Scalar partialBlocks;
+    stats::Scalar lqSearches;
+    stats::Scalar lqViolations;
+    stats::Scalar fsqForwards;
+    stats::Scalar fsqAllocStalls;
+    stats::Scalar steeringTrainings;
+
+  private:
+    struct FwdBufEntry
+    {
+        Addr addr = 0;
+        unsigned size = 0;
+        std::uint64_t value = 0;
+    };
+
+    /** Extract the bytes of @p load covered by @p store (full cover). */
+    static std::uint64_t extractForward(const DynInst &store,
+                                        const DynInst &load);
+
+    /** Conventional/NLQ path: associative SQ search. */
+    LoadExecResult searchSq(DynInst &load, ROB &rob);
+    /** SSQ path: FSQ search (steered) or best-effort buffer. */
+    LoadExecResult searchSsq(DynInst &load, ROB &rob, Cycle now);
+
+    unsigned steeringIndex(std::uint64_t pc) const
+    {
+        return static_cast<unsigned>(pc) & (prm.steeringEntries - 1);
+    }
+
+    LsuParams prm;
+    MemoryImage &committed;
+    SvwUnit &svw;
+
+    std::vector<InstSeqNum> lq;   ///< age-ordered in-flight loads
+    std::vector<InstSeqNum> sq;   ///< age-ordered in-flight stores
+    std::vector<InstSeqNum> fsq;  ///< subset of sq steered to the FSQ
+
+    std::vector<std::deque<FwdBufEntry>> fwdBufs;  ///< per cache bank
+    std::vector<bool> loadFsqBits;
+    std::vector<bool> storeFsqBits;
+
+    Cycle fsqPortCycle = ~Cycle(0);
+    unsigned fsqPortUsed = 0;
+};
+
+namespace nlq {
+
+/**
+ * Cain & Lipasti's intra-thread filter heuristic (NLQ-LS): re-execute
+ * only loads that issued in the presence of older unresolved stores.
+ */
+bool shouldMarkLoad(bool nlqEnabled, const LoadExecResult &res);
+
+} // namespace nlq
+
+} // namespace svw
+
+#endif // SVW_LSU_LSU_HH

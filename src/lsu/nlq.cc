@@ -1,0 +1,32 @@
+/**
+ * @file
+ * NLQ-specific helpers.
+ *
+ * The non-associative LQ organization needs almost no code of its own:
+ * the LQ CAM disappears (storeResolved() in conventional.cc returns no
+ * violations when prm.nlq is set), the scheduler may issue two stores
+ * per cycle (storeIssueWidth), and loads that execute in the presence of
+ * older ambiguous stores are marked RexNlqSpec by the core. This file
+ * documents that mapping and hosts the marking predicate so the policy
+ * is visible in one place.
+ */
+
+#include "lsu/lsu.hh"
+
+namespace svw {
+
+namespace nlq {
+
+/**
+ * Cain & Lipasti's intra-thread filter heuristic: re-execute only loads
+ * that issued in the presence of older stores with unresolved addresses.
+ */
+bool
+shouldMarkLoad(bool nlqEnabled, const LoadExecResult &res)
+{
+    return nlqEnabled && res.sawAmbiguousOlderStore;
+}
+
+} // namespace nlq
+
+} // namespace svw

@@ -1,0 +1,30 @@
+#include "lsu/spct.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace svw {
+
+SPCT::SPCT(unsigned entries, unsigned granularityBytes)
+{
+    svw_assert(isPowerOf2(entries), "SPCT entries");
+    granShift = exactLog2(granularityBytes);
+    table.assign(entries, ~std::uint64_t(0));
+}
+
+void
+SPCT::update(Addr addr, unsigned size, std::uint64_t storePc)
+{
+    const Addr first = addr >> granShift;
+    const Addr last = (addr + size - 1) >> granShift;
+    for (Addr g = first; g <= last; ++g)
+        table[g & (table.size() - 1)] = storePc;
+}
+
+std::uint64_t
+SPCT::lookup(Addr addr) const
+{
+    return table[(addr >> granShift) & (table.size() - 1)];
+}
+
+} // namespace svw

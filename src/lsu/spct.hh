@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Store PC Table (SPCT) — paper section 2.2.
+ *
+ * A small tagless table indexed by low-order address bits; each entry
+ * holds the PC of the last retired store to write a matching address.
+ * When re-execution flushes a load, the SPCT identifies the store that
+ * (probably) collided with it so store-set style store-load pair
+ * predictors — and the SSQ steering predictor — can be trained, which
+ * the original NLQ proposal could not do.
+ */
+
+#ifndef SVW_LSU_SPCT_HH
+#define SVW_LSU_SPCT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace svw {
+
+/** Tagless last-store-PC-per-address table. */
+class SPCT
+{
+  public:
+    explicit SPCT(unsigned entries = 512, unsigned granularityBytes = 8);
+
+    /** Record a retired store. */
+    void update(Addr addr, unsigned size, std::uint64_t storePc);
+
+    /**
+     * PC of the last retired store to (an alias of) @p addr.
+     * @return ~0 if no store has touched the entry.
+     */
+    std::uint64_t lookup(Addr addr) const;
+
+  private:
+    unsigned granShift;
+    std::vector<std::uint64_t> table;
+};
+
+} // namespace svw
+
+#endif // SVW_LSU_SPCT_HH

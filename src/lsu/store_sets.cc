@@ -1,0 +1,81 @@
+#include "lsu/store_sets.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace svw {
+
+StoreSets::StoreSets(unsigned ssitEntries, unsigned lfstEntries,
+                     stats::StatRegistry &reg)
+    : trainings(reg, "storesets.trainings", "violation trainings"),
+      loadsConstrained(reg, "storesets.loadsConstrained",
+                       "loads given a store dependency at dispatch")
+{
+    svw_assert(isPowerOf2(ssitEntries), "SSIT entries");
+    ssitMask = ssitEntries - 1;
+    ssit.assign(ssitEntries, noSet);
+    lfst.resize(lfstEntries);
+}
+
+InstSeqNum
+StoreSets::loadDependency(std::uint64_t loadPc) const
+{
+    const std::uint32_t set = ssit[ssitIndex(loadPc)];
+    if (set == noSet)
+        return 0;
+    const LfstEntry &e = lfst[set % lfst.size()];
+    if (e.storeSeq != 0)
+        ++const_cast<StoreSets *>(this)->loadsConstrained;
+    return e.storeSeq;
+}
+
+InstSeqNum
+StoreSets::storeDispatched(std::uint64_t storePc, InstSeqNum seq)
+{
+    const std::uint32_t set = ssit[ssitIndex(storePc)];
+    if (set == noSet)
+        return 0;
+    LfstEntry &e = lfst[set % lfst.size()];
+    const InstSeqNum prev = e.storeSeq;
+    e.storeSeq = seq;
+    e.storePc = storePc;
+    return prev;
+}
+
+void
+StoreSets::storeResolved(std::uint64_t storePc, InstSeqNum seq)
+{
+    const std::uint32_t set = ssit[ssitIndex(storePc)];
+    if (set == noSet)
+        return;
+    LfstEntry &e = lfst[set % lfst.size()];
+    if (e.storeSeq == seq)
+        e.storeSeq = 0;
+}
+
+void
+StoreSets::storeSquashed(std::uint64_t storePc, InstSeqNum seq)
+{
+    storeResolved(storePc, seq);
+}
+
+void
+StoreSets::train(std::uint64_t storePc, std::uint64_t loadPc)
+{
+    ++trainings;
+    std::uint32_t &sSet = ssit[ssitIndex(storePc)];
+    std::uint32_t &lSet = ssit[ssitIndex(loadPc)];
+    if (sSet == noSet && lSet == noSet) {
+        sSet = lSet = nextSetId++ % static_cast<std::uint32_t>(lfst.size());
+    } else if (sSet == noSet) {
+        sSet = lSet;
+    } else if (lSet == noSet) {
+        lSet = sSet;
+    } else if (sSet != lSet) {
+        // Merge: both adopt the smaller id (declares a total order).
+        const std::uint32_t winner = sSet < lSet ? sSet : lSet;
+        sSet = lSet = winner;
+    }
+}
+
+} // namespace svw

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Store-sets memory dependence predictor (Chrysos & Emer, ISCA '98),
+ * used by every machine configuration in the paper to manage load
+ * speculation.
+ *
+ * SSIT: PC-indexed table assigning loads/stores to store sets.
+ * LFST: per-set tracker of the last fetched (dispatched) store; a load
+ * in a set must wait for that store to resolve its address before
+ * issuing.
+ */
+
+#ifndef SVW_LSU_STORE_SETS_HH
+#define SVW_LSU_STORE_SETS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "stats/stats.hh"
+
+namespace svw {
+
+/** Store-sets predictor. */
+class StoreSets
+{
+  public:
+    StoreSets(unsigned ssitEntries, unsigned lfstEntries,
+              stats::StatRegistry &reg);
+
+    /**
+     * Dispatch-time lookup for a load: the store (by seq) this load must
+     * wait for, or 0 if unconstrained.
+     */
+    InstSeqNum loadDependency(std::uint64_t loadPc) const;
+
+    /**
+     * Dispatch-time bookkeeping for a store. @return the older store
+     * this store must order behind (in-set store-store ordering), or 0.
+     */
+    InstSeqNum storeDispatched(std::uint64_t storePc, InstSeqNum seq);
+
+    /** A store resolved its address (issued); clears its LFST claim. */
+    void storeResolved(std::uint64_t storePc, InstSeqNum seq);
+
+    /** A store was squashed; clears its LFST claim. */
+    void storeSquashed(std::uint64_t storePc, InstSeqNum seq);
+
+    /** Train on a memory-ordering violation between a store and load. */
+    void train(std::uint64_t storePc, std::uint64_t loadPc);
+
+  public:
+    stats::Scalar trainings;
+    stats::Scalar loadsConstrained;
+
+  private:
+    static constexpr std::uint32_t noSet = ~std::uint32_t(0);
+
+    struct LfstEntry
+    {
+        InstSeqNum storeSeq = 0;   ///< 0 = empty
+        std::uint64_t storePc = 0;
+    };
+
+    std::uint32_t ssitIndex(std::uint64_t pc) const
+    {
+        return static_cast<std::uint32_t>(pc) & (ssitMask);
+    }
+
+    std::uint32_t ssitMask;
+    std::vector<std::uint32_t> ssit;  ///< PC -> set id (noSet if none)
+    std::vector<LfstEntry> lfst;
+    std::uint32_t nextSetId = 0;
+};
+
+} // namespace svw
+
+#endif // SVW_LSU_STORE_SETS_HH

@@ -1,0 +1,97 @@
+#include "mem/cache.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace svw {
+
+Cache::Cache(std::string name, const CacheParams &p, stats::StatRegistry &reg)
+    : params(p),
+      hits(reg, name + ".hits", "cache hits"),
+      misses(reg, name + ".misses", "cache misses"),
+      writebacks(reg, name + ".writebacks", "dirty lines evicted"),
+      invalidations(reg, name + ".invalidations", "lines invalidated")
+{
+    svw_assert(isPowerOf2(p.lineBytes) && isPowerOf2(p.sizeBytes),
+               "cache geometry must be powers of two");
+    numSets = static_cast<unsigned>(p.sizeBytes / (p.lineBytes * p.assoc));
+    svw_assert(numSets > 0 && isPowerOf2(numSets), "bad set count");
+    offsetBits = exactLog2(p.lineBytes);
+    lineMask = p.lineBytes - 1;
+    lines.resize(static_cast<std::size_t>(numSets) * p.assoc);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const Addr tag = addr >> offsetBits;
+    const unsigned set = static_cast<unsigned>(tag & (numSets - 1));
+    Line *base = &lines[static_cast<std::size_t>(set) * params.assoc];
+    for (unsigned w = 0; w < params.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::AccessResult
+Cache::access(Addr addr, bool isWrite)
+{
+    AccessResult res;
+    if (Line *line = findLine(addr)) {
+        ++hits;
+        line->lruStamp = ++lruCounter;
+        line->dirty |= isWrite;
+        res.hit = true;
+        return res;
+    }
+
+    ++misses;
+    // Fill: choose invalid way or LRU victim.
+    const Addr tag = addr >> offsetBits;
+    const unsigned set = static_cast<unsigned>(tag & (numSets - 1));
+    Line *base = &lines[static_cast<std::size_t>(set) * params.assoc];
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    if (victim->valid && victim->dirty) {
+        ++writebacks;
+        res.writebackVictim = true;
+    }
+    victim->valid = true;
+    victim->dirty = isWrite;
+    victim->tag = tag;
+    victim->lruStamp = ++lruCounter;
+    return res;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->valid = false;
+        line->dirty = false;
+        ++invalidations;
+        return true;
+    }
+    return false;
+}
+
+} // namespace svw

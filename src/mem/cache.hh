@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Timing-only set-associative cache model.
+ *
+ * Caches in this simulator track tags, LRU state, and dirty bits to
+ * decide hit/miss and writeback traffic; data always lives in the
+ * simulation's MemoryImage (the timing and value planes are separate,
+ * which is what makes value-accurate re-execution cheap to model).
+ */
+
+#ifndef SVW_MEM_CACHE_HH
+#define SVW_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "stats/stats.hh"
+
+namespace svw {
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = 64;
+    unsigned latency = 2;       ///< access latency in cycles (hit)
+};
+
+/**
+ * Tag/LRU/dirty state for one cache. No data storage; see file comment.
+ */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheParams &params,
+          stats::StatRegistry &reg);
+
+    /** Result of a lookup+fill operation. */
+    struct AccessResult
+    {
+        bool hit = false;
+        bool writebackVictim = false;  ///< dirty line evicted
+    };
+
+    /**
+     * Probe and, on miss, fill the line containing @p addr.
+     * @param isWrite marks the line dirty on a write.
+     */
+    AccessResult access(Addr addr, bool isWrite);
+
+    /** Probe without side effects. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Invalidate the line containing @p addr if present (coherence).
+     * @return true if the line was present.
+     */
+    bool invalidate(Addr addr);
+
+    unsigned latency() const { return params.latency; }
+    unsigned lineBytes() const { return params.lineBytes; }
+
+    /** Line-address (addr with offset bits cleared). */
+    Addr lineAddr(Addr addr) const { return addr & ~lineMask; }
+
+    /** Bank index for an interleaved cache with @p banks banks. */
+    unsigned bank(Addr addr, unsigned banks) const
+    {
+        return static_cast<unsigned>((addr >> offsetBits) & (banks - 1));
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    CacheParams params;
+    unsigned numSets;
+    unsigned offsetBits;
+    Addr lineMask;
+    std::uint64_t lruCounter = 0;
+    std::vector<Line> lines;   ///< numSets * assoc, set-major
+
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+  public:
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar writebacks;
+    stats::Scalar invalidations;
+};
+
+} // namespace svw
+
+#endif // SVW_MEM_CACHE_HH

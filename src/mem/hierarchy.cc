@@ -1,0 +1,60 @@
+#include "mem/hierarchy.hh"
+
+namespace svw {
+
+MemHierarchy::MemHierarchy(const MemParams &p, stats::StatRegistry &reg)
+    : params(p),
+      l1i("l1i", p.l1i, reg),
+      l1d("l1d", p.l1d, reg),
+      l2("l2", p.l2, reg),
+      l2Bus(p.l2BusCyclesPerLine),
+      memBus(p.memBusCyclesPerLine),
+      dataAccesses(reg, "mem.dataAccesses", "L1D accesses"),
+      instAccesses(reg, "mem.instAccesses", "L1I line fetches")
+{
+}
+
+Cycle
+MemHierarchy::accessData(Addr addr, bool isWrite, Cycle cycle)
+{
+    ++dataAccesses;
+    Cycle done = cycle + l1d.latency();
+    if (l1d.access(addr, isWrite).hit)
+        return done;
+
+    // L1 miss: go to L2 over the L2 bus.
+    Cycle l2Start = l2Bus.schedule(done);
+    done = l2Start + l2.latency();
+    if (l2.access(addr, false).hit)
+        return done;
+
+    // L2 miss: go to memory over the memory bus.
+    Cycle memStart = memBus.schedule(done);
+    return memStart + params.memLatency;
+}
+
+Cycle
+MemHierarchy::accessInst(Addr addr, Cycle cycle)
+{
+    ++instAccesses;
+    Cycle done = cycle + l1i.latency();
+    if (l1i.access(addr, false).hit)
+        return done;
+
+    Cycle l2Start = l2Bus.schedule(done);
+    done = l2Start + l2.latency();
+    if (l2.access(addr, false).hit)
+        return done;
+
+    Cycle memStart = memBus.schedule(done);
+    return memStart + params.memLatency;
+}
+
+void
+MemHierarchy::invalidateLine(Addr addr)
+{
+    l1d.invalidate(addr);
+    l2.invalidate(addr);
+}
+
+} // namespace svw

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Two-level on-chip memory system matching the paper's configuration:
+ * 32 KB 2-way 2-cycle L1 I/D, 2 MB 8-way 15-cycle unified L2, 150-cycle
+ * memory, 16 B L2 and memory buses (memory bus at quarter frequency).
+ * The L1D is 2-way bank-interleaved for dual load issue.
+ */
+
+#ifndef SVW_MEM_HIERARCHY_HH
+#define SVW_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+#include "mem/port.hh"
+#include "stats/stats.hh"
+
+namespace svw {
+
+/** Parameters for the full hierarchy. */
+struct MemParams
+{
+    CacheParams l1i{32 * 1024, 2, 64, 2};
+    CacheParams l1d{32 * 1024, 2, 64, 2};
+    CacheParams l2{2 * 1024 * 1024, 8, 64, 15};
+    unsigned memLatency = 150;
+    unsigned l2BusCyclesPerLine = 4;    ///< 64 B line / 16 B bus
+    unsigned memBusCyclesPerLine = 16;  ///< quarter-frequency 16 B bus
+    unsigned l1dBanks = 2;
+};
+
+/**
+ * The memory system seen by the core. All methods are timing-only;
+ * values come from the simulation's MemoryImage.
+ */
+class MemHierarchy
+{
+  public:
+    MemHierarchy(const MemParams &params, stats::StatRegistry &reg);
+
+    /**
+     * Timing for a data access issued at @p cycle.
+     * @return cycle at which the value is available / write retires.
+     */
+    Cycle accessData(Addr addr, bool isWrite, Cycle cycle);
+
+    /** Timing for an instruction fetch of the line at @p addr. */
+    Cycle accessInst(Addr addr, Cycle cycle);
+
+    /** L1D bank for address (bank conflicts limit dual load issue). */
+    unsigned dataBank(Addr addr) const
+    {
+        return l1d.bank(addr, params.l1dBanks);
+    }
+
+    unsigned numDataBanks() const { return params.l1dBanks; }
+    unsigned l1dLatency() const { return l1d.latency(); }
+    unsigned lineBytes() const { return l1d.lineBytes(); }
+
+    /**
+     * Coherence invalidation from another (simulated) agent: drop the
+     * line from L1D/L2. Used by the NLQ-SM invalidation injector.
+     */
+    void invalidateLine(Addr addr);
+
+  private:
+    MemParams params;
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+    Bus l2Bus;
+    Bus memBus;
+
+  public:
+    stats::Scalar dataAccesses;
+    stats::Scalar instAccesses;
+};
+
+} // namespace svw
+
+#endif // SVW_MEM_HIERARCHY_HH

@@ -1,0 +1,36 @@
+#include "mem/port.hh"
+
+#include <algorithm>
+
+namespace svw {
+
+bool
+CyclePort::tryClaim(Cycle cycle)
+{
+    if (cycle != lastCycle) {
+        lastCycle = cycle;
+        used = 0;
+    }
+    if (used >= _width)
+        return false;
+    ++used;
+    return true;
+}
+
+unsigned
+CyclePort::freeSlots(Cycle cycle) const
+{
+    if (cycle != lastCycle)
+        return _width;
+    return used >= _width ? 0 : _width - used;
+}
+
+Cycle
+Bus::schedule(Cycle cycle)
+{
+    const Cycle start = std::max(cycle, freeAt);
+    freeAt = start + perLine;
+    return freeAt;
+}
+
+} // namespace svw

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Simple bandwidth-limited resource models: per-cycle ports and
+ * occupancy-tracked buses.
+ */
+
+#ifndef SVW_MEM_PORT_HH
+#define SVW_MEM_PORT_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace svw {
+
+/**
+ * A resource usable at most @p width times per cycle (e.g., cache read
+ * ports, the single store-retirement port the paper's configurations
+ * use). Callers try to claim a slot for the current cycle.
+ */
+class CyclePort
+{
+  public:
+    explicit CyclePort(unsigned width = 1) : _width(width) {}
+
+    /** Try to claim one slot in @p cycle. @return true on success. */
+    bool tryClaim(Cycle cycle);
+
+    /** Slots still free in @p cycle. */
+    unsigned freeSlots(Cycle cycle) const;
+
+    unsigned width() const { return _width; }
+    void setWidth(unsigned w) { _width = w; }
+
+  private:
+    unsigned _width;
+    Cycle lastCycle = ~Cycle(0);
+    unsigned used = 0;
+};
+
+/**
+ * A pipelined bus that one transfer occupies for a fixed number of
+ * cycles; used for the L2 and memory buses (16 B wide, the latter at a
+ * quarter of core frequency per the paper's configuration).
+ */
+class Bus
+{
+  public:
+    /** @param cyclesPerLine bus occupancy of one cache-line transfer. */
+    explicit Bus(unsigned cyclesPerLine) : perLine(cyclesPerLine) {}
+
+    /**
+     * Schedule a line transfer requested at @p cycle.
+     * @return the cycle at which the transfer completes.
+     */
+    Cycle schedule(Cycle cycle);
+
+  private:
+    unsigned perLine;
+    Cycle freeAt = 0;
+};
+
+} // namespace svw
+
+#endif // SVW_MEM_PORT_HH

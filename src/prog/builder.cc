@@ -1,0 +1,229 @@
+#include "prog/builder.hh"
+
+#include <cstring>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace svw {
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : prog(std::move(name))
+{
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    labelPos.push_back(-1);
+    return Label{static_cast<int>(labelPos.size()) - 1};
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    svw_assert(l.id >= 0 && l.id < static_cast<int>(labelPos.size()),
+               "bad label");
+    svw_assert(labelPos[l.id] < 0, "label bound twice");
+    labelPos[l.id] = static_cast<std::int64_t>(here());
+}
+
+Addr
+ProgramBuilder::allocData(std::uint64_t bytes, std::uint64_t align)
+{
+    svw_assert(isPowerOf2(align), "alignment must be a power of two");
+    dataCursor = alignUp(dataCursor, align);
+    Addr base = dataCursor;
+    dataCursor += bytes;
+    // Zero-fill is implicit (memory images read as zero), but we record
+    // the segment so tooling can see the footprint.
+    return base;
+}
+
+Addr
+ProgramBuilder::allocWords(const std::vector<std::uint64_t> &words)
+{
+    Addr base = allocData(words.size() * 8, 8);
+    std::vector<std::uint8_t> bytes(words.size() * 8);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        std::memcpy(&bytes[i * 8], &words[i], 8);
+    prog.addSegment(base, std::move(bytes));
+    return base;
+}
+
+Addr
+ProgramBuilder::allocBytes(const std::vector<std::uint8_t> &bytes)
+{
+    Addr base = allocData(bytes.size(), 8);
+    prog.addSegment(base, bytes);
+    return base;
+}
+
+void
+ProgramBuilder::emit(StaticInst si)
+{
+    svw_assert(!finished, "emit after finish");
+    prog.text().push_back(si);
+}
+
+void
+ProgramBuilder::emitBranch(Opcode op, RegIndex rs1, RegIndex rs2, Label t)
+{
+    svw_assert(t.id >= 0 && t.id < static_cast<int>(labelPos.size()),
+               "bad label");
+    fixups.push_back(Fixup{here(), t.id});
+    emit(StaticInst{op, 0, rs1, rs2, 0});
+}
+
+void ProgramBuilder::nop() { emit({Opcode::Nop, 0, 0, 0, 0}); }
+void ProgramBuilder::halt() { emit({Opcode::Halt, 0, 0, 0, 0}); }
+
+#define SVW_RRR(fn, OP)                                                      \
+    void ProgramBuilder::fn(RegIndex rd, RegIndex rs1, RegIndex rs2)         \
+    { emit({Opcode::OP, rd, rs1, rs2, 0}); }
+
+SVW_RRR(add, Add) SVW_RRR(sub, Sub) SVW_RRR(and_, And) SVW_RRR(or_, Or)
+SVW_RRR(xor_, Xor) SVW_RRR(sll, Sll) SVW_RRR(srl, Srl) SVW_RRR(sra, Sra)
+SVW_RRR(mul, Mul) SVW_RRR(slt, Slt) SVW_RRR(sltu, Sltu)
+#undef SVW_RRR
+
+#define SVW_RRI(fn, OP)                                                      \
+    void ProgramBuilder::fn(RegIndex rd, RegIndex rs1, std::int64_t imm)     \
+    { emit({Opcode::OP, rd, rs1, 0, imm}); }
+
+SVW_RRI(addi, AddI) SVW_RRI(andi, AndI) SVW_RRI(ori, OrI) SVW_RRI(xori, XorI)
+SVW_RRI(slli, SllI) SVW_RRI(srli, SrlI) SVW_RRI(srai, SraI) SVW_RRI(slti, SltI)
+#undef SVW_RRI
+
+void
+ProgramBuilder::movi(RegIndex rd, std::int64_t imm)
+{
+    emit({Opcode::MovI, rd, 0, 0, imm});
+}
+
+void
+ProgramBuilder::ld(unsigned size, RegIndex rd, RegIndex base, std::int64_t off)
+{
+    Opcode op;
+    switch (size) {
+      case 1: op = Opcode::Ld1; break;
+      case 2: op = Opcode::Ld2; break;
+      case 4: op = Opcode::Ld4; break;
+      case 8: op = Opcode::Ld8; break;
+      default: svw_panic("bad load size ", size);
+    }
+    emit({op, rd, base, 0, off});
+}
+
+void
+ProgramBuilder::st(unsigned size, RegIndex data, RegIndex base,
+                   std::int64_t off)
+{
+    Opcode op;
+    switch (size) {
+      case 1: op = Opcode::St1; break;
+      case 2: op = Opcode::St2; break;
+      case 4: op = Opcode::St4; break;
+      case 8: op = Opcode::St8; break;
+      default: svw_panic("bad store size ", size);
+    }
+    emit({op, 0, base, data, off});
+}
+
+void ProgramBuilder::ld1(RegIndex rd, RegIndex b, std::int64_t o) { ld(1, rd, b, o); }
+void ProgramBuilder::ld2(RegIndex rd, RegIndex b, std::int64_t o) { ld(2, rd, b, o); }
+void ProgramBuilder::ld4(RegIndex rd, RegIndex b, std::int64_t o) { ld(4, rd, b, o); }
+void ProgramBuilder::ld8(RegIndex rd, RegIndex b, std::int64_t o) { ld(8, rd, b, o); }
+void ProgramBuilder::st1(RegIndex d, RegIndex b, std::int64_t o) { st(1, d, b, o); }
+void ProgramBuilder::st2(RegIndex d, RegIndex b, std::int64_t o) { st(2, d, b, o); }
+void ProgramBuilder::st4(RegIndex d, RegIndex b, std::int64_t o) { st(4, d, b, o); }
+void ProgramBuilder::st8(RegIndex d, RegIndex b, std::int64_t o) { st(8, d, b, o); }
+
+void
+ProgramBuilder::beq(RegIndex rs1, RegIndex rs2, Label t)
+{
+    emitBranch(Opcode::Beq, rs1, rs2, t);
+}
+
+void
+ProgramBuilder::bne(RegIndex rs1, RegIndex rs2, Label t)
+{
+    emitBranch(Opcode::Bne, rs1, rs2, t);
+}
+
+void
+ProgramBuilder::blt(RegIndex rs1, RegIndex rs2, Label t)
+{
+    emitBranch(Opcode::Blt, rs1, rs2, t);
+}
+
+void
+ProgramBuilder::bge(RegIndex rs1, RegIndex rs2, Label t)
+{
+    emitBranch(Opcode::Bge, rs1, rs2, t);
+}
+
+void
+ProgramBuilder::jmp(Label t)
+{
+    svw_assert(t.id >= 0, "bad label");
+    fixups.push_back(Fixup{here(), t.id});
+    emit({Opcode::Jmp, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::call(Label t)
+{
+    svw_assert(t.id >= 0, "bad label");
+    fixups.push_back(Fixup{here(), t.id});
+    emit({Opcode::Jal, regLink, 0, 0, 0});
+}
+
+void
+ProgramBuilder::ret()
+{
+    jr(regLink);
+}
+
+void
+ProgramBuilder::jr(RegIndex rs1)
+{
+    emit({Opcode::Jr, 0, rs1, 0, 0});
+}
+
+void
+ProgramBuilder::pushLink(const std::vector<RegIndex> &extra)
+{
+    const std::int64_t frame = 8 * static_cast<std::int64_t>(1 + extra.size());
+    addi(regSp, regSp, -frame);
+    st8(regLink, regSp, 0);
+    for (std::size_t i = 0; i < extra.size(); ++i)
+        st8(extra[i], regSp, 8 * static_cast<std::int64_t>(i + 1));
+}
+
+void
+ProgramBuilder::popLinkAndRet(const std::vector<RegIndex> &extra)
+{
+    const std::int64_t frame = 8 * static_cast<std::int64_t>(1 + extra.size());
+    ld8(regLink, regSp, 0);
+    for (std::size_t i = 0; i < extra.size(); ++i)
+        ld8(extra[i], regSp, 8 * static_cast<std::int64_t>(i + 1));
+    addi(regSp, regSp, frame);
+    ret();
+}
+
+Program
+ProgramBuilder::finish()
+{
+    svw_assert(!finished, "finish called twice");
+    finished = true;
+    for (const Fixup &f : fixups) {
+        svw_assert(labelPos[f.labelId] >= 0, "unbound label ", f.labelId,
+                   " in ", prog.name());
+        prog.text()[f.instIdx].imm = labelPos[f.labelId];
+    }
+    prog.validate();
+    return std::move(prog);
+}
+
+} // namespace svw

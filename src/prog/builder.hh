@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ProgramBuilder: a label-based assembler API for composing mini-RISC
+ * programs in C++. Workload kernels are written against this interface.
+ *
+ * Usage sketch:
+ * @code
+ *   ProgramBuilder b("demo");
+ *   Addr buf = b.allocData(1024);
+ *   auto loop = b.newLabel();
+ *   b.movi(1, 0);
+ *   b.bind(loop);
+ *   b.st8(2, 1, 0);
+ *   b.addi(1, 1, 8);
+ *   b.blt(1, 3, loop);
+ *   b.halt();
+ *   Program p = b.finish();
+ * @endcode
+ */
+
+#ifndef SVW_PROG_BUILDER_HH
+#define SVW_PROG_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace svw {
+
+/** Opaque forward-referenceable code label. */
+struct Label
+{
+    int id = -1;
+};
+
+/**
+ * Incremental program assembler with forward labels and a simple data
+ * allocator. finish() patches all label references and validates.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    // --- labels -----------------------------------------------------
+    Label newLabel();
+    /** Bind @p l to the next emitted instruction. */
+    void bind(Label l);
+    /** Current text position (next instruction index). */
+    std::uint64_t here() const { return prog.text().size(); }
+
+    // --- data allocation --------------------------------------------
+    /**
+     * Reserve @p bytes of zero-initialized memory, aligned to @p align,
+     * and return its base address.
+     */
+    Addr allocData(std::uint64_t bytes, std::uint64_t align = 8);
+
+    /** Reserve and initialize an array of 64-bit words. */
+    Addr allocWords(const std::vector<std::uint64_t> &words);
+
+    /** Reserve and initialize raw bytes. */
+    Addr allocBytes(const std::vector<std::uint8_t> &bytes);
+
+    // --- instruction emission ----------------------------------------
+    void nop();
+    void halt();
+
+    void add(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void and_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void or_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void xor_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sll(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void srl(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sra(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void mul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void slt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sltu(RegIndex rd, RegIndex rs1, RegIndex rs2);
+
+    void addi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void andi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void ori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void xori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void slli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void srli(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void srai(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void slti(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void movi(RegIndex rd, std::int64_t imm);
+
+    void ld(unsigned size, RegIndex rd, RegIndex base, std::int64_t off);
+    void st(unsigned size, RegIndex data, RegIndex base, std::int64_t off);
+    void ld1(RegIndex rd, RegIndex base, std::int64_t off);
+    void ld2(RegIndex rd, RegIndex base, std::int64_t off);
+    void ld4(RegIndex rd, RegIndex base, std::int64_t off);
+    void ld8(RegIndex rd, RegIndex base, std::int64_t off);
+    void st1(RegIndex data, RegIndex base, std::int64_t off);
+    void st2(RegIndex data, RegIndex base, std::int64_t off);
+    void st4(RegIndex data, RegIndex base, std::int64_t off);
+    void st8(RegIndex data, RegIndex base, std::int64_t off);
+
+    void beq(RegIndex rs1, RegIndex rs2, Label target);
+    void bne(RegIndex rs1, RegIndex rs2, Label target);
+    void blt(RegIndex rs1, RegIndex rs2, Label target);
+    void bge(RegIndex rs1, RegIndex rs2, Label target);
+    void jmp(Label target);
+    /** Call: link register <- return index, jump to target. */
+    void call(Label target);
+    /** Return through the link register. */
+    void ret();
+    void jr(RegIndex rs1);
+
+    // --- convenience macros -----------------------------------------
+    /** rd <- full 64-bit address constant. */
+    void loadAddr(RegIndex rd, Addr a) { movi(rd, static_cast<std::int64_t>(a)); }
+
+    /** Standard prologue/epilogue for leaf-calling functions: push/pop
+     * the link register (and optionally extra regs) on the stack. */
+    void pushLink(const std::vector<RegIndex> &extra = {});
+    void popLinkAndRet(const std::vector<RegIndex> &extra = {});
+
+    /** Finalize: patch labels, validate, and return the program. */
+    Program finish();
+
+  private:
+    void emit(StaticInst si);
+    void emitBranch(Opcode op, RegIndex rs1, RegIndex rs2, Label target);
+
+    Program prog;
+    Addr dataCursor = 0x0001'0000;  ///< data region start
+    std::vector<std::int64_t> labelPos;  ///< -1 while unbound
+
+    struct Fixup
+    {
+        std::uint64_t instIdx;
+        int labelId;
+    };
+    std::vector<Fixup> fixups;
+    bool finished = false;
+};
+
+} // namespace svw
+
+#endif // SVW_PROG_BUILDER_HH

@@ -1,0 +1,37 @@
+#include "prog/program.hh"
+
+#include "base/logging.hh"
+
+namespace svw {
+
+void
+Program::addSegment(Addr base, std::vector<std::uint8_t> bytes)
+{
+    _segments.push_back(Segment{base, std::move(bytes)});
+}
+
+void
+Program::validate() const
+{
+    svw_assert(!_text.empty(), "empty program ", _name);
+    svw_assert(_entry < _text.size(), "entry out of range in ", _name);
+
+    bool has_halt = false;
+    for (std::size_t pc = 0; pc < _text.size(); ++pc) {
+        const StaticInst &si = _text[pc];
+        svw_assert(si.rd < numArchRegs && si.rs1 < numArchRegs &&
+                   si.rs2 < numArchRegs,
+                   "bad register in ", _name, " @", pc);
+        if (si.isCondBranch() || si.isDirectCtrl()) {
+            svw_assert(si.imm >= 0 &&
+                       static_cast<std::uint64_t>(si.imm) < _text.size(),
+                       "branch target out of range in ", _name, " @", pc,
+                       " -> ", si.imm);
+        }
+        if (si.isHalt())
+            has_halt = true;
+    }
+    svw_assert(has_halt, "program ", _name, " has no halt");
+}
+
+} // namespace svw

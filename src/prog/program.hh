@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A complete mini-RISC program: text, initial data image, entry state.
+ */
+
+#ifndef SVW_PROG_PROGRAM_HH
+#define SVW_PROG_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/inst.hh"
+
+namespace svw {
+
+/**
+ * An executable workload. Text is a flat instruction vector; a PC is an
+ * index into it. The initial memory image is a list of (address, bytes)
+ * segments applied before execution starts.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+    void setName(std::string n) { _name = std::move(n); }
+
+    const std::vector<StaticInst> &text() const { return _text; }
+    std::vector<StaticInst> &text() { return _text; }
+
+    const StaticInst &inst(std::uint64_t pc) const { return _text.at(pc); }
+    std::uint64_t textSize() const { return _text.size(); }
+
+    /** Initial-memory segments (applied in order). */
+    struct Segment
+    {
+        Addr base;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    const std::vector<Segment> &segments() const { return _segments; }
+    void addSegment(Addr base, std::vector<std::uint8_t> bytes);
+
+    /** Initial stack pointer (r30) value. */
+    Addr stackTop() const { return _stackTop; }
+    void setStackTop(Addr a) { _stackTop = a; }
+
+    /** Entry PC (instruction index). */
+    std::uint64_t entry() const { return _entry; }
+    void setEntry(std::uint64_t e) { _entry = e; }
+
+    /** Validate control-flow targets and register indices; panics if bad. */
+    void validate() const;
+
+  private:
+    std::string _name;
+    std::vector<StaticInst> _text;
+    std::vector<Segment> _segments;
+    Addr _stackTop = 0x7fff'0000;
+    std::uint64_t _entry = 0;
+};
+
+} // namespace svw
+
+#endif // SVW_PROG_PROGRAM_HH

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Workload kernels, part A: bzip2, crafty, eon.{c,k,r}, gap, gcc.
+ * See workloads.hh for the phenomena each kernel is designed to exhibit.
+ */
+
+#include "prog/workloads/workloads.hh"
+
+#include "base/random.hh"
+#include "prog/builder.hh"
+
+namespace svw::workloads {
+
+/**
+ * bzip2: byte histogram + output transform over a 16 KB buffer.
+ * Read-modify-write on histogram counters gives short store-to-load
+ * forwarding chains whenever a byte value repeats within the window;
+ * the out-buffer write/reload pair forwards on every iteration.
+ */
+Program
+makeBzip2(std::uint64_t iters)
+{
+    ProgramBuilder b("bzip2");
+    constexpr std::uint64_t bufBytes = 1 << 14;
+
+    Random rng(0xb21f);
+    std::vector<std::uint8_t> data(bufBytes);
+    for (auto &v : data)
+        v = static_cast<std::uint8_t>(rng.nextBounded(64));  // skewed bytes
+    const Addr buf = b.allocBytes(data);
+    const Addr tbl = b.allocData(256 * 8);
+    const Addr out = b.allocData(bufBytes);
+
+    const RegIndex rBuf = 1, rI = 2, rN = 3, rTbl = 4, rOut = 5;
+    const RegIndex rIdx = 6, rPtr = 7, rByte = 8, rTp = 9, rCnt = 10;
+    const RegIndex rOp = 11, rRe = 12, rAcc = 13;
+
+    b.loadAddr(rBuf, buf);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.loadAddr(rTbl, tbl);
+    b.loadAddr(rOut, out);
+    b.movi(rAcc, 0);
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.andi(rIdx, rI, bufBytes - 1);
+    b.add(rPtr, rBuf, rIdx);
+    b.ld1(rByte, rPtr, 0);          // input byte
+    b.slli(rTp, rByte, 3);
+    b.add(rTp, rTp, rTbl);
+    b.ld8(rCnt, rTp, 0);            // histogram RMW
+    b.addi(rCnt, rCnt, 1);
+    b.st8(rCnt, rTp, 0);
+    b.add(rOp, rOut, rIdx);
+    b.st1(rByte, rOp, 0);           // transform write...
+    b.ld1(rRe, rOp, 0);             // ...and immediate reload (forwarding)
+    b.add(rAcc, rAcc, rRe);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * crafty: bitboard-style computation — table lookup followed by a long
+ * register-serial popcount. Low store density, moderate load density,
+ * high ALU content; a "compute" benchmark with few re-execution hazards.
+ */
+Program
+makeCrafty(std::uint64_t iters)
+{
+    ProgramBuilder b("crafty");
+    constexpr std::uint64_t tblWords = 1024;
+
+    Random rng(0xc4af7e);
+    std::vector<std::uint64_t> boards(tblWords);
+    for (auto &v : boards)
+        v = rng.next();
+    const Addr tbl = b.allocWords(boards);
+    const Addr res = b.allocData(64);
+    // Search-state struct: the board-table pointer is re-read from it
+    // every iteration (compilers cannot hoist it past the result spill).
+    const Addr state = b.allocWords({tbl});
+
+    const RegIndex rTbl = 1, rI = 2, rN = 3, rS = 4, rIdx = 5, rX = 6;
+    const RegIndex rT = 7, rM1 = 8, rM2 = 9, rM3 = 10, rAcc = 11;
+    const RegIndex rK = 12, rC = 13, rRes = 14, rT2 = 15, rSt = 16;
+
+    b.loadAddr(rSt, state);
+    b.loadAddr(rRes, res);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rS, 0x2545f4914f6cdd1d);
+    b.movi(rK, 0x5851f42d4c957f2d);
+    b.movi(rC, 0x14057b7ef767814f);
+    b.movi(rM1, 0x5555555555555555);
+    b.movi(rM2, 0x3333333333333333);
+    b.movi(rM3, 0x0f0f0f0f0f0f0f0f);
+    b.movi(rAcc, 0);
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.ld8(rTbl, rSt, 0);            // reload the board-table pointer
+    b.mul(rS, rS, rK);              // LCG step
+    b.add(rS, rS, rC);
+    b.srli(rIdx, rS, 22);
+    b.andi(rIdx, rIdx, tblWords - 1);
+    b.slli(rIdx, rIdx, 3);
+    b.add(rIdx, rIdx, rTbl);
+    b.ld8(rX, rIdx, 0);             // bitboard fetch
+    // popcount(x): x -= (x>>1)&m1; x = (x&m2)+((x>>2)&m2);
+    //              x = (x+(x>>4))&m3; x *= 0x0101...; x >>= 56
+    b.srli(rT, rX, 1);
+    b.and_(rT, rT, rM1);
+    b.sub(rX, rX, rT);
+    b.srli(rT, rX, 2);
+    b.and_(rT, rT, rM2);
+    b.and_(rX, rX, rM2);
+    b.add(rX, rX, rT);
+    b.srli(rT, rX, 4);
+    b.add(rX, rX, rT);
+    b.and_(rX, rX, rM3);
+    b.movi(rT2, 0x0101010101010101);
+    b.mul(rX, rX, rT2);
+    b.srli(rX, rX, 56);
+    b.add(rAcc, rAcc, rX);
+    b.andi(rT, rI, 7);
+    Label noStore = b.newLabel();
+    b.bne(rT, 0, noStore);
+    b.st8(rAcc, rRes, 0);           // occasional result spill
+    b.bind(noStore);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * eon: per-object "shading" function called in a loop. The call/return
+ * discipline pushes and pops the link register and two saved registers
+ * through the stack, creating dense, short-distance store-to-load
+ * forwarding (the FSQ-heavy behaviour the paper reports for eon).
+ * Variants differ in object-set footprint and per-object compute.
+ */
+Program
+makeEon(std::uint64_t iters, unsigned variant)
+{
+    const char *names[] = {"eon.c", "eon.k", "eon.r"};
+    ProgramBuilder b(names[variant]);
+    const std::uint64_t objs = variant == 0 ? 256 : variant == 1 ? 1024 : 4096;
+    const unsigned shift = variant + 1;
+
+    Random rng(0xe0 + variant);
+    std::vector<std::uint64_t> init(objs * 4);
+    for (auto &v : init)
+        v = rng.next() & 0xffff;
+    const Addr arr = b.allocWords(init);
+
+    const RegIndex rArr = 1, rI = 2, rN = 3, rObj = 20, rAcc = 21;
+    const RegIndex rX = 22, rY = 4, rZ = 5, rT = 6, rU = 7, rW = 8;
+
+    Label entry = b.newLabel();
+    Label shade = b.newLabel();
+    b.jmp(entry);
+
+    // --- uint64 shade(rObj): reads x,y,z fields, writes & reloads w ---
+    b.bind(shade);
+    b.pushLink({rX, rAcc});
+    b.ld8(rX, rObj, 0);
+    b.ld8(rY, rObj, 8);
+    b.ld8(rZ, rObj, 16);
+    b.movi(rT, 3);
+    b.mul(rT, rX, rT);
+    b.add(rT, rT, rY);
+    b.xor_(rU, rT, rZ);
+    b.srli(rU, rU, shift);
+    b.st8(rU, rObj, 24);            // write w field
+    b.ld8(rW, rObj, 24);            // reload (in-flight forward)
+    b.add(rAcc, rAcc, rW);
+    b.st8(rAcc, rObj, 16);          // update z for next visit
+    b.popLinkAndRet({rX, rAcc});
+
+    // --- main loop ---
+    b.bind(entry);
+    b.loadAddr(rArr, arr);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rAcc, 0);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.andi(rT, rI, objs - 1);
+    b.slli(rT, rT, 5);              // 32-byte objects
+    b.add(rObj, rArr, rT);
+    b.call(shade);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * gap: dense vector multiply-accumulate, c[i] += a[i] * b[i]. Iterations
+ * are independent so baseline IPC is high; store addresses are always
+ * known early, so few loads are marked under NLQ.
+ */
+Program
+makeGap(std::uint64_t iters)
+{
+    ProgramBuilder b("gap");
+    constexpr std::uint64_t n = 1 << 13;
+
+    Random rng(0x9a9);
+    std::vector<std::uint64_t> va(n), vb(n), vc(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        va[i] = rng.nextBounded(1000);
+        vb[i] = rng.nextBounded(1000);
+        vc[i] = 0;
+    }
+    // Stagger the arrays by a few cache lines so the three same-index
+    // streams do not land in the same L1D set (the arrays are otherwise
+    // a multiple of the set span apart and would conflict-miss forever).
+    const Addr a = b.allocWords(va);
+    b.allocData(5 * 64);
+    const Addr bb = b.allocWords(vb);
+    b.allocData(9 * 64);
+    const Addr c = b.allocWords(vc);
+    // Vector descriptor: the kernel re-reads the base pointers through a
+    // stable register every iteration, as compiled code does when alias
+    // analysis cannot hoist them — prime redundant-load-elimination food.
+    const Addr desc = b.allocWords({a, bb, c});
+
+    const RegIndex rA = 1, rB = 2, rC = 3, rI = 4, rN = 5;
+    const RegIndex rT = 6, rX = 7, rY = 8, rZ = 9, rPa = 10, rPb = 11,
+        rPc = 12, rDesc = 13;
+
+    b.loadAddr(rDesc, desc);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.ld8(rA, rDesc, 0);            // loop-invariant pointer reloads
+    b.ld8(rB, rDesc, 8);
+    b.ld8(rC, rDesc, 16);
+    b.andi(rT, rI, n - 1);
+    b.slli(rT, rT, 3);
+    b.add(rPa, rA, rT);
+    b.add(rPb, rB, rT);
+    b.add(rPc, rC, rT);
+    b.ld8(rX, rPa, 0);
+    b.ld8(rY, rPb, 0);
+    b.ld8(rZ, rPc, 0);
+    b.mul(rX, rX, rY);
+    b.add(rZ, rZ, rX);
+    b.st8(rZ, rPc, 0);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * gcc: symbol-table hash chains with insertion. Chain walking issues
+ * dependent pointer loads; insertions store through just-computed
+ * pointers, so younger loads frequently issue past stores with
+ * unresolved addresses (NLQ-LS marked loads, occasional violations).
+ */
+Program
+makeGcc(std::uint64_t iters)
+{
+    ProgramBuilder b("gcc");
+    constexpr std::uint64_t buckets = 512;
+    constexpr std::uint64_t poolNodes = 2048;  // 32 B stride
+
+    const Addr ht = b.allocData(buckets * 8);
+    const Addr pool = b.allocData(poolNodes * 32);
+
+    const RegIndex rHt = 1, rPool = 2, rN = 3, rI = 4, rS = 5, rCur = 6;
+    const RegIndex rMax = 7, rK = 8, rC = 9, rKey = 10, rBkt = 11,
+        rBp = 12, rP = 13, rSteps = 14, rNk = 15, rV = 16, rNode = 17,
+        rHead = 18;
+
+    b.loadAddr(rHt, ht);
+    b.loadAddr(rPool, pool);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rI, 0);
+    b.movi(rS, 0x6cc);
+    b.movi(rCur, 0);
+    b.movi(rMax, 8);
+    b.movi(rK, 0x5851f42d4c957f2d);
+    b.movi(rC, 0x14057b7ef767814f);
+
+    Label loop = b.newLabel();
+    Label walk = b.newLabel();
+    Label found = b.newLabel();
+    Label notfound = b.newLabel();
+    Label cont = b.newLabel();
+
+    b.bind(loop);
+    b.mul(rS, rS, rK);
+    b.add(rS, rS, rC);
+    b.srli(rKey, rS, 20);
+    b.andi(rKey, rKey, 0x3ff);      // 1024 distinct keys
+    b.addi(rKey, rKey, 1);          // keys are non-zero
+    b.andi(rBkt, rKey, buckets - 1);
+    b.slli(rBkt, rBkt, 3);
+    b.add(rBp, rBkt, rHt);          // &ht[bucket]
+    b.ld8(rP, rBp, 0);              // head
+    b.movi(rSteps, 0);
+    b.bind(walk);
+    b.beq(rP, 0, notfound);
+    b.ld8(rNk, rP, 0);              // node.key
+    b.beq(rNk, rKey, found);
+    b.ld8(rP, rP, 8);               // node.next (dependent pointer load)
+    b.addi(rSteps, rSteps, 1);
+    b.blt(rSteps, rMax, walk);
+    b.jmp(notfound);
+
+    b.bind(found);
+    b.ld8(rV, rP, 16);
+    b.addi(rV, rV, 1);
+    b.st8(rV, rP, 16);              // hit-count RMW
+    b.jmp(cont);
+
+    b.bind(notfound);
+    b.andi(rNode, rCur, poolNodes - 1);
+    b.slli(rNode, rNode, 5);
+    b.add(rNode, rNode, rPool);
+    b.st8(rKey, rNode, 0);          // node.key = key
+    b.ld8(rHead, rBp, 0);
+    b.st8(rHead, rNode, 8);         // node.next = head
+    b.st8(rNode, rBp, 0);           // ht[bucket] = node
+    b.addi(rCur, rCur, 1);
+
+    b.bind(cont);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace svw::workloads

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Workload kernels, part B: gzip, mcf, parser, perl.{d,s}.
+ */
+
+#include "prog/workloads/workloads.hh"
+
+#include <cstring>
+
+#include "base/random.hh"
+#include "prog/builder.hh"
+
+namespace svw::workloads {
+
+/**
+ * gzip: LZ-style sliding-window copy. Copy operations read bytes the
+ * program wrote a few iterations (a few dynamic stores) earlier, so loads
+ * routinely collide with in-flight stores at small distances — heavy
+ * forwarding traffic and memory-ordering stress. Literal runs rewrite
+ * bytes with values that often match (silent stores).
+ */
+Program
+makeGzip(std::uint64_t iters)
+{
+    ProgramBuilder b("gzip");
+    constexpr std::uint64_t window = 1 << 15;
+
+    Random rng(0x9219);
+    std::vector<std::uint8_t> seed(window);
+    for (auto &v : seed)
+        v = static_cast<std::uint8_t>(rng.nextBounded(16));
+    const Addr buf = b.allocBytes(seed);
+    // The output cursor lives in memory (as a real encoder's state
+    // struct would): each iteration reloads it, so the copy stores'
+    // addresses depend on a load and resolve late.
+    const Addr cursor = b.allocWords({64});
+
+    const RegIndex rBuf = 1, rI = 2, rN = 3, rS = 4, rK = 5, rC = 6;
+    const RegIndex rIdx = 7, rP = 8, rDist = 9, rMode = 10, rByte = 11,
+        rQ = 12, rRe = 13, rAcc = 14, rCur = 15;
+
+    b.loadAddr(rBuf, buf);
+    b.loadAddr(rCur, cursor);
+    b.movi(rN, static_cast<std::int64_t>(iters) + 64);
+    b.movi(rS, 0x717a);
+    b.movi(rK, 0x5851f42d4c957f2d);
+    b.movi(rC, 0x14057b7ef767814f);
+    b.movi(rAcc, 0);
+
+    Label loop = b.newLabel();
+    Label literal = b.newLabel();
+    Label after = b.newLabel();
+
+    b.bind(loop);
+    b.ld8(rI, rCur, 0);             // reload the cursor (forwards)
+    b.mul(rS, rS, rK);
+    b.add(rS, rS, rC);
+    b.andi(rIdx, rI, window - 1);
+    b.add(rP, rBuf, rIdx);
+    b.srli(rMode, rS, 13);
+    b.andi(rMode, rMode, 3);
+    b.beq(rMode, 0, literal);
+
+    // copy: buf[i] = buf[i - dist], dist in [1, 8]
+    b.srli(rDist, rS, 9);
+    b.andi(rDist, rDist, 7);
+    b.addi(rDist, rDist, 1);
+    b.sub(rQ, rP, rDist);
+    b.ld1(rByte, rQ, 0);            // reads a recently written byte
+    b.st1(rByte, rP, 0);
+    b.jmp(after);
+
+    b.bind(literal);
+    b.srli(rByte, rS, 24);
+    b.andi(rByte, rByte, 15);       // small alphabet -> silent stores
+    b.st1(rByte, rP, 0);
+
+    b.bind(after);
+    b.ld1(rRe, rP, 0);              // reload just-written byte
+    b.add(rAcc, rAcc, rRe);
+    b.addi(rI, rI, 1);
+    b.st8(rI, rCur, 0);             // write the cursor back
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * mcf: serial pointer chase over a shuffled 512 KB node list with a
+ * periodic write-back. The dependent-load chain caps IPC well below the
+ * machine width and produces the suite's highest cache miss rate.
+ */
+Program
+makeMcf(std::uint64_t iters)
+{
+    ProgramBuilder b("mcf");
+    constexpr std::uint64_t nodes = 1 << 15;  // 16 B each -> 512 KB
+
+    // Build a random Hamiltonian cycle: next[i] = perm successor.
+    Random rng(0x3cf);
+    std::vector<std::uint64_t> perm(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        perm[i] = i;
+    for (std::uint64_t i = nodes - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.nextBounded(i + 1)]);
+
+    const Addr pool = 0x0100'0000;  // fixed base so we can link host-side
+    std::vector<std::uint64_t> init(nodes * 2);
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+        const std::uint64_t cur = perm[i];
+        const std::uint64_t nxt = perm[(i + 1) % nodes];
+        init[cur * 2 + 0] = pool + nxt * 16;     // next pointer
+        init[cur * 2 + 1] = rng.nextBounded(4096);  // val
+    }
+    std::vector<std::uint8_t> bytes(init.size() * 8);
+    std::memcpy(bytes.data(), init.data(), bytes.size());
+
+    // Network parameters re-read each iteration (RLE-visible redundancy,
+    // like mcf's cost coefficients).
+    const Addr params = b.allocWords({3, 17});
+
+    const RegIndex rP = 1, rI = 2, rN = 3, rAcc = 4, rNext = 5, rV = 6,
+        rT = 7, rPar = 8, rBias = 9;
+
+    b.loadAddr(rP, pool + perm[0] * 16);
+    b.loadAddr(rPar, params);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rAcc, 0);
+
+    Label loop = b.newLabel();
+    Label noStore = b.newLabel();
+    b.bind(loop);
+    b.ld8(rNext, rP, 0);            // serial chain load
+    b.ld8(rV, rP, 8);
+    b.ld8(rBias, rPar, 0);          // loop-invariant parameter reload
+    b.mul(rV, rV, rBias);
+    b.add(rAcc, rAcc, rV);
+    b.andi(rT, rI, 3);
+    b.bne(rT, 0, noStore);
+    b.addi(rV, rV, 1);
+    b.st8(rV, rP, 8);               // periodic write-back
+    b.bind(noStore);
+    b.add(rP, rNext, 0);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+
+    Program p = b.finish();
+    p.addSegment(pool, std::move(bytes));
+    return p;
+}
+
+/**
+ * parser: an expression-stack machine driven by a random opcode tape.
+ * Push operations store to an explicit operand stack; pop operations load
+ * the values right back — the suite's densest store-to-load forwarding
+ * through memory, mirroring parser's deep recursion behaviour.
+ */
+Program
+makeParser(std::uint64_t iters)
+{
+    ProgramBuilder b("parser");
+    constexpr std::uint64_t tapeLen = 1 << 12;
+
+    Random rng(0x9a45e4);
+    std::vector<std::uint8_t> tape(tapeLen);
+    for (auto &v : tape)
+        v = static_cast<std::uint8_t>(rng.nextBounded(256));
+    const Addr tapeA = b.allocBytes(tape);
+    const Addr stackA = b.allocData(4096 * 8);
+    // Grammar globals re-read per token (RLE-visible redundancy).
+    const Addr globals = b.allocWords({tapeA});
+
+    const RegIndex rTape = 1, rSp = 2, rI = 3, rN = 4, rOp = 5, rT = 6;
+    const RegIndex rA = 7, rB = 8, rDepth = 9, rAcc = 10, rVal = 11,
+        rLim = 12, rGlob = 13;
+
+    b.loadAddr(rGlob, globals);
+    b.loadAddr(rSp, stackA);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rDepth, 0);
+    b.movi(rAcc, 0);
+    b.movi(rLim, 512);
+
+    Label loop = b.newLabel();
+    Label doPush = b.newLabel();
+    Label doPop = b.newLabel();
+    Label next = b.newLabel();
+
+    b.bind(loop);
+    b.ld8(rTape, rGlob, 0);         // loop-invariant tape pointer
+    b.andi(rT, rI, tapeLen - 1);
+    b.add(rT, rT, rTape);
+    b.ld1(rOp, rT, 0);              // opcode byte
+    // pop needs depth >= 2; also force pops when deep
+    b.bge(rDepth, rLim, doPop);
+    b.slti(rT, rDepth, 2);
+    b.bne(rT, 0, doPush);
+    b.andi(rT, rOp, 3);
+    b.beq(rT, 0, doPop);            // 1-in-4 ops is a reduce
+
+    b.bind(doPush);
+    b.add(rVal, rOp, rI);
+    b.st8(rVal, rSp, 0);            // push
+    b.addi(rSp, rSp, 8);
+    b.addi(rDepth, rDepth, 1);
+    b.jmp(next);
+
+    b.bind(doPop);
+    b.addi(rSp, rSp, -8);
+    b.ld8(rA, rSp, 0);              // pop (forwards from recent push)
+    b.addi(rSp, rSp, -8);
+    b.ld8(rB, rSp, 0);
+    b.add(rA, rA, rB);
+    b.st8(rA, rSp, 0);              // push result
+    b.addi(rSp, rSp, 8);
+    b.addi(rDepth, rDepth, -1);
+    b.add(rAcc, rAcc, rA);
+
+    b.bind(next);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * perl: string hashing into an association table. The unrolled byte-hash
+ * loop issues bursts of loads with a serial multiply chain; the table
+ * update is a read-modify-write. Variant d uses longer strings and a
+ * small hot table; variant s shorter strings and a large, miss-prone one.
+ */
+Program
+makePerl(std::uint64_t iters, unsigned variant)
+{
+    ProgramBuilder b(variant == 0 ? "perl.d" : "perl.s");
+    constexpr std::uint64_t nStrings = 64;
+    const unsigned strLen = variant == 0 ? 16 : 8;
+    const std::uint64_t tblEntries = variant == 0 ? 256 : 8192;
+
+    Random rng(0xbe71 + variant);
+    std::vector<std::uint8_t> strs(nStrings * 16);
+    for (auto &v : strs)
+        v = static_cast<std::uint8_t>(rng.nextBounded(96) + 32);
+    const Addr strTbl = b.allocBytes(strs);
+    const Addr hashTbl = b.allocData(tblEntries * 8);
+
+    const RegIndex rStr = 1, rHt = 2, rI = 3, rN = 4, rS = 5, rK = 6,
+        rC = 7;
+    const RegIndex rBase = 8, rH = 9, rCh = 10, rT = 11, rBkt = 12,
+        rCnt = 13, rAcc = 14;
+
+    b.loadAddr(rStr, strTbl);
+    b.loadAddr(rHt, hashTbl);
+    b.movi(rI, 0);
+    b.movi(rAcc, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rS, 0x9e21 + variant);
+    b.movi(rK, 0x5851f42d4c957f2d);
+    b.movi(rC, 0x14057b7ef767814f);
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.mul(rS, rS, rK);
+    b.add(rS, rS, rC);
+    b.srli(rBase, rS, 7);
+    b.andi(rBase, rBase, nStrings - 1);
+    b.slli(rBase, rBase, 4);        // 16-byte string slots
+    b.add(rBase, rBase, rStr);
+    b.movi(rH, 0);
+    for (unsigned j = 0; j < strLen; ++j) {
+        b.ld1(rCh, rBase, j);       // string byte
+        b.slli(rT, rH, 5);
+        b.sub(rT, rT, rH);          // h*31
+        b.add(rH, rT, rCh);
+    }
+    // Bucket selection hangs off only the first string byte so the
+    // table store's address resolves with a short chain; the full hash
+    // in rH feeds a checksum register (keeps every byte load live).
+    b.ld1(rT, rBase, 0);
+    b.slli(rT, rT, 3);
+    b.andi(rBkt, rT, static_cast<std::int64_t>((tblEntries - 1) << 3));
+    b.add(rBkt, rBkt, rHt);
+    b.ld8(rCnt, rBkt, 0);           // table RMW
+    b.addi(rCnt, rCnt, 1);
+    b.st8(rCnt, rBkt, 0);
+    b.add(rAcc, rAcc, rH);          // checksum of the full hash
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace svw::workloads

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Workload kernels, part C: twolf, vortex, vpr.{p,r}.
+ */
+
+#include "prog/workloads/workloads.hh"
+
+#include "base/random.hh"
+#include "prog/builder.hh"
+
+namespace svw::workloads {
+
+/**
+ * twolf: simulated-annealing-style cell swaps. Two pseudo-random cells
+ * are loaded and conditionally swapped; the swap stores write to the
+ * addresses just loaded, and rejected moves store the unchanged value
+ * back (silent stores — re-executions that SVW cannot filter). Highly
+ * branchy and the suite's most aggressive load-speculation workload.
+ */
+Program
+makeTwolf(std::uint64_t iters)
+{
+    ProgramBuilder b("twolf");
+    constexpr std::uint64_t cells = 4096;  // 16 B each
+
+    Random rng(0x79021f);
+    std::vector<std::uint64_t> init(cells * 2);
+    for (std::uint64_t i = 0; i < cells; ++i) {
+        init[i * 2 + 0] = rng.nextBounded(100000);  // pos
+        init[i * 2 + 1] = rng.nextBounded(64);      // gain
+    }
+    const Addr arr = b.allocWords(init);
+
+    // Candidate cell indices live in a net-list style index array, so a
+    // swap's store addresses depend on loads (late store resolution —
+    // exactly what makes twolf the paper's most re-execution-heavy
+    // NLQ-LS benchmark).
+    constexpr std::uint64_t idxLen = 2048;
+    std::vector<std::uint64_t> idxInit(idxLen);
+    for (auto &v : idxInit)
+        v = rng.nextBounded(cells);
+    const Addr idxArr = b.allocWords(idxInit);
+
+    const RegIndex rArr = 1, rI = 2, rN = 3, rS = 4, rK = 5, rC = 6;
+    const RegIndex rA = 7, rB = 8, rPa = 9, rPb = 10, rXa = 11, rXb = 12,
+        rAcc = 13, rT = 14, rIdx = 15;
+
+    b.loadAddr(rArr, arr);
+    b.loadAddr(rIdx, idxArr);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rS, 0x7011f);
+    b.movi(rK, 0x5851f42d4c957f2d);
+    b.movi(rC, 0x14057b7ef767814f);
+    b.movi(rAcc, 0);
+
+    Label loop = b.newLabel();
+    Label reject = b.newLabel();
+    Label next = b.newLabel();
+
+    b.bind(loop);
+    b.mul(rS, rS, rK);
+    b.add(rS, rS, rC);
+    b.srli(rA, rS, 10);
+    b.andi(rA, rA, idxLen - 1);
+    b.srli(rB, rS, 34);
+    b.andi(rB, rB, idxLen - 1);
+    b.slli(rA, rA, 3);
+    b.add(rA, rA, rIdx);
+    b.ld8(rA, rA, 0);               // cell id from the index array
+    b.slli(rB, rB, 3);
+    b.add(rB, rB, rIdx);
+    b.ld8(rB, rB, 0);
+    b.slli(rPa, rA, 4);
+    b.add(rPa, rPa, rArr);
+    b.slli(rPb, rB, 4);
+    b.add(rPb, rPb, rArr);
+    b.ld8(rXa, rPa, 0);
+    b.ld8(rXb, rPb, 0);
+    b.bge(rXb, rXa, reject);
+    b.st8(rXb, rPa, 0);             // accept: swap positions
+    b.st8(rXa, rPb, 0);
+    b.add(rAcc, rAcc, rXa);
+    b.jmp(next);
+    b.bind(reject);
+    b.st8(rXa, rPa, 0);             // silent store (value unchanged)
+    b.addi(rT, rXb, 0);
+    b.add(rAcc, rAcc, rT);
+    b.bind(next);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * vortex: database record copy with validation reloads. Each iteration
+ * moves a 64-byte record field by field (8 loads + 8 stores) and then
+ * re-reads two destination fields. Independent iterations give the
+ * suite's highest IPC and store density — the workload that saturates a
+ * single store-retirement port and suffers most from unfiltered
+ * re-execution (the paper's worst SSQ case).
+ */
+Program
+makeVortex(std::uint64_t iters)
+{
+    ProgramBuilder b("vortex");
+    // 16 KB + 16 KB: L1-resident, so throughput is bound by the store
+    // ports rather than misses — vortex's high-IPC, store-dense profile.
+    constexpr std::uint64_t records = 256;  // 64 B each
+
+    Random rng(0x0047e);
+    std::vector<std::uint64_t> init(records * 8);
+    for (auto &v : init)
+        v = rng.next() & 0xffffff;
+    // Offset dst by a few lines so src/dst record pairs do not share an
+    // L1D set (the tables are a multiple of the set span apart).
+    const Addr src = b.allocWords(init);
+    b.allocData(7 * 64);
+    const Addr dst = b.allocData(records * 64);
+
+    const RegIndex rSrc = 1, rDst = 2, rI = 3, rN = 4, rT = 5, rPs = 6,
+        rPd = 7, rAcc = 8;
+    const RegIndex f0 = 9, f1 = 10, f2 = 11, f3 = 12, f4 = 13, f5 = 14,
+        f6 = 15, f7 = 16, rV0 = 17, rV1 = 18, rS = 19, rK = 20, rC = 21;
+
+    b.loadAddr(rSrc, src);
+    b.loadAddr(rDst, dst);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rAcc, 0);
+    b.movi(rS, 0x0047e1);
+    b.movi(rK, 0x5851f42d4c957f2d);
+    b.movi(rC, 0x14057b7ef767814f);
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    // Records are visited in query order (pseudo-random), not stride
+    // order — a regular stride would structurally alias load granules
+    // with fixed-distance store granules in any power-of-two SSBF.
+    b.mul(rS, rS, rK);
+    b.add(rS, rS, rC);
+    b.srli(rT, rS, 17);
+    b.andi(rT, rT, records - 1);
+    b.slli(rT, rT, 6);
+    b.add(rPs, rSrc, rT);
+    b.add(rPd, rDst, rT);
+    const RegIndex fields[8] = {f0, f1, f2, f3, f4, f5, f6, f7};
+    for (int j = 0; j < 8; ++j)
+        b.ld8(fields[j], rPs, 8 * j);
+    for (int j = 0; j < 8; ++j)
+        b.st8(fields[j], rPd, 8 * j);
+    b.ld8(rV0, rPd, 0);             // validation reloads (forward)
+    b.ld8(rV1, rPd, 56);
+    b.add(rAcc, rAcc, rV0);
+    b.add(rAcc, rAcc, rV1);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+/**
+ * vpr: routing-grid occupancy updates. Random (x, y) cells are read
+ * together with a neighbour, then conditionally incremented or written
+ * back unchanged (silent store). Variant p favours updates; variant r is
+ * read-heavier with a larger grid.
+ */
+Program
+makeVpr(std::uint64_t iters, unsigned variant)
+{
+    ProgramBuilder b(variant == 0 ? "vpr.p" : "vpr.r");
+    const unsigned logDim = variant == 0 ? 6 : 7;  // 64x64 or 128x128
+    const std::uint64_t dim = 1ull << logDim;
+
+    Random rng(0x0b90 + variant);
+    std::vector<std::uint64_t> init(dim * dim);
+    for (auto &v : init)
+        v = rng.nextBounded(8);
+    const Addr grid = b.allocWords(init);
+
+    const RegIndex rGrid = 1, rI = 2, rN = 3, rS = 4, rK = 5, rC = 6;
+    const RegIndex rX = 7, rY = 8, rP = 9, rOcc = 10, rNb = 11, rT = 12,
+        rAcc = 13;
+
+    b.loadAddr(rGrid, grid);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rS, 0x09b0e + variant);
+    b.movi(rK, 0x5851f42d4c957f2d);
+    b.movi(rC, 0x14057b7ef767814f);
+    b.movi(rAcc, 0);
+
+    Label loop = b.newLabel();
+    Label silent = b.newLabel();
+    Label next = b.newLabel();
+
+    b.bind(loop);
+    b.mul(rS, rS, rK);
+    b.add(rS, rS, rC);
+    b.srli(rX, rS, 11);
+    b.andi(rX, rX, dim - 1);
+    b.srli(rY, rS, 33);
+    b.andi(rY, rY, dim - 2);        // keep x+1 neighbour in range
+    b.slli(rP, rY, logDim);
+    b.or_(rP, rP, rX);
+    b.slli(rP, rP, 3);
+    b.add(rP, rP, rGrid);
+    b.ld8(rOcc, rP, 0);
+    b.ld8(rNb, rP, 8);
+    b.add(rT, rOcc, rNb);
+    b.andi(rT, rT, variant == 0 ? 1 : 3);
+    b.bne(rT, 0, silent);
+    b.addi(rOcc, rOcc, 1);
+    b.st8(rOcc, rP, 0);             // accept: bump occupancy
+    b.jmp(next);
+    b.bind(silent);
+    b.st8(rOcc, rP, 0);             // reject: silent store
+    b.bind(next);
+    b.add(rAcc, rAcc, rOcc);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace svw::workloads

@@ -1,0 +1,92 @@
+#include "prog/workloads/workloads.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace svw::workloads {
+
+namespace {
+
+struct Entry
+{
+    const char *name;
+    Program (*make)(std::uint64_t iters);
+    /** Rough dynamic instructions per main-loop iteration, used to turn a
+     * dynamic-instruction target into a trip count. */
+    std::uint64_t instsPerIter;
+};
+
+Program makeEonC(std::uint64_t i) { return makeEon(i, 0); }
+Program makeEonK(std::uint64_t i) { return makeEon(i, 1); }
+Program makeEonR(std::uint64_t i) { return makeEon(i, 2); }
+Program makePerlD(std::uint64_t i) { return makePerl(i, 0); }
+Program makePerlS(std::uint64_t i) { return makePerl(i, 1); }
+Program makeVprP(std::uint64_t i) { return makeVpr(i, 0); }
+Program makeVprR(std::uint64_t i) { return makeVpr(i, 1); }
+
+const Entry table[] = {
+    {"bzip2",  makeBzip2,  24},
+    {"crafty", makeCrafty, 30},
+    {"eon.c",  makeEonC,   60},
+    {"eon.k",  makeEonK,   60},
+    {"eon.r",  makeEonR,   60},
+    {"gap",    makeGap,    18},
+    {"gcc",    makeGcc,    40},
+    {"gzip",   makeGzip,   16},
+    {"mcf",    makeMcf,    14},
+    {"parser", makeParser, 45},
+    {"perl.d", makePerlD,  55},
+    {"perl.s", makePerlS,  55},
+    {"twolf",  makeTwolf,  30},
+    {"vortex", makeVortex, 45},
+    {"vpr.p",  makeVprP,   28},
+    {"vpr.r",  makeVprR,   28},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const Entry &e : table)
+            v.push_back(e.name);
+        return v;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+fig8Names()
+{
+    static const std::vector<std::string> names = {
+        "crafty", "gcc", "perl.d", "vortex", "vpr.r",
+    };
+    return names;
+}
+
+bool
+isKnown(const std::string &name)
+{
+    for (const Entry &e : table)
+        if (name == e.name)
+            return true;
+    return false;
+}
+
+Program
+make(const std::string &name, std::uint64_t targetInsts)
+{
+    for (const Entry &e : table) {
+        if (name == e.name) {
+            std::uint64_t iters =
+                std::max<std::uint64_t>(1, targetInsts / e.instsPerIter);
+            return e.make(iters);
+        }
+    }
+    svw_fatal("unknown workload '", name, "'");
+}
+
+} // namespace svw::workloads

@@ -1,0 +1,198 @@
+#include "rle/integration_table.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace svw {
+
+IntegrationTable::IntegrationTable(unsigned entries, unsigned a,
+                                   unsigned maxPinnedRegs,
+                                   stats::StatRegistry &reg)
+    : hits(reg, "it.hits", "integration table hits (eliminations)"),
+      insertions(reg, "it.insertions", "integration table entry creations"),
+      pressureReleases(reg, "it.pressureReleases",
+                       "entries dropped to relieve free-list pressure"),
+      assoc(a),
+      maxPinned(maxPinnedRegs)
+{
+    svw_assert(entries % a == 0, "IT geometry");
+    sets = entries / a;
+    svw_assert(isPowerOf2(sets), "IT sets must be a power of two");
+    table.resize(entries);
+}
+
+unsigned
+IntegrationTable::indexOf(const ItKey &key) const
+{
+    std::uint64_t h = static_cast<std::uint64_t>(key.op) * 0x9e3779b9u;
+    h ^= key.src1 * 0x85ebca6bull;
+    h ^= static_cast<std::uint64_t>(key.imm) * 0xc2b2ae35ull;
+    h ^= h >> 16;
+    return static_cast<unsigned>(h & (sets - 1));
+}
+
+bool
+IntegrationTable::keyEq(const ItKey &a, const ItKey &b)
+{
+    return a.op == b.op && a.src1 == b.src1 && a.src1Gen == b.src1Gen &&
+        a.src2 == b.src2 && a.src2Gen == b.src2Gen && a.imm == b.imm;
+}
+
+ItEntry *
+IntegrationTable::lookup(const ItKey &key, const RenameState &rename)
+{
+    const unsigned set = indexOf(key);
+    for (unsigned w = 0; w < assoc; ++w) {
+        ItEntry &e = table[set * assoc + w];
+        if (!e.valid || !keyEq(e.key, key))
+            continue;
+        const PhysRegFile &f = rename.regs();
+        // Stale if any involved register was freed and re-allocated.
+        if (f.generation(e.dst) != e.dstGen ||
+            (e.key.src1 != invalidPhysReg &&
+             f.generation(e.key.src1) != e.key.src1Gen) ||
+            (e.key.src2 != invalidPhysReg &&
+             f.generation(e.key.src2) != e.key.src2Gen)) {
+            continue;
+        }
+        // A squashed creator that never produced its value leaves the
+        // output register permanently not-ready; such entries are dead.
+        if (e.fromSquash && f.readyAt(e.dst) == notReady)
+            continue;
+        e.lru = ++lruCounter;
+        ++hits;
+        return &e;
+    }
+    return nullptr;
+}
+
+void
+IntegrationTable::insert(const ItKey &key, PhysRegIndex dst, SSN ssn,
+                         InstSeqNum creatorSeq, RenameState &rename,
+                         bool bypass)
+{
+    ++insertions;
+    // Respect the pin budget: evict before inserting, not after, so the
+    // rename stage never sees the free list dip below its slack.
+    while (livePins >= maxPinned) {
+        if (!releaseOnePinned(rename))
+            break;
+    }
+    const unsigned set = indexOf(key);
+    ItEntry *victim = nullptr;
+    for (unsigned w = 0; w < assoc; ++w) {
+        ItEntry &e = table[set * assoc + w];
+        if (e.valid && keyEq(e.key, key)) {
+            victim = &e;  // overwrite duplicate key
+            break;
+        }
+        if (!victim || !e.valid ||
+            (victim->valid && e.lru < victim->lru)) {
+            victim = &e;
+        }
+    }
+    if (victim->valid)
+        invalidate(*victim, rename);
+
+    victim->valid = true;
+    victim->key = key;
+    victim->dst = dst;
+    victim->dstGen = rename.regs().generation(dst);
+    victim->ssn = ssn;
+    victim->fromSquash = false;
+    victim->bypass = bypass;
+    victim->creatorSeq = creatorSeq;
+    victim->lru = ++lruCounter;
+    rename.addRef(dst);
+    ++livePins;
+}
+
+void
+IntegrationTable::invalidate(ItEntry &e, RenameState &rename)
+{
+    svw_assert(e.valid, "invalidate of empty IT entry");
+    // Release the pin only if the register was not recycled under us.
+    if (rename.regs().generation(e.dst) == e.dstGen)
+        rename.deref(e.dst);
+    e.valid = false;
+    svw_assert(livePins > 0, "IT pin underflow");
+    --livePins;
+}
+
+void
+IntegrationTable::invalidateKey(const ItKey &key, RenameState &rename)
+{
+    const unsigned set = indexOf(key);
+    for (unsigned w = 0; w < assoc; ++w) {
+        ItEntry &e = table[set * assoc + w];
+        if (e.valid && keyEq(e.key, key))
+            invalidate(e, rename);
+    }
+}
+
+void
+IntegrationTable::onSquash(InstSeqNum keepSeq, bool squashReuseEnabled,
+                           RenameState &rename)
+{
+    for (ItEntry &e : table) {
+        if (!e.valid || e.creatorSeq <= keepSeq)
+            continue;
+        if (squashReuseEnabled)
+            e.fromSquash = true;
+        else
+            invalidate(e, rename);
+    }
+}
+
+bool
+IntegrationTable::releaseOnePinned(RenameState &rename)
+{
+    // Eviction priority: (1) LRU ALU entry whose register the IT alone
+    // keeps alive, (2) LRU solo-pinned load/bypass entry, (3) LRU any.
+    // Load and bypass entries are the ones that eliminate re-executable
+    // loads, so they are worth keeping; ALU entries mostly serve squash
+    // reuse and are cheap to regenerate.
+    auto isLoadKey = [](const ItEntry &e) {
+        return e.key.op == Opcode::Ld1 || e.key.op == Opcode::Ld2 ||
+            e.key.op == Opcode::Ld4 || e.key.op == Opcode::Ld8;
+    };
+    ItEntry *soloAlu = nullptr;
+    ItEntry *soloLoad = nullptr;
+    ItEntry *any = nullptr;
+    for (ItEntry &e : table) {
+        if (!e.valid)
+            continue;
+        if (!any || e.lru < any->lru)
+            any = &e;
+        if (rename.regs().refCount(e.dst) == 1) {
+            ItEntry *&slot = isLoadKey(e) ? soloLoad : soloAlu;
+            if (!slot || e.lru < slot->lru)
+                slot = &e;
+        }
+    }
+    ItEntry *victim = soloAlu ? soloAlu : (soloLoad ? soloLoad : any);
+    if (!victim)
+        return false;
+    ++pressureReleases;
+    invalidate(*victim, rename);
+    return true;
+}
+
+void
+IntegrationTable::clear(RenameState &rename)
+{
+    for (ItEntry &e : table)
+        if (e.valid)
+            invalidate(e, rename);
+}
+
+std::size_t
+IntegrationTable::liveEntries() const
+{
+    std::size_t n = 0;
+    for (const ItEntry &e : table)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace svw

@@ -1,0 +1,182 @@
+#include "rle/rle.hh"
+
+#include "base/logging.hh"
+
+namespace svw {
+
+RleUnit::RleUnit(const RleParams &p, stats::StatRegistry &reg)
+    : loadsEliminated(reg, "rle.loadsEliminated", "loads removed by RLE"),
+      elimByReuse(reg, "rle.elimByReuse", "eliminations via load reuse"),
+      elimByBypass(reg, "rle.elimByBypass",
+                   "eliminations via speculative memory bypassing"),
+      elimBySquashReuse(reg, "rle.elimBySquashReuse",
+                        "eliminations integrating a squashed incarnation"),
+      aluIntegrated(reg, "rle.aluIntegrated", "ALU operations integrated"),
+      prm(p),
+      table(p.itEntries, p.itAssoc, p.maxPinnedRegs, reg)
+{
+}
+
+Opcode
+RleUnit::bypassLoadOp(Opcode storeOp)
+{
+    // Only full-width bypassing is value-safe: a narrower store's data
+    // register holds the untruncated value, which a sub-quad load would
+    // not zero-extend the same way.
+    return storeOp == Opcode::St8 ? Opcode::Ld8 : Opcode::Nop;
+}
+
+ItKey
+RleUnit::makeKey(Opcode op, PhysRegIndex s1, PhysRegIndex s2,
+                 std::int64_t imm, const RenameState &rename) const
+{
+    ItKey k;
+    k.op = op;
+    k.src1 = s1;
+    k.src1Gen = s1 == invalidPhysReg ? 0 : rename.regs().generation(s1);
+    k.src2 = s2;
+    k.src2Gen = s2 == invalidPhysReg ? 0 : rename.regs().generation(s2);
+    k.imm = imm;
+    return k;
+}
+
+std::optional<Integration>
+RleUnit::tryIntegrate(const StaticInst &si, PhysRegIndex prs1,
+                      PhysRegIndex prs2, const RenameState &rename)
+{
+    if (!prm.enabled)
+        return std::nullopt;
+
+    const bool isLoad = si.isLoad();
+    const bool isAlu = (si.cls() == InstClass::IntAlu ||
+                        si.cls() == InstClass::IntMul) && si.writesReg();
+    if (!isLoad && !(prm.integrateAlu && isAlu))
+        return std::nullopt;
+
+    const PhysRegIndex s2 = si.readsRs2() ? prs2 : invalidPhysReg;
+    ItKey key = makeKey(si.op, si.readsRs1() ? prs1 : invalidPhysReg, s2,
+                        si.imm, rename);
+    ItEntry *e = table.lookup(key, rename);
+    if (!e)
+        return std::nullopt;
+    if (e->fromSquash && !prm.squashReuse)
+        return std::nullopt;
+
+    Integration integ;
+    integ.dst = e->dst;
+    integ.ssn = e->fromSquash ? 0 : e->ssn;
+    integ.fromSquash = e->fromSquash;
+    integ.fromStore = e->bypass;
+
+    if (isLoad) {
+        ++loadsEliminated;
+        if (e->fromSquash)
+            ++elimBySquashReuse;
+        else if (e->bypass)
+            ++elimByBypass;
+        else
+            ++elimByReuse;
+    } else {
+        ++aluIntegrated;
+    }
+    return integ;
+}
+
+void
+RleUnit::createEntry(const DynInst &inst, RenameState &rename,
+                     SSN ssnRename, SSN storeSsn)
+{
+    if (!prm.enabled)
+        return;
+    const StaticInst &si = *inst.si;
+
+    if (si.isStore()) {
+        const Opcode ldOp = bypassLoadOp(si.op);
+        if (ldOp == Opcode::Nop)
+            return;
+        // Key: the load this store can bypass; result: store data reg.
+        ItKey key = makeKey(ldOp, inst.prs1, invalidPhysReg, si.imm, rename);
+        table.insert(key, inst.prs2, storeSsn, inst.seq, rename, true);
+        return;
+    }
+
+    const bool isLoad = si.isLoad();
+    const bool isAlu = (si.cls() == InstClass::IntAlu ||
+                        si.cls() == InstClass::IntMul) && si.writesReg();
+    if (!isLoad && !(prm.integrateAlu && isAlu))
+        return;
+    if (!si.writesReg())
+        return;
+
+    const PhysRegIndex s2 = si.readsRs2() ? inst.prs2 : invalidPhysReg;
+    ItKey key = makeKey(si.op, si.readsRs1() ? inst.prs1 : invalidPhysReg,
+                        s2, si.imm, rename);
+    table.insert(key, inst.prd, ssnRename, inst.seq, rename);
+}
+
+void
+RleUnit::onFalseElimination(const DynInst &load, RenameState &rename)
+{
+    if (!prm.enabled)
+        return;
+    const StaticInst &si = *load.si;
+    ItKey key = makeKey(si.op, si.readsRs1() ? load.prs1 : invalidPhysReg,
+                        si.readsRs2() ? load.prs2 : invalidPhysReg,
+                        si.imm, rename);
+    table.invalidateKey(key, rename);
+}
+
+void
+RleUnit::onSquashedSpeculativeLoad(const DynInst &load,
+                                   RenameState &rename)
+{
+    if (!prm.enabled)
+        return;
+    const StaticInst &si = *load.si;
+    ItKey key = makeKey(si.op, si.readsRs1() ? load.prs1 : invalidPhysReg,
+                        si.readsRs2() ? load.prs2 : invalidPhysReg,
+                        si.imm, rename);
+    table.invalidateKey(key, rename);
+}
+
+void
+RleUnit::onVerifiedElimination(const DynInst &load, RenameState &rename,
+                               SSN ssnRetire)
+{
+    if (!prm.enabled)
+        return;
+    const StaticInst &si = *load.si;
+    ItKey key = makeKey(si.op, si.readsRs1() ? load.prs1 : invalidPhysReg,
+                        si.readsRs2() ? load.prs2 : invalidPhysReg,
+                        si.imm, rename);
+    if (ItEntry *e = table.lookup(key, rename)) {
+        // Refresh only if the entry still names the same result register
+        // (i.e., it is the entry that fed this load).
+        if (e->dst == load.prd && !e->fromSquash && e->ssn < ssnRetire)
+            e->ssn = ssnRetire;
+    }
+}
+
+void
+RleUnit::onSquash(InstSeqNum keepSeq, RenameState &rename)
+{
+    if (!prm.enabled)
+        return;
+    table.onSquash(keepSeq, prm.squashReuse, rename);
+}
+
+bool
+RleUnit::relievePressure(RenameState &rename)
+{
+    if (!prm.enabled)
+        return false;
+    // Evict until a register actually frees; multiple entries may pin
+    // the same register.
+    while (!rename.hasFreeReg()) {
+        if (!table.releaseOnePinned(rename))
+            return false;
+    }
+    return true;
+}
+
+} // namespace svw

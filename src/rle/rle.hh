@@ -1,0 +1,129 @@
+/**
+ * @file
+ * RleUnit: redundant load elimination via register integration
+ * (paper section 2.4), coordinated at the rename stage.
+ *
+ * Load reuse: a load creates an IT entry; a later load with the same
+ * (opcode, base register, offset) signature integrates its result.
+ * Speculative memory bypassing: a store creates an entry keyed like the
+ * matching load, whose "result" is the store's data register.
+ * Squash reuse: entries of squashed instructions stay integrable
+ * (SVW is disabled for those consumers — section 4.3 / SVW-SQU).
+ */
+
+#ifndef SVW_RLE_RLE_HH
+#define SVW_RLE_RLE_HH
+
+#include <optional>
+
+#include "cpu/dyninst.hh"
+#include "rle/integration_table.hh"
+#include "stats/stats.hh"
+
+namespace svw {
+
+/** RLE configuration. */
+struct RleParams
+{
+    bool enabled = false;
+    unsigned itEntries = 512;
+    unsigned itAssoc = 2;
+    bool squashReuse = true;     ///< SVW-SQU config sets this false
+    bool integrateAlu = true;    ///< register integration covers ALU ops
+    /** Live-entry (pinned physical register) budget; see
+     * IntegrationTable. */
+    unsigned maxPinnedRegs = 24;
+};
+
+/** Result of a successful integration. */
+struct Integration
+{
+    PhysRegIndex dst;   ///< shared physical register
+    SSN ssn;            ///< IT-entry SSN (window start), 0 if squash reuse
+    bool fromSquash;
+    bool fromStore;     ///< speculative memory bypassing
+};
+
+/** The RLE policy unit wrapped around the integration table. */
+class RleUnit
+{
+  public:
+    RleUnit(const RleParams &params, stats::StatRegistry &reg);
+
+    bool enabled() const { return prm.enabled; }
+    const RleParams &config() const { return prm; }
+    IntegrationTable &it() { return table; }
+
+    /**
+     * Rename-time integration attempt for @p si with renamed sources.
+     * Only loads (any size) and — when integrateAlu — single-output ALU
+     * ops are candidates.
+     */
+    std::optional<Integration> tryIntegrate(const StaticInst &si,
+                                            PhysRegIndex prs1,
+                                            PhysRegIndex prs2,
+                                            const RenameState &rename);
+
+    /**
+     * Rename-time entry creation for a non-integrated instruction
+     * (loads and ALU ops publish their own result; stores publish a
+     * bypass entry for the matching load signature).
+     * @param ssnRename current SSNRENAME; @param storeSsn store's own SSN.
+     */
+    void createEntry(const DynInst &inst, RenameState &rename,
+                     SSN ssnRename, SSN storeSsn);
+
+    void onSquash(InstSeqNum keepSeq, RenameState &rename);
+
+    /**
+     * A load that executed speculatively (past ambiguous stores or via a
+     * best-effort structure) is being squashed: its value was never
+     * verified, so its IT entry must not survive as a squash-reuse
+     * candidate (a stale value would propagate and flush at rex).
+     */
+    void onSquashedSpeculativeLoad(const DynInst &load,
+                                   RenameState &rename);
+
+    /**
+     * A marked eliminated load passed verification at commit: every
+     * store older than it has retired, so the entry that fed it can
+     * soundly restart its vulnerability window at SSNRETIRE. Keeps
+     * long-lived hot entries from accumulating unbounded windows.
+     */
+    void onVerifiedElimination(const DynInst &load, RenameState &rename,
+                               SSN ssnRetire);
+
+    /**
+     * Re-execution found this eliminated load's value wrong: kill the
+     * IT entry that produced it so the refetched incarnation executes
+     * for real instead of looping through the same false elimination.
+     */
+    void onFalseElimination(const DynInst &load, RenameState &rename);
+
+    /** Free-list pressure valve (see IntegrationTable). */
+    bool relievePressure(RenameState &rename);
+
+    /** SSN wrap drain: flash-clear the IT (section 3.6). */
+    void wrapClear(RenameState &rename) { table.clear(rename); }
+
+  public:
+    stats::Scalar loadsEliminated;
+    stats::Scalar elimByReuse;
+    stats::Scalar elimByBypass;
+    stats::Scalar elimBySquashReuse;
+    stats::Scalar aluIntegrated;
+
+  private:
+    /** Bypass-compatible load opcode for a store, or Nop if none. */
+    static Opcode bypassLoadOp(Opcode storeOp);
+
+    ItKey makeKey(Opcode op, PhysRegIndex s1, PhysRegIndex s2,
+                  std::int64_t imm, const RenameState &rename) const;
+
+    RleParams prm;
+    IntegrationTable table;
+};
+
+} // namespace svw
+
+#endif // SVW_RLE_RLE_HH

@@ -1,0 +1,118 @@
+#include "stats/stats.hh"
+
+#include <iomanip>
+
+#include "base/logging.hh"
+
+namespace svw::stats {
+
+StatBase::StatBase(StatRegistry &reg, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    reg.add(this);
+}
+
+Scalar::Scalar(StatRegistry &reg, std::string name, std::string desc)
+    : StatBase(reg, std::move(name), std::move(desc))
+{
+}
+
+void
+Scalar::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::right << std::setw(16) << _value
+       << "  # " << desc() << "\n";
+}
+
+Average::Average(StatRegistry &reg, std::string name, std::string desc)
+    : StatBase(reg, std::move(name), std::move(desc))
+{
+}
+
+void
+Average::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::right << std::setw(16) << std::fixed << std::setprecision(4)
+       << mean() << "  # " << desc() << " (n=" << _count << ")\n";
+}
+
+Distribution::Distribution(StatRegistry &reg, std::string name,
+                           std::string desc, std::uint64_t min,
+                           std::uint64_t max, unsigned buckets)
+    : StatBase(reg, std::move(name), std::move(desc)),
+      _min(min), _max(max), _counts(buckets, 0)
+{
+    svw_assert(max > min && buckets > 0, "bad distribution shape");
+    _bucketWidth = (max - min + buckets - 1) / buckets;
+}
+
+void
+Distribution::sample(std::uint64_t v)
+{
+    ++_samples;
+    _sum += static_cast<double>(v);
+    if (v < _min) {
+        ++_under;
+    } else if (v >= _max) {
+        ++_over;
+    } else {
+        unsigned idx = static_cast<unsigned>((v - _min) / _bucketWidth);
+        if (idx >= _counts.size())
+            idx = static_cast<unsigned>(_counts.size()) - 1;
+        ++_counts[idx];
+    }
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " mean="
+       << std::fixed << std::setprecision(2) << mean()
+       << " n=" << _samples << "  # " << desc() << "\n";
+    for (unsigned i = 0; i < _counts.size(); ++i) {
+        if (_counts[i] == 0)
+            continue;
+        os << "    [" << (_min + i * _bucketWidth) << ","
+           << (_min + (i + 1) * _bucketWidth) << ") "
+           << _counts[i] << "\n";
+    }
+    if (_under)
+        os << "    underflow " << _under << "\n";
+    if (_over)
+        os << "    overflow  " << _over << "\n";
+}
+
+void
+Distribution::reset()
+{
+    _under = _over = _samples = 0;
+    _sum = 0.0;
+    std::fill(_counts.begin(), _counts.end(), 0);
+}
+
+void
+StatRegistry::printAll(std::ostream &os) const
+{
+    for (const StatBase *s : _stats)
+        s->print(os);
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (StatBase *s : _stats)
+        s->reset();
+}
+
+const StatBase *
+StatRegistry::find(const std::string &name) const
+{
+    for (const StatBase *s : _stats)
+        if (s->name() == name)
+            return s;
+    return nullptr;
+}
+
+} // namespace svw::stats

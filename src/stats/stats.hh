@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's stats framework.
+ *
+ * Stats are owned by the module that increments them and registered with a
+ * StatRegistry so the harness can enumerate and print them uniformly.
+ * Three stat kinds cover everything the reproduction needs:
+ *
+ *  - Scalar: a monotonically increasing 64-bit event counter.
+ *  - Average: a sum/count pair reporting a mean.
+ *  - Distribution: fixed-width histogram with underflow/overflow buckets.
+ */
+
+#ifndef SVW_STATS_STATS_HH
+#define SVW_STATS_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace svw::stats {
+
+class StatRegistry;
+
+/** Common behaviour: a name, a description, printing, and reset. */
+class StatBase
+{
+  public:
+    StatBase(StatRegistry &reg, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Print "name value # desc" line(s). */
+    virtual void print(std::ostream &os) const = 0;
+
+    /** Zero the stat (between warm-up and measurement). */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** Monotonic event counter. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(StatRegistry &reg, std::string name, std::string desc);
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(std::uint64_t n) { _value += n; return *this; }
+
+    std::uint64_t value() const { return _value; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Mean of sampled values. */
+class Average : public StatBase
+{
+  public:
+    Average(StatRegistry &reg, std::string name, std::string desc);
+
+    void sample(double v) { _sum += v; ++_count; }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t count() const { return _count; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { _sum = 0.0; _count = 0; }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+};
+
+/** Histogram over [min, max) with @p buckets equal-width buckets. */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatRegistry &reg, std::string name, std::string desc,
+                 std::uint64_t min, std::uint64_t max, unsigned buckets);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t totalSamples() const { return _samples; }
+    std::uint64_t bucketCount(unsigned i) const { return _counts.at(i); }
+    std::uint64_t underflows() const { return _under; }
+    std::uint64_t overflows() const { return _over; }
+    double mean() const { return _samples ? _sum / _samples : 0.0; }
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t _min;
+    std::uint64_t _max;
+    std::uint64_t _bucketWidth;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _under = 0;
+    std::uint64_t _over = 0;
+    std::uint64_t _samples = 0;
+    double _sum = 0.0;
+};
+
+/**
+ * Owner of (pointers to) all stats created against it. Modules construct
+ * their stats with a registry reference; the harness prints or resets the
+ * registry as a whole.
+ */
+class StatRegistry
+{
+  public:
+    void add(StatBase *stat) { _stats.push_back(stat); }
+
+    void printAll(std::ostream &os) const;
+    void resetAll();
+
+    /** Find a stat by name (nullptr if absent); used by tests/harness. */
+    const StatBase *find(const std::string &name) const;
+
+    const std::vector<StatBase *> &all() const { return _stats; }
+
+  private:
+    std::vector<StatBase *> _stats;
+};
+
+} // namespace svw::stats
+
+#endif // SVW_STATS_STATS_HH

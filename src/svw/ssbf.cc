@@ -1,0 +1,115 @@
+#include "svw/ssbf.hh"
+
+#include <algorithm>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace svw {
+
+SSBF::SSBF(const SsbfParams &p, stats::StatRegistry &reg)
+    : updates(reg, "ssbf.updates", "store SSN writes"),
+      invalidationUpdates(reg, "ssbf.invalidationUpdates",
+                          "granule updates from line invalidations"),
+      tests(reg, "ssbf.tests", "re-execution filter tests"),
+      positives(reg, "ssbf.positives", "positive tests (must re-execute)"),
+      params(p)
+{
+    svw_assert(p.granularityBytes == 4 || p.granularityBytes == 8,
+               "SSBF granularity must be 4 or 8 bytes");
+    svw_assert(isPowerOf2(p.entries), "SSBF entries must be a power of two");
+    granShift = exactLog2(p.granularityBytes);
+    if (!p.infinite) {
+        table1.assign(p.entries, 0);
+        if (p.dualHash)
+            table2.assign(p.entries, 0);
+    }
+}
+
+SSN
+SSBF::lookup(Addr granule) const
+{
+    if (params.infinite) {
+        auto it = exact.find(granule);
+        return it == exact.end() ? 0 : it->second;
+    }
+    const SSN v1 = table1[granule & (params.entries - 1)];
+    if (!params.dualHash)
+        return v1;
+    const unsigned shift = exactLog2(params.entries);
+    const SSN v2 = table2[(granule >> shift) & (params.entries - 1)];
+    // A load must re-execute only if both tables say so; returning the
+    // smaller entry makes a single ">" comparison implement that.
+    return std::min(v1, v2);
+}
+
+void
+SSBF::store(Addr granule, SSN truncSsn)
+{
+    if (params.infinite) {
+        exact[granule] = truncSsn;
+        return;
+    }
+    table1[granule & (params.entries - 1)] = truncSsn;
+    if (params.dualHash) {
+        const unsigned shift = exactLog2(params.entries);
+        table2[(granule >> shift) & (params.entries - 1)] = truncSsn;
+    }
+}
+
+void
+SSBF::update(Addr addr, unsigned size, SSN truncSsn)
+{
+    const Addr first = addr >> granShift;
+    const Addr last = (addr + size - 1) >> granShift;
+    for (Addr g = first; g <= last; ++g) {
+        ++updates;
+        store(g, truncSsn);
+    }
+}
+
+void
+SSBF::invalidateLine(Addr lineAddr, unsigned lineBytes, SSN truncSsn)
+{
+    const Addr first = lineAddr >> granShift;
+    const Addr last = (lineAddr + lineBytes - 1) >> granShift;
+    for (Addr g = first; g <= last; ++g) {
+        ++invalidationUpdates;
+        store(g, truncSsn);
+    }
+}
+
+bool
+SSBF::test(Addr addr, unsigned size, SSN truncSvw) const
+{
+    auto &self = const_cast<SSBF &>(*this);
+    ++self.tests;
+    const Addr first = addr >> granShift;
+    const Addr last = (addr + size - 1) >> granShift;
+    for (Addr g = first; g <= last; ++g) {
+        if (lookup(g) > truncSvw) {
+            ++self.positives;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SSBF::clear()
+{
+    std::fill(table1.begin(), table1.end(), 0);
+    std::fill(table2.begin(), table2.end(), 0);
+    exact.clear();
+}
+
+std::uint64_t
+SSBF::storageBits(unsigned ssnBits) const
+{
+    if (params.infinite)
+        return 0;  // not implementable; reported as zero
+    std::uint64_t cells = params.entries * (params.dualHash ? 2 : 1);
+    return cells * ssnBits;
+}
+
+} // namespace svw

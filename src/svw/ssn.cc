@@ -1,0 +1,35 @@
+#include "svw/ssn.hh"
+
+#include "base/logging.hh"
+
+namespace svw {
+
+SsnState::SsnState(unsigned bits)
+    : _bits(bits)
+{
+    svw_assert(bits >= 4 && bits <= 64, "bad SSN width ", bits);
+    mask = bits == 64 ? ~SSN(0) : ((SSN(1) << bits) - 1);
+}
+
+bool
+SsnState::nextAssignWraps() const
+{
+    return ((ssnDispatch + 1) & mask) == 0;
+}
+
+SSN
+SsnState::assign()
+{
+    svw_assert(!nextAssignWraps(),
+               "SSN assigned across wrap without drain");
+    return ++ssnDispatch;
+}
+
+void
+SsnState::ackWrap()
+{
+    svw_assert(nextAssignWraps(), "ackWrap without pending wrap");
+    ++ssnDispatch;  // consume the reserved truncated-zero value
+}
+
+} // namespace svw

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Store sequence numbering (paper section 3).
+ *
+ * Every dynamic store gets a monotonically increasing SSN. Only
+ * SSNRETIRE (last retired store) needs to exist architecturally; in-flight
+ * stores' SSNs are implied by SQ position. The simulator materializes the
+ * numbers for convenience but respects the paper's finite-width
+ * wrap-around policy (section 3.6): when SSNRENAME wraps, drain the
+ * pipeline and flash-clear the SSBF (and the IT under RLE) so no load's
+ * vulnerability range straddles the wrap point.
+ */
+
+#ifndef SVW_SVW_SSN_HH
+#define SVW_SVW_SSN_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace svw {
+
+/** SSN allocation and retirement state with finite-width wrap handling. */
+class SsnState
+{
+  public:
+    /** @param bits SSN width; 64 (default) behaves as infinite. */
+    explicit SsnState(unsigned bits = 16);
+
+    unsigned bits() const { return _bits; }
+
+    /** Truncate a full SSN to implementation width. */
+    SSN trunc(SSN ssn) const { return ssn & mask; }
+
+    /**
+     * True if assigning the next store SSN requires the wrap-around
+     * drain first (next truncated value would be 0).
+     */
+    bool nextAssignWraps() const;
+
+    /**
+     * Assign the next SSN (call only when !nextAssignWraps() or after
+     * the drain completed and ackWrap() was called).
+     */
+    SSN assign();
+
+    /** Acknowledge a completed wrap drain: skip truncated value 0. */
+    void ackWrap();
+
+    /** Squash recovery: restore allocation point. */
+    void rollbackTo(SSN lastValid) { ssnDispatch = lastValid; }
+
+    /** SSN of the youngest dispatched store (SSNRENAME analogue). */
+    SSN ssnRename() const { return ssnDispatch; }
+
+    /** Record store retirement. */
+    void onRetire(SSN ssn) { ssnRetire = ssn; }
+
+    /** SSN of the last retired store (the global SSNRETIRE). */
+    SSN retired() const { return ssnRetire; }
+
+  private:
+    unsigned _bits;
+    SSN mask;
+    SSN ssnDispatch = 0;  ///< last assigned (0 = none yet; 0 is reserved)
+    SSN ssnRetire = 0;
+};
+
+} // namespace svw
+
+#endif // SVW_SVW_SSN_HH

@@ -1,0 +1,72 @@
+#include "svw/svw.hh"
+
+#include "base/logging.hh"
+#include "cpu/dyninst.hh"
+
+namespace svw {
+
+SvwUnit::SvwUnit(const SvwConfig &c, stats::StatRegistry &reg)
+    : loadsFiltered(reg, "svw.loadsFiltered",
+                    "marked loads whose re-execution SVW filtered out"),
+      loadsTested(reg, "svw.loadsTested", "marked loads tested against SSBF"),
+      wrapDrains(reg, "svw.wrapDrains", "SSN wrap-around pipeline drains"),
+      cfg(c),
+      ssnState(c.ssnBits),
+      filter(c.ssbf, reg)
+{
+}
+
+void
+SvwUnit::onStoreForward(DynInst &load, SSN storeSsn) const
+{
+    if (!cfg.enabled || !cfg.updateOnForward)
+        return;
+    // The forwarding store is older than the load, so its SSN can only
+    // grow the "not vulnerable" prefix.
+    if (storeSsn > load.svw)
+        load.svw = storeSsn;
+}
+
+bool
+SvwUnit::mustReExecute(const DynInst &load)
+{
+    svw_assert(cfg.enabled, "SVW test while disabled");
+    ++loadsTested;
+    const bool rex = filter.test(load.addr, load.size,
+                                 ssnState.trunc(load.svw));
+    if (!rex)
+        ++loadsFiltered;
+    return rex;
+}
+
+void
+SvwUnit::storeUpdate(const DynInst &store)
+{
+    if (!cfg.enabled)
+        return;
+    filter.update(store.addr, store.size, ssnState.trunc(store.ssn));
+}
+
+void
+SvwUnit::invalidation(Addr lineAddr, unsigned lineBytes)
+{
+    if (!cfg.enabled)
+        return;
+    // Pretend an asynchronous store younger than everything in flight
+    // wrote the whole line: SSBF[inval.addr] = SSNRENAME + 1. If that
+    // value truncates to the reserved 0 (wrap imminent), substitute the
+    // maximum so the write stays conservative rather than vanishing.
+    SSN v = ssnState.trunc(ssnState.ssnRename() + 1);
+    if (v == 0)
+        v = ssnState.trunc(~SSN(0));
+    filter.invalidateLine(lineAddr, lineBytes, v);
+}
+
+void
+SvwUnit::wrapClear()
+{
+    ++wrapDrains;
+    filter.clear();
+}
+
+} // namespace svw

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SvwUnit: ties SSN numbering and the SSBF together and implements the
+ * per-optimization SVW assignment policies of paper sections 3.1-3.5.
+ */
+
+#ifndef SVW_SVW_SVW_HH
+#define SVW_SVW_SVW_HH
+
+#include "stats/stats.hh"
+#include "svw/ssbf.hh"
+#include "svw/ssn.hh"
+
+namespace svw {
+
+struct DynInst;
+
+/** SVW configuration for a run. */
+struct SvwConfig
+{
+    bool enabled = false;
+    /** "update SVW on store-forward" extension (+UPD vs -UPD). */
+    bool updateOnForward = true;
+    unsigned ssnBits = 16;
+    SsbfParams ssbf{};
+    /**
+     * Speculative SSBF updates (section 3.6): stores write the SSBF at
+     * their rex SVW stage, before their cache write; flushes do not undo
+     * them. The atomic alternative (false) delays the SSBF write to the
+     * store's actual cache commit, lengthening the serialization.
+     */
+    bool speculativeSsbfUpdate = true;
+};
+
+/**
+ * The SVW mechanism. One instance per core; consulted by dispatch (SVW
+ * assignment), by the LSU (forwarding updates), and by the re-execution
+ * engine (filter test + store updates).
+ */
+class SvwUnit
+{
+  public:
+    SvwUnit(const SvwConfig &cfg, stats::StatRegistry &reg);
+
+    const SvwConfig &config() const { return cfg; }
+    bool enabled() const { return cfg.enabled; }
+
+    SsnState &ssn() { return ssnState; }
+    const SsnState &ssn() const { return ssnState; }
+    SSBF &ssbf() { return filter; }
+
+    /**
+     * SVW for a load at dispatch under NLQ-LS / NLQ-SM / SSQ: the load
+     * is vulnerable to every store in flight at dispatch, so its SVW is
+     * SSNRETIRE (section 3.1).
+     */
+    SSN svwAtDispatch() const { return ssnState.retired(); }
+
+    /**
+     * Forwarding shrink (+UPD): a load that reads from an in-flight
+     * store is invulnerable to that store and everything older.
+     */
+    void onStoreForward(DynInst &load, SSN storeSsn) const;
+
+    /** RLE: eliminated load takes the IT entry's SSN (section 3.4). */
+    static SSN composeSvw(SSN a, SSN b) { return a < b ? a : b; }
+
+    /**
+     * Re-execution filter test for a marked load whose address is known.
+     * @return true if the load must re-execute.
+     */
+    bool mustReExecute(const DynInst &load);
+
+    /** Store SSBF update at its rex SVW stage (or cache commit). */
+    void storeUpdate(const DynInst &store);
+
+    /** Coherence invalidation (NLQ-SM): SSBF[line] = SSNRENAME + 1. */
+    void invalidation(Addr lineAddr, unsigned lineBytes);
+
+    /** Wrap-around drain completed: flash-clear state. */
+    void wrapClear();
+
+  public:
+    stats::Scalar loadsFiltered;
+    stats::Scalar loadsTested;
+    stats::Scalar wrapDrains;
+
+  private:
+    SvwConfig cfg;
+    SsnState ssnState;
+    SSBF filter;
+};
+
+} // namespace svw
+
+#endif // SVW_SVW_SVW_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests: base utilities (logging, random, intmath).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+
+using namespace svw;
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(svw_panic("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(svw_fatal("user error ", "x"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(svw_assert(1 + 1 == 2, "fine"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(svw_assert(false, "nope"), std::logic_error);
+}
+
+TEST(Random, DeterministicFromSeed)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Random, ZeroSeedRemapped)
+{
+    Random a(0);
+    EXPECT_NE(a.next(), 0u);
+}
+
+TEST(Random, BoundedStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Random, BoundedZeroPanics)
+{
+    Random r(7);
+    EXPECT_THROW(r.nextBounded(0), std::logic_error);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        auto v = r.nextRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u);  // all three values appear
+}
+
+TEST(Random, ChancePermilleExtremes)
+{
+    Random r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chancePermille(0));
+        EXPECT_TRUE(r.chancePermille(1000));
+    }
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Random r(13);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, ReSeedRestartsSequence)
+{
+    Random r(21);
+    auto v1 = r.next();
+    r.seed(21);
+    EXPECT_EQ(r.next(), v1);
+}
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(12));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+}
+
+TEST(IntMath, ExactLog2PanicsOnNonPower)
+{
+    EXPECT_EQ(exactLog2(64), 6u);
+    EXPECT_THROW(exactLog2(65), std::logic_error);
+}
+
+TEST(IntMath, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1234, 16), 0x1240u);
+    EXPECT_EQ(alignUp(0x1240, 16), 0x1240u);
+    EXPECT_EQ(alignDown(0x1240, 16), 0x1240u);
+}
+
+TEST(IntMath, RangesOverlap)
+{
+    EXPECT_TRUE(rangesOverlap(0, 8, 4, 8));
+    EXPECT_TRUE(rangesOverlap(4, 8, 0, 8));
+    EXPECT_TRUE(rangesOverlap(0, 8, 0, 1));
+    EXPECT_FALSE(rangesOverlap(0, 8, 8, 8));
+    EXPECT_FALSE(rangesOverlap(8, 8, 0, 8));
+    EXPECT_FALSE(rangesOverlap(0, 1, 1, 1));
+}
+
+TEST(IntMath, RangeContains)
+{
+    EXPECT_TRUE(rangeContains(0, 8, 0, 8));
+    EXPECT_TRUE(rangeContains(0, 8, 4, 4));
+    EXPECT_TRUE(rangeContains(0, 8, 7, 1));
+    EXPECT_FALSE(rangeContains(0, 8, 4, 8));
+    EXPECT_FALSE(rangeContains(4, 4, 0, 8));
+    EXPECT_FALSE(rangeContains(4, 4, 3, 1));
+}
+
+/** Property: alignDown(a) <= a < alignDown(a) + align. */
+class AlignProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AlignProperty, DownUpInvariants)
+{
+    Random r(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t a = r.next() >> 8;
+        const std::uint64_t al = 1ull << r.nextBounded(12);
+        EXPECT_LE(alignDown(a, al), a);
+        EXPECT_LT(a - alignDown(a, al), al);
+        EXPECT_GE(alignUp(a, al), a);
+        EXPECT_LT(alignUp(a, al) - a, al);
+        EXPECT_EQ(alignDown(a, al) % al, 0u);
+        EXPECT_EQ(alignUp(a, al) % al, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));

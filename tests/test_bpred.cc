@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests: branch direction prediction, BTB, RAS, checkpointing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/bpred.hh"
+
+using namespace svw;
+
+namespace {
+
+BPred
+mkPred(stats::StatRegistry &reg)
+{
+    return BPred(BPredParams{}, reg);
+}
+
+} // namespace
+
+TEST(BPred, LearnsAlwaysTaken)
+{
+    stats::StatRegistry reg;
+    BPred bp = mkPred(reg);
+    for (int i = 0; i < 8; ++i) {
+        bp.train(0x40, true, bp.ghist());
+        bp.speculativeUpdate(true);
+    }
+    EXPECT_TRUE(bp.predictDirection(0x40));
+}
+
+TEST(BPred, LearnsAlwaysNotTaken)
+{
+    stats::StatRegistry reg;
+    BPred bp = mkPred(reg);
+    for (int i = 0; i < 8; ++i)
+        bp.train(0x40, false, bp.ghist());
+    EXPECT_FALSE(bp.predictDirection(0x40));
+}
+
+TEST(BPred, GshareLearnsAlternatingPattern)
+{
+    stats::StatRegistry reg;
+    BPred bp = mkPred(reg);
+    // T N T N ... is history-predictable; train until stable then check.
+    bool outcome = false;
+    for (int i = 0; i < 200; ++i) {
+        outcome = !outcome;
+        bp.train(0x80, outcome, bp.ghist());
+        bp.speculativeUpdate(outcome);
+    }
+    int correct = 0;
+    for (int i = 0; i < 40; ++i) {
+        outcome = !outcome;
+        correct += bp.predictDirection(0x80) == outcome;
+        bp.train(0x80, outcome, bp.ghist());
+        bp.speculativeUpdate(outcome);
+    }
+    EXPECT_GE(correct, 36);  // near perfect with history
+}
+
+TEST(BPred, BtbMissReturnsZero)
+{
+    stats::StatRegistry reg;
+    BPred bp = mkPred(reg);
+    EXPECT_EQ(bp.btbLookup(0x123), 0u);
+}
+
+TEST(BPred, BtbStoresAndUpdatesTargets)
+{
+    stats::StatRegistry reg;
+    BPred bp = mkPred(reg);
+    bp.btbUpdate(0x123, 0x777);
+    EXPECT_EQ(bp.btbLookup(0x123), 0x777u);
+    bp.btbUpdate(0x123, 0x888);
+    EXPECT_EQ(bp.btbLookup(0x123), 0x888u);
+}
+
+TEST(BPred, BtbSetConflictEvictsLru)
+{
+    stats::StatRegistry reg;
+    BPredParams p;
+    p.btbEntries = 4;
+    p.btbAssoc = 2;  // 2 sets
+    BPred bp(p, reg);
+    // Three PCs in the same set (set = pc & 1).
+    bp.btbUpdate(0x10, 1);
+    bp.btbUpdate(0x12, 2);
+    bp.btbLookup(0x10);        // lookups don't refresh LRU; update does
+    bp.btbUpdate(0x10, 1);
+    bp.btbUpdate(0x14, 3);     // evicts 0x12
+    EXPECT_EQ(bp.btbLookup(0x10), 1u);
+    EXPECT_EQ(bp.btbLookup(0x14), 3u);
+    EXPECT_EQ(bp.btbLookup(0x12), 0u);
+}
+
+TEST(BPred, RasPushPop)
+{
+    stats::StatRegistry reg;
+    BPred bp = mkPred(reg);
+    bp.rasPush(100);
+    bp.rasPush(200);
+    EXPECT_EQ(bp.rasPop(), 200u);
+    EXPECT_EQ(bp.rasPop(), 100u);
+}
+
+TEST(BPred, RasRestoreAfterWrongPath)
+{
+    stats::StatRegistry reg;
+    BPred bp = mkPred(reg);
+    bp.rasPush(100);
+    const auto ghist = bp.ghist();
+    const auto top = bp.rasTop();
+    const auto topVal = bp.rasTopValue();
+    // Wrong path wrecks the stack.
+    bp.rasPop();
+    bp.rasPush(999);
+    bp.rasPush(888);
+    bp.restore(ghist, top, topVal);
+    EXPECT_EQ(bp.rasPop(), 100u);
+}
+
+TEST(BPred, GhistSpeculativeUpdateAndRestore)
+{
+    stats::StatRegistry reg;
+    BPred bp = mkPred(reg);
+    const auto before = bp.ghist();
+    bp.speculativeUpdate(true);
+    bp.speculativeUpdate(false);
+    EXPECT_EQ(bp.ghist(), ((before << 1 | 1) << 1));
+    bp.restore(before, bp.rasTop(), bp.rasTopValue());
+    EXPECT_EQ(bp.ghist(), before);
+}
+
+TEST(BPred, StatsCount)
+{
+    stats::StatRegistry reg;
+    BPred bp = mkPred(reg);
+    bp.predictDirection(1);
+    bp.predictDirection(2);
+    EXPECT_EQ(bp.lookups.value(), 2u);
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The heavyweight integration property: for EVERY workload and EVERY
+ * machine/optimization/SVW configuration, the out-of-order core must
+ * retire the exact architectural state the in-order golden model
+ * produces. This is the test that guarantees SVW never filters a
+ * re-execution it needed (no false negatives end to end), that the
+ * optimizations' speculation is always verified, and that squash
+ * recovery is exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/interp.hh"
+#include "harness/config.hh"
+#include "harness/runner.hh"
+#include "prog/workloads/workloads.hh"
+
+using namespace svw;
+using namespace svw::harness;
+
+namespace {
+
+struct GoldenCase
+{
+    const char *configName;
+    ExperimentConfig config;
+};
+
+std::vector<GoldenCase>
+goldenConfigs()
+{
+    std::vector<GoldenCase> cases;
+    auto add = [&](const char *name, Machine m, OptMode o, SvwMode s) {
+        ExperimentConfig c;
+        c.machine = m;
+        c.opt = o;
+        c.svw = s;
+        cases.push_back({name, c});
+    };
+    add("base8", Machine::EightWide, OptMode::Baseline, SvwMode::None);
+    add("baseAssocSq", Machine::EightWide, OptMode::BaselineAssocSq,
+        SvwMode::None);
+    add("nlq", Machine::EightWide, OptMode::Nlq, SvwMode::None);
+    add("nlqSvw", Machine::EightWide, OptMode::Nlq, SvwMode::Upd);
+    add("nlqSvwNoUpd", Machine::EightWide, OptMode::Nlq, SvwMode::NoUpd);
+    add("nlqPerfect", Machine::EightWide, OptMode::Nlq, SvwMode::Perfect);
+    add("ssq", Machine::EightWide, OptMode::Ssq, SvwMode::None);
+    add("ssqSvw", Machine::EightWide, OptMode::Ssq, SvwMode::Upd);
+    add("rle", Machine::FourWide, OptMode::Rle, SvwMode::None);
+    add("rleSvw", Machine::FourWide, OptMode::Rle, SvwMode::Upd);
+    add("composed", Machine::EightWide, OptMode::Composed, SvwMode::Upd);
+    // Narrow-SSN configuration exercises wrap drains end to end.
+    ExperimentConfig wrap;
+    wrap.machine = Machine::EightWide;
+    wrap.opt = OptMode::Ssq;
+    wrap.svw = SvwMode::Upd;
+    wrap.ssnBits = 10;
+    cases.push_back({"ssqSvwWrap10b", wrap});
+    // Tiny SSBF maximizes aliasing (false positives must stay safe).
+    ExperimentConfig tiny = wrap;
+    tiny.ssnBits = 16;
+    tiny.ssbf.entries = 32;
+    cases.push_back({"ssqSvwTinySsbf", tiny});
+    // Atomic SSBF updates.
+    ExperimentConfig atomic;
+    atomic.machine = Machine::EightWide;
+    atomic.opt = OptMode::Ssq;
+    atomic.svw = SvwMode::Upd;
+    atomic.speculativeSsbfUpdate = false;
+    cases.push_back({"ssqSvwAtomic", atomic});
+    // RLE without squash reuse.
+    ExperimentConfig nosqu;
+    nosqu.machine = Machine::FourWide;
+    nosqu.opt = OptMode::Rle;
+    nosqu.svw = SvwMode::Upd;
+    nosqu.rleSquashReuse = false;
+    cases.push_back({"rleSvwNoSqu", nosqu});
+    return cases;
+}
+
+using GoldenParam = std::tuple<std::string, std::size_t>;
+
+} // namespace
+
+class GoldenMatrix : public ::testing::TestWithParam<GoldenParam>
+{
+};
+
+TEST_P(GoldenMatrix, ArchStateMatchesInterpreter)
+{
+    const auto &[workload, cfgIdx] = GetParam();
+    const GoldenCase gc = goldenConfigs()[cfgIdx];
+
+    RunRequest req;
+    req.workload = workload;
+    req.targetInsts = 8'000;
+    req.config = gc.config;
+    req.goldenCheck = true;  // runOne fatals on mismatch
+    RunResult r = runOne(req);
+    EXPECT_TRUE(r.halted) << workload << "/" << gc.configName;
+    EXPECT_TRUE(r.goldenOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllConfigs, GoldenMatrix,
+    ::testing::Combine(
+        ::testing::ValuesIn(workloads::suiteNames()),
+        ::testing::Range<std::size_t>(0, goldenConfigs().size())),
+    [](const ::testing::TestParamInfo<GoldenParam> &info) {
+        std::string n = std::get<0>(info.param);
+        for (char &c : n)
+            if (c == '.')
+                c = '_';
+        return n + "_" + goldenConfigs()[std::get<1>(info.param)].configName;
+    });

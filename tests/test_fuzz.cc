@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Randomized-program fuzzing: generate random (but halting) programs
+ * with dense memory conflicts — random-size loads and stores over a
+ * tiny address pool, data-dependent store addresses, unpredictable
+ * branches, call/return pairs — and require exact golden-model
+ * equivalence under the aggressive machine configurations.
+ *
+ * This is the adversarial counterpart to the curated workload suite:
+ * the tiny address pool maximizes partial overlaps, silent stores,
+ * forwarding, ordering violations, false eliminations, and SSBF
+ * conflicts all at once.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "cpu/core.hh"
+#include "func/interp.hh"
+#include "harness/config.hh"
+#include "prog/builder.hh"
+
+using namespace svw;
+using namespace svw::harness;
+
+namespace {
+
+/**
+ * Build a random program: an outer counted loop whose body is a random
+ * mix of ALU ops, loads/stores of random sizes into a 256-byte pool,
+ * data-dependent addressing, branches over the body, and a random
+ * helper function call. Always halts.
+ */
+Program
+randomProgram(std::uint64_t seed, unsigned bodyOps, unsigned iters)
+{
+    Random rng(seed);
+    ProgramBuilder b("fuzz" + std::to_string(seed));
+    const Addr pool = b.allocWords(
+        [&] {
+            std::vector<std::uint64_t> init(32);
+            for (auto &v : init)
+                v = rng.next() & 0xffff;
+            return init;
+        }());
+
+    // Register conventions: r1 pool base, r2 loop counter, r3 bound,
+    // r4-r19 random data regs, r20 scratch address reg.
+    Label helper = b.newLabel();
+    Label entry = b.newLabel();
+    b.jmp(entry);
+
+    // Helper: a small function touching the pool through the stack.
+    b.bind(helper);
+    b.pushLink({4, 5});
+    b.ld8(4, 1, 0);
+    b.addi(4, 4, 1);
+    b.st8(4, 1, 0);
+    b.popLinkAndRet({4, 5});
+
+    b.bind(entry);
+    b.loadAddr(1, pool);
+    b.movi(2, 0);
+    b.movi(3, iters);
+    for (RegIndex r = 4; r <= 19; ++r)
+        b.movi(r, static_cast<std::int64_t>(rng.nextBounded(1000)));
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    for (unsigned i = 0; i < bodyOps; ++i) {
+        const RegIndex rd = static_cast<RegIndex>(4 + rng.nextBounded(16));
+        const RegIndex ra = static_cast<RegIndex>(4 + rng.nextBounded(16));
+        const RegIndex rb = static_cast<RegIndex>(4 + rng.nextBounded(16));
+        const unsigned size = 1u << rng.nextBounded(4);
+        switch (rng.nextBounded(10)) {
+          case 0:
+          case 1:
+          case 2:
+            b.add(rd, ra, rb);
+            break;
+          case 3:
+            b.xor_(rd, ra, rb);
+            break;
+          case 4: {
+            // Load from a register-dependent pool slot.
+            b.andi(20, ra, 255 - 8);
+            b.add(20, 20, 1);
+            b.ld(size, rd, 20, 0);
+            break;
+          }
+          case 5:
+          case 6: {
+            // Store to a register-dependent pool slot (late address).
+            b.andi(20, ra, 255 - 8);
+            b.add(20, 20, 1);
+            b.st(size, rb, 20, 0);
+            break;
+          }
+          case 7: {
+            // Fixed-slot load/store pair (forwarding + silent stores).
+            const std::int64_t off =
+                static_cast<std::int64_t>(rng.nextBounded(31)) * 8;
+            b.st8(ra, 1, off);
+            b.ld8(rd, 1, off);
+            break;
+          }
+          case 8: {
+            // Unpredictable short forward branch.
+            Label skip = b.newLabel();
+            b.andi(20, ra, 1);
+            b.beq(20, 0, skip);
+            b.addi(rd, rd, 3);
+            b.bind(skip);
+            break;
+          }
+          case 9:
+            b.call(helper);
+            break;
+        }
+    }
+    b.addi(2, 2, 1);
+    b.blt(2, 3, loop);
+    b.halt();
+    return b.finish();
+}
+
+struct FuzzCase
+{
+    std::uint64_t seed;
+    const char *configName;
+    ExperimentConfig config;
+};
+
+std::vector<FuzzCase>
+fuzzCases()
+{
+    std::vector<FuzzCase> cases;
+    auto cfg = [](Machine m, OptMode o, SvwMode s) {
+        ExperimentConfig c;
+        c.machine = m;
+        c.opt = o;
+        c.svw = s;
+        return c;
+    };
+    const std::pair<const char *, ExperimentConfig> configs[] = {
+        {"base", cfg(Machine::EightWide, OptMode::Baseline,
+                     SvwMode::None)},
+        {"nlqSvw", cfg(Machine::EightWide, OptMode::Nlq, SvwMode::Upd)},
+        {"ssqSvw", cfg(Machine::EightWide, OptMode::Ssq, SvwMode::Upd)},
+        {"rleSvw", cfg(Machine::FourWide, OptMode::Rle, SvwMode::Upd)},
+        {"composed", cfg(Machine::EightWide, OptMode::Composed,
+                         SvwMode::Upd)},
+    };
+    for (std::uint64_t seed = 1; seed <= 6; ++seed)
+        for (const auto &[name, c] : configs)
+            cases.push_back({seed, name, c});
+    // A couple of hostile SVW shapes on one seed each.
+    ExperimentConfig wrap = cfg(Machine::EightWide, OptMode::Ssq,
+                                SvwMode::Upd);
+    wrap.ssnBits = 8;
+    cases.push_back({7, "ssqWrap8b", wrap});
+    ExperimentConfig tiny = wrap;
+    tiny.ssnBits = 16;
+    tiny.ssbf.entries = 32;
+    cases.push_back({8, "ssqTinySsbf", tiny});
+    ExperimentConfig repl = cfg(Machine::EightWide, OptMode::Ssq,
+                                SvwMode::Upd);
+    repl.svwReplace = true;
+    cases.push_back({9, "ssqSvwReplace", repl});
+    ExperimentConfig replNlq = cfg(Machine::EightWide, OptMode::Nlq,
+                                   SvwMode::Upd);
+    replNlq.svwReplace = true;
+    cases.push_back({10, "nlqSvwReplace", replNlq});
+    return cases;
+}
+
+} // namespace
+
+class FuzzGolden : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FuzzGolden, RandomProgramMatchesInterpreter)
+{
+    const FuzzCase fc = fuzzCases()[GetParam()];
+    Program prog = randomProgram(fc.seed, 24, 150);
+
+    stats::StatRegistry reg;
+    Core core(buildParams(fc.config), prog, reg);
+    RunOutcome out = core.run(~0ull, 3'000'000);
+    ASSERT_TRUE(out.halted)
+        << "seed " << fc.seed << " config " << fc.configName;
+
+    Interp golden(prog);
+    ASSERT_TRUE(golden.run(out.instructions + 1));
+    EXPECT_EQ(out.instructions, golden.counts().insts);
+    for (RegIndex a = 0; a < numArchRegs; ++a) {
+        ASSERT_EQ(core.archReg(a), golden.reg(a))
+            << "r" << a << " seed " << fc.seed << " config "
+            << fc.configName;
+    }
+    ASSERT_TRUE(core.memory().identicalTo(golden.memory()))
+        << "seed " << fc.seed << " config " << fc.configName;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzGolden,
+    ::testing::Range<std::size_t>(0, fuzzCases().size()),
+    [](const ::testing::TestParamInfo<std::size_t> &info) {
+        const FuzzCase fc = fuzzCases()[info.param];
+        return std::string("seed") + std::to_string(fc.seed) + "_" +
+            fc.configName;
+    });

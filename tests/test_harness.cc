@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests: experiment configuration expansion, the runner, speedup
+ * arithmetic, and the figure-table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/config.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace svw;
+using namespace svw::harness;
+
+TEST(Config, EightWideShellMatchesPaper)
+{
+    ExperimentConfig c;
+    c.machine = Machine::EightWide;
+    c.opt = OptMode::Baseline;
+    CoreParams p = buildParams(c);
+    EXPECT_EQ(p.issueWidth, 8u);
+    EXPECT_EQ(p.robEntries, 512u);
+    EXPECT_EQ(p.iqEntries, 200u);
+    EXPECT_EQ(p.numPhysRegs, 448u);
+    EXPECT_EQ(p.lsu.lqEntries, 128u);
+    EXPECT_EQ(p.lsu.sqEntries, 64u);
+    EXPECT_EQ(p.loadIssue, 2u);
+    EXPECT_EQ(p.intIssue, 5u);
+    EXPECT_FALSE(p.rex.enabled);
+    EXPECT_FALSE(p.svw.enabled);
+}
+
+TEST(Config, FourWideShellMatchesPaper)
+{
+    ExperimentConfig c;
+    c.machine = Machine::FourWide;
+    c.opt = OptMode::Rle;
+    c.svw = SvwMode::Upd;
+    CoreParams p = buildParams(c);
+    EXPECT_EQ(p.issueWidth, 4u);
+    EXPECT_EQ(p.robEntries, 128u);
+    EXPECT_EQ(p.iqEntries, 50u);
+    EXPECT_EQ(p.numPhysRegs, 160u);
+    EXPECT_EQ(p.lsu.lqEntries, 32u);
+    EXPECT_EQ(p.lsu.sqEntries, 16u);
+    EXPECT_TRUE(p.rle.enabled);
+    EXPECT_TRUE(p.rex.enabled);
+    EXPECT_EQ(p.rex.regfileReadLatency, 2u);
+}
+
+TEST(Config, NlqFreesTheLqPort)
+{
+    ExperimentConfig c;
+    c.opt = OptMode::Nlq;
+    CoreParams p = buildParams(c);
+    EXPECT_TRUE(p.lsu.nlq);
+    EXPECT_EQ(p.lsu.storeIssueWidth, 2u);
+    ExperimentConfig base;
+    EXPECT_EQ(buildParams(base).lsu.storeIssueWidth, 1u);
+}
+
+TEST(Config, AssocSqBaselineSlowsLoads)
+{
+    ExperimentConfig c;
+    c.opt = OptMode::BaselineAssocSq;
+    EXPECT_EQ(buildParams(c).lsu.loadExtraLatency, 2u);
+    c.opt = OptMode::Ssq;
+    EXPECT_EQ(buildParams(c).lsu.loadExtraLatency, 0u);
+}
+
+TEST(Config, SvwModesMapToFlags)
+{
+    ExperimentConfig c;
+    c.opt = OptMode::Ssq;
+    c.svw = SvwMode::None;
+    EXPECT_FALSE(buildParams(c).svw.enabled);
+    c.svw = SvwMode::NoUpd;
+    EXPECT_TRUE(buildParams(c).svw.enabled);
+    EXPECT_FALSE(buildParams(c).svw.updateOnForward);
+    c.svw = SvwMode::Upd;
+    EXPECT_TRUE(buildParams(c).svw.updateOnForward);
+    c.svw = SvwMode::Perfect;
+    EXPECT_FALSE(buildParams(c).svw.enabled);
+    EXPECT_TRUE(buildParams(c).rex.perfect);
+}
+
+TEST(Config, LabelsAreDescriptive)
+{
+    ExperimentConfig c;
+    c.opt = OptMode::Nlq;
+    c.svw = SvwMode::Upd;
+    EXPECT_EQ(configLabel(c), "NLQ+SVW+UPD");
+    c.opt = OptMode::Rle;
+    c.rleSquashReuse = false;
+    EXPECT_EQ(configLabel(c), "RLE+SVW+UPD-SQU");
+    c.opt = OptMode::Baseline;
+    c.svw = SvwMode::None;
+    c.rleSquashReuse = true;
+    EXPECT_EQ(configLabel(c), "BASE");
+}
+
+TEST(Config, ComposedEnablesEverything)
+{
+    ExperimentConfig c;
+    c.opt = OptMode::Composed;
+    c.svw = SvwMode::Upd;
+    CoreParams p = buildParams(c);
+    EXPECT_TRUE(p.lsu.nlq);
+    EXPECT_TRUE(p.lsu.ssq);
+    EXPECT_TRUE(p.rle.enabled);
+}
+
+TEST(Runner, ProducesConsistentMetrics)
+{
+    RunRequest req;
+    req.workload = "gap";
+    req.targetInsts = 5'000;
+    req.config.opt = OptMode::Ssq;
+    req.config.svw = SvwMode::Upd;
+    RunResult r = runOne(req);
+    EXPECT_TRUE(r.halted);
+    EXPECT_TRUE(r.goldenOk);
+    EXPECT_GT(r.insts, 1'000u);
+    EXPECT_GT(r.loads, 0u);
+    EXPECT_NEAR(r.ipc, double(r.insts) / double(r.cycles), 1e-9);
+    EXPECT_GE(r.markedRate, r.rexRate - 1e-9);
+}
+
+TEST(Runner, DeterministicAcrossRuns)
+{
+    RunRequest req;
+    req.workload = "twolf";
+    req.targetInsts = 5'000;
+    req.config.opt = OptMode::Nlq;
+    req.config.svw = SvwMode::Upd;
+    RunResult a = runOne(req);
+    RunResult b = runOne(req);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.loadsReExecuted, b.loadsReExecuted);
+}
+
+TEST(Runner, SpeedupArithmetic)
+{
+    RunResult base, test;
+    base.workload = test.workload = "x";
+    base.cycles = 1100;
+    test.cycles = 1000;
+    EXPECT_NEAR(speedupPercent(base, test), 10.0, 1e-9);
+    EXPECT_NEAR(speedupPercent(test, base), -100.0 / 11.0, 1e-9);
+}
+
+TEST(Runner, SpeedupAcrossWorkloadsPanics)
+{
+    RunResult a, b;
+    a.workload = "x";
+    b.workload = "y";
+    a.cycles = b.cycles = 1;
+    EXPECT_THROW(speedupPercent(a, b), std::logic_error);
+}
+
+TEST(Report, TableFormatsRowsAndAverage)
+{
+    FigureTable t("demo", {"c1", "c2"});
+    t.addRow("a", {1.0, 2.0});
+    t.addRow("b", {3.0, 4.0});
+    t.addAverageRow();
+    ASSERT_EQ(t.numRows(), 3u);
+    EXPECT_DOUBLE_EQ(t.row(2)[0], 2.0);
+    EXPECT_DOUBLE_EQ(t.row(2)[1], 3.0);
+
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("demo"), std::string::npos);
+    EXPECT_NE(os.str().find("avg"), std::string::npos);
+    EXPECT_NE(os.str().find("c2"), std::string::npos);
+}
+
+TEST(Report, RowWidthMismatchPanics)
+{
+    FigureTable t("demo", {"c1", "c2"});
+    EXPECT_THROW(t.addRow("a", {1.0}), std::logic_error);
+}
+
+TEST(Report, AverageOfEmptyPanics)
+{
+    FigureTable t("demo", {"c1"});
+    EXPECT_THROW(t.addAverageRow(), std::logic_error);
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests: mini-RISC instruction set semantics and classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "isa/disasm.hh"
+#include "isa/inst.hh"
+
+using namespace svw;
+
+namespace {
+
+StaticInst
+mk(Opcode op, RegIndex rd = 0, RegIndex rs1 = 0, RegIndex rs2 = 0,
+   std::int64_t imm = 0)
+{
+    return StaticInst{op, rd, rs1, rs2, imm};
+}
+
+} // namespace
+
+TEST(Isa, Classification)
+{
+    EXPECT_EQ(mk(Opcode::Add).cls(), InstClass::IntAlu);
+    EXPECT_EQ(mk(Opcode::Mul).cls(), InstClass::IntMul);
+    EXPECT_EQ(mk(Opcode::Ld8).cls(), InstClass::Load);
+    EXPECT_EQ(mk(Opcode::St1).cls(), InstClass::Store);
+    EXPECT_EQ(mk(Opcode::Beq).cls(), InstClass::Branch);
+    EXPECT_EQ(mk(Opcode::Jmp).cls(), InstClass::Jump);
+    EXPECT_EQ(mk(Opcode::Jal).cls(), InstClass::Jump);
+    EXPECT_EQ(mk(Opcode::Jr).cls(), InstClass::JumpReg);
+    EXPECT_EQ(mk(Opcode::Nop).cls(), InstClass::Nop);
+    EXPECT_EQ(mk(Opcode::Halt).cls(), InstClass::Halt);
+}
+
+TEST(Isa, MemPredicatesAndSizes)
+{
+    EXPECT_TRUE(mk(Opcode::Ld1).isLoad());
+    EXPECT_TRUE(mk(Opcode::St8).isStore());
+    EXPECT_TRUE(mk(Opcode::Ld4).isMem());
+    EXPECT_FALSE(mk(Opcode::Add).isMem());
+    EXPECT_EQ(mk(Opcode::Ld1).memSize(), 1u);
+    EXPECT_EQ(mk(Opcode::Ld2).memSize(), 2u);
+    EXPECT_EQ(mk(Opcode::Ld4).memSize(), 4u);
+    EXPECT_EQ(mk(Opcode::Ld8).memSize(), 8u);
+    EXPECT_EQ(mk(Opcode::St2).memSize(), 2u);
+    EXPECT_EQ(mk(Opcode::Add).memSize(), 0u);
+}
+
+TEST(Isa, CtrlPredicates)
+{
+    EXPECT_TRUE(mk(Opcode::Beq).isCondBranch());
+    EXPECT_TRUE(mk(Opcode::Jmp).isDirectCtrl());
+    EXPECT_TRUE(mk(Opcode::Jal).isDirectCtrl());
+    EXPECT_TRUE(mk(Opcode::Jal).isCall());
+    EXPECT_TRUE(mk(Opcode::Jr).isIndirectCtrl());
+    EXPECT_TRUE(mk(Opcode::Bge).isCtrl());
+    EXPECT_FALSE(mk(Opcode::Ld8).isCtrl());
+}
+
+TEST(Isa, WritesRegRules)
+{
+    EXPECT_TRUE(mk(Opcode::Add, 5).writesReg());
+    EXPECT_FALSE(mk(Opcode::Add, 0).writesReg());  // r0 discard
+    EXPECT_TRUE(mk(Opcode::Ld8, 3).writesReg());
+    EXPECT_FALSE(mk(Opcode::St8, 3).writesReg());
+    EXPECT_TRUE(mk(Opcode::Jal, regLink).writesReg());
+    EXPECT_FALSE(mk(Opcode::Jmp, 5).writesReg());
+    EXPECT_FALSE(mk(Opcode::Beq, 5).writesReg());
+}
+
+TEST(Isa, SourceRules)
+{
+    EXPECT_TRUE(mk(Opcode::Add).readsRs1());
+    EXPECT_TRUE(mk(Opcode::Add).readsRs2());
+    EXPECT_TRUE(mk(Opcode::AddI).readsRs1());
+    EXPECT_FALSE(mk(Opcode::AddI).readsRs2());
+    EXPECT_FALSE(mk(Opcode::MovI).readsRs1());
+    EXPECT_TRUE(mk(Opcode::St8).readsRs2());
+    EXPECT_TRUE(mk(Opcode::Ld8).readsRs1());
+    EXPECT_FALSE(mk(Opcode::Ld8).readsRs2());
+    EXPECT_FALSE(mk(Opcode::Jal).readsRs1());
+    EXPECT_TRUE(mk(Opcode::Jr).readsRs1());
+}
+
+TEST(Isa, AluArithmetic)
+{
+    EXPECT_EQ(evalAlu(mk(Opcode::Add), 3, 4, 0), 7u);
+    EXPECT_EQ(evalAlu(mk(Opcode::Sub), 3, 4, 0), ~std::uint64_t(0));
+    EXPECT_EQ(evalAlu(mk(Opcode::Mul), 6, 7, 0), 42u);
+    EXPECT_EQ(evalAlu(mk(Opcode::And), 0xf0, 0x3c, 0), 0x30u);
+    EXPECT_EQ(evalAlu(mk(Opcode::Or), 0xf0, 0x0f, 0), 0xffu);
+    EXPECT_EQ(evalAlu(mk(Opcode::Xor), 0xff, 0x0f, 0), 0xf0u);
+}
+
+TEST(Isa, AluShifts)
+{
+    EXPECT_EQ(evalAlu(mk(Opcode::Sll), 1, 8, 0), 256u);
+    EXPECT_EQ(evalAlu(mk(Opcode::Srl), 256, 8, 0), 1u);
+    // Arithmetic shift preserves sign.
+    EXPECT_EQ(evalAlu(mk(Opcode::Sra), static_cast<std::uint64_t>(-16), 2,
+                      0),
+              static_cast<std::uint64_t>(-4));
+    // Shift amounts are masked to 6 bits.
+    EXPECT_EQ(evalAlu(mk(Opcode::Sll), 1, 64, 0), 1u);
+}
+
+TEST(Isa, AluComparisons)
+{
+    EXPECT_EQ(evalAlu(mk(Opcode::Slt), static_cast<std::uint64_t>(-1), 0,
+                      0),
+              1u);
+    EXPECT_EQ(evalAlu(mk(Opcode::Sltu), static_cast<std::uint64_t>(-1), 0,
+                      0),
+              0u);
+    EXPECT_EQ(evalAlu(mk(Opcode::SltI, 0, 0, 0, 5), 4, 0, 0), 1u);
+    EXPECT_EQ(evalAlu(mk(Opcode::SltI, 0, 0, 0, 5), 5, 0, 0), 0u);
+}
+
+TEST(Isa, AluImmediates)
+{
+    EXPECT_EQ(evalAlu(mk(Opcode::AddI, 0, 0, 0, -3), 10, 0, 0), 7u);
+    EXPECT_EQ(evalAlu(mk(Opcode::AndI, 0, 0, 0, 0xff), 0x1234, 0, 0),
+              0x34u);
+    EXPECT_EQ(evalAlu(mk(Opcode::MovI, 0, 0, 0, -1), 99, 99, 0),
+              ~std::uint64_t(0));
+    EXPECT_EQ(evalAlu(mk(Opcode::SllI, 0, 0, 0, 4), 3, 0, 0), 48u);
+    EXPECT_EQ(evalAlu(mk(Opcode::SraI, 0, 0, 0, 1),
+                      static_cast<std::uint64_t>(-2), 0, 0),
+              static_cast<std::uint64_t>(-1));
+}
+
+TEST(Isa, JalLinkValue)
+{
+    EXPECT_EQ(evalAlu(mk(Opcode::Jal, regLink), 0, 0, 41), 42u);
+}
+
+TEST(Isa, BranchSemantics)
+{
+    EXPECT_TRUE(evalBranchTaken(mk(Opcode::Beq), 5, 5));
+    EXPECT_FALSE(evalBranchTaken(mk(Opcode::Beq), 5, 6));
+    EXPECT_TRUE(evalBranchTaken(mk(Opcode::Bne), 5, 6));
+    EXPECT_TRUE(evalBranchTaken(mk(Opcode::Blt),
+                                static_cast<std::uint64_t>(-1), 0));
+    EXPECT_FALSE(evalBranchTaken(mk(Opcode::Blt), 0,
+                                 static_cast<std::uint64_t>(-1)));
+    EXPECT_TRUE(evalBranchTaken(mk(Opcode::Bge), 5, 5));
+}
+
+TEST(Isa, BranchEvalOnNonBranchPanics)
+{
+    EXPECT_THROW(evalBranchTaken(mk(Opcode::Add), 0, 0), std::logic_error);
+}
+
+TEST(Isa, EffectiveAddr)
+{
+    EXPECT_EQ(effectiveAddr(mk(Opcode::Ld8, 1, 2, 0, 16), 100), 116u);
+    EXPECT_EQ(effectiveAddr(mk(Opcode::St4, 0, 2, 3, -4), 100), 96u);
+}
+
+TEST(Isa, ExecLatency)
+{
+    EXPECT_EQ(mk(Opcode::Add).execLatency(), 1u);
+    EXPECT_EQ(mk(Opcode::Mul).execLatency(), 3u);
+}
+
+TEST(Isa, DisassembleForms)
+{
+    EXPECT_EQ(disassemble(mk(Opcode::Add, 3, 1, 2)), "add r3, r1, r2");
+    EXPECT_EQ(disassemble(mk(Opcode::AddI, 3, 1, 0, 5)), "addi r3, r1, 5");
+    EXPECT_EQ(disassemble(mk(Opcode::Ld8, 4, 2, 0, 8)), "ld8 r4, 8(r2)");
+    EXPECT_EQ(disassemble(mk(Opcode::St8, 0, 2, 4, 8)), "st8 r4, 8(r2)");
+    EXPECT_EQ(disassemble(mk(Opcode::Beq, 0, 1, 2, 7)), "beq r1, r2, @7");
+    EXPECT_EQ(disassemble(mk(Opcode::Jr, 0, regLink)), "jr r31");
+    EXPECT_EQ(disassemble(mk(Opcode::Nop)), "nop");
+}
+
+/** Every opcode has a distinct printable mnemonic. */
+TEST(Isa, OpcodeNamesDistinct)
+{
+    std::set<std::string> names;
+    for (unsigned op = 0;
+         op < static_cast<unsigned>(Opcode::NumOpcodes); ++op) {
+        names.insert(opcodeName(static_cast<Opcode>(op)));
+    }
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(Opcode::NumOpcodes));
+}
+
+/** Property sweep: ALU ops are pure functions (same inputs, same output). */
+class AluPurity : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(AluPurity, Deterministic)
+{
+    const StaticInst si = mk(GetParam(), 1, 2, 3, 13);
+    for (std::uint64_t a : {0ull, 1ull, ~0ull, 0x8000000000000000ull}) {
+        for (std::uint64_t b : {0ull, 5ull, 63ull, ~0ull}) {
+            EXPECT_EQ(evalAlu(si, a, b, 7), evalAlu(si, a, b, 7));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlu, AluPurity,
+    ::testing::Values(Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or,
+                      Opcode::Xor, Opcode::Sll, Opcode::Srl, Opcode::Sra,
+                      Opcode::Mul, Opcode::Slt, Opcode::Sltu, Opcode::AddI,
+                      Opcode::AndI, Opcode::OrI, Opcode::XorI, Opcode::SllI,
+                      Opcode::SrlI, Opcode::SraI, Opcode::SltI,
+                      Opcode::MovI));

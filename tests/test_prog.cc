@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests: Program container, ProgramBuilder (labels, data
+ * allocation, validation) and the functional interpreter on small
+ * directed programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/interp.hh"
+#include "prog/builder.hh"
+#include "prog/program.hh"
+
+using namespace svw;
+
+TEST(Builder, EmitsAndFinishes)
+{
+    ProgramBuilder b("t");
+    b.movi(1, 42);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.textSize(), 2u);
+    EXPECT_EQ(p.inst(0).op, Opcode::MovI);
+    EXPECT_EQ(p.inst(0).imm, 42);
+}
+
+TEST(Builder, ForwardLabelPatched)
+{
+    ProgramBuilder b("t");
+    Label skip = b.newLabel();
+    b.jmp(skip);
+    b.movi(1, 1);  // skipped
+    b.bind(skip);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.inst(0).imm, 2);
+}
+
+TEST(Builder, BackwardLabelPatched)
+{
+    ProgramBuilder b("t");
+    Label top = b.newLabel();
+    b.movi(1, 0);
+    b.bind(top);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, top);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.inst(2).imm, 1);
+}
+
+TEST(Builder, UnboundLabelPanics)
+{
+    ProgramBuilder b("t");
+    Label l = b.newLabel();
+    b.jmp(l);
+    b.halt();
+    EXPECT_THROW(b.finish(), std::logic_error);
+}
+
+TEST(Builder, DoubleBindPanics)
+{
+    ProgramBuilder b("t");
+    Label l = b.newLabel();
+    b.bind(l);
+    EXPECT_THROW(b.bind(l), std::logic_error);
+}
+
+TEST(Builder, DataAllocationAlignedAndDisjoint)
+{
+    ProgramBuilder b("t");
+    Addr a1 = b.allocData(100, 8);
+    Addr a2 = b.allocData(10, 64);
+    Addr a3 = b.allocData(1, 8);
+    EXPECT_EQ(a1 % 8, 0u);
+    EXPECT_EQ(a2 % 64, 0u);
+    EXPECT_GE(a2, a1 + 100);
+    EXPECT_GE(a3, a2 + 10);
+}
+
+TEST(Builder, AllocWordsInitialMemory)
+{
+    ProgramBuilder b("t");
+    Addr a = b.allocWords({1, 2, 0xdeadbeef});
+    b.halt();
+    Program p = b.finish();
+    Interp in(p);
+    EXPECT_EQ(in.memory().read(a, 8), 1u);
+    EXPECT_EQ(in.memory().read(a + 8, 8), 2u);
+    EXPECT_EQ(in.memory().read(a + 16, 8), 0xdeadbeefu);
+}
+
+TEST(Builder, ValidationCatchesMissingHalt)
+{
+    ProgramBuilder b("t");
+    b.movi(1, 1);
+    EXPECT_THROW(b.finish(), std::logic_error);
+}
+
+TEST(Program, ValidateChecksBranchTargets)
+{
+    Program p("bad");
+    p.text().push_back({Opcode::Beq, 0, 1, 2, 99});
+    p.text().push_back({Opcode::Halt, 0, 0, 0, 0});
+    EXPECT_THROW(p.validate(), std::logic_error);
+}
+
+TEST(Program, ValidateChecksRegisterRange)
+{
+    Program p("bad");
+    p.text().push_back({Opcode::Add, 40, 1, 2, 0});
+    p.text().push_back({Opcode::Halt, 0, 0, 0, 0});
+    EXPECT_THROW(p.validate(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Interpreter semantics
+// ---------------------------------------------------------------------
+
+TEST(Interp, SimpleArithmetic)
+{
+    ProgramBuilder b("t");
+    b.movi(1, 6);
+    b.movi(2, 7);
+    b.mul(3, 1, 2);
+    b.halt();
+    Program p = b.finish();
+    Interp in(p);
+    EXPECT_TRUE(in.run(100));
+    EXPECT_EQ(in.reg(3), 42u);
+}
+
+TEST(Interp, R0AlwaysZero)
+{
+    ProgramBuilder b("t");
+    b.movi(0, 55);
+    b.addi(1, 0, 1);
+    b.halt();
+    Program p = b.finish();
+    Interp in(p);
+    in.run(100);
+    EXPECT_EQ(in.reg(0), 0u);
+    EXPECT_EQ(in.reg(1), 1u);
+}
+
+TEST(Interp, LoadStoreRoundTrip)
+{
+    ProgramBuilder b("t");
+    Addr buf = b.allocData(64);
+    b.loadAddr(1, buf);
+    b.movi(2, 0x1122334455667788);
+    b.st8(2, 1, 0);
+    b.ld8(3, 1, 0);
+    b.ld4(4, 1, 0);
+    b.ld2(5, 1, 0);
+    b.ld1(6, 1, 0);
+    b.ld1(7, 1, 7);
+    b.halt();
+    Program p = b.finish();
+    Interp in(p);
+    in.run(100);
+    EXPECT_EQ(in.reg(3), 0x1122334455667788u);
+    EXPECT_EQ(in.reg(4), 0x55667788u);  // zero-extended
+    EXPECT_EQ(in.reg(5), 0x7788u);
+    EXPECT_EQ(in.reg(6), 0x88u);
+    EXPECT_EQ(in.reg(7), 0x11u);        // little endian high byte
+}
+
+TEST(Interp, SubWordStoreLeavesNeighbours)
+{
+    ProgramBuilder b("t");
+    Addr buf = b.allocWords({~0ull});
+    b.loadAddr(1, buf);
+    b.movi(2, 0);
+    b.st1(2, 1, 3);
+    b.ld8(3, 1, 0);
+    b.halt();
+    Program p = b.finish();
+    Interp in(p);
+    in.run(100);
+    EXPECT_EQ(in.reg(3), 0xffffffff00ffffffu);
+}
+
+TEST(Interp, LoopCountsAndHalts)
+{
+    ProgramBuilder b("t");
+    b.movi(1, 0);
+    b.movi(2, 10);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    Program p = b.finish();
+    Interp in(p);
+    EXPECT_TRUE(in.run(1000));
+    EXPECT_EQ(in.reg(1), 10u);
+    EXPECT_EQ(in.counts().branches, 10u);
+    EXPECT_EQ(in.counts().takenBranches, 9u);
+}
+
+TEST(Interp, CallAndReturn)
+{
+    ProgramBuilder b("t");
+    Label fn = b.newLabel();
+    Label entry = b.newLabel();
+    b.jmp(entry);
+    b.bind(fn);
+    b.addi(5, 5, 100);
+    b.ret();
+    b.bind(entry);
+    b.movi(5, 1);
+    b.call(fn);
+    b.addi(5, 5, 10);
+    b.halt();
+    Program p = b.finish();
+    Interp in(p);
+    EXPECT_TRUE(in.run(100));
+    EXPECT_EQ(in.reg(5), 111u);
+}
+
+TEST(Interp, NestedCallsWithStack)
+{
+    ProgramBuilder b("t");
+    Label inner = b.newLabel();
+    Label outer = b.newLabel();
+    Label entry = b.newLabel();
+    b.jmp(entry);
+
+    b.bind(inner);
+    b.addi(5, 5, 1);
+    b.ret();
+
+    b.bind(outer);
+    b.pushLink();
+    b.call(inner);
+    b.call(inner);
+    b.popLinkAndRet();
+
+    b.bind(entry);
+    b.movi(5, 0);
+    b.call(outer);
+    b.call(outer);
+    b.halt();
+    Program p = b.finish();
+    Interp in(p);
+    EXPECT_TRUE(in.run(1000));
+    EXPECT_EQ(in.reg(5), 4u);
+}
+
+TEST(Interp, SilentStoreCounted)
+{
+    ProgramBuilder b("t");
+    Addr buf = b.allocWords({7});
+    b.loadAddr(1, buf);
+    b.movi(2, 7);
+    b.st8(2, 1, 0);   // silent: writes existing value
+    b.movi(2, 8);
+    b.st8(2, 1, 0);   // not silent
+    b.halt();
+    Program p = b.finish();
+    Interp in(p);
+    in.run(100);
+    EXPECT_EQ(in.counts().silentStores, 1u);
+    EXPECT_EQ(in.counts().stores, 2u);
+}
+
+TEST(Interp, RunBudgetStopsEarly)
+{
+    ProgramBuilder b("t");
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.addi(1, 1, 1);
+    b.jmp(loop);
+    b.halt();  // unreachable but required
+    Program p = b.finish();
+    Interp in(p);
+    EXPECT_FALSE(in.run(50));
+    EXPECT_EQ(in.counts().insts, 50u);
+    EXPECT_FALSE(in.halted());
+}
+
+TEST(Interp, StackPointerInitialized)
+{
+    ProgramBuilder b("t");
+    b.halt();
+    Program p = b.finish();
+    Interp in(p);
+    EXPECT_EQ(in.reg(regSp), p.stackTop());
+}

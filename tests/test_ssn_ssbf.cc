@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests: SSN numbering with wrap-around (section 3.6) and the
+ * SSBF in all Figure 8 organizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "base/random.hh"
+#include "svw/ssbf.hh"
+#include "svw/ssn.hh"
+
+using namespace svw;
+
+// ---------------------------------------------------------------------
+// SSN
+// ---------------------------------------------------------------------
+
+TEST(Ssn, MonotonicAssignment)
+{
+    SsnState s(16);
+    EXPECT_EQ(s.assign(), 1u);
+    EXPECT_EQ(s.assign(), 2u);
+    EXPECT_EQ(s.ssnRename(), 2u);
+}
+
+TEST(Ssn, TruncationMasksWidth)
+{
+    SsnState s(8);
+    EXPECT_EQ(s.trunc(0x1ff), 0xffu);
+    EXPECT_EQ(s.trunc(0x100), 0u);
+    SsnState wide(64);
+    EXPECT_EQ(wide.trunc(~SSN(0)), ~SSN(0));
+}
+
+TEST(Ssn, WrapDetectedAtWidthBoundary)
+{
+    SsnState s(8);
+    for (int i = 1; i < 255; ++i)
+        s.assign();
+    EXPECT_FALSE(s.nextAssignWraps());
+    s.assign();  // 255
+    EXPECT_TRUE(s.nextAssignWraps());
+    EXPECT_THROW(s.assign(), std::logic_error);
+    s.ackWrap();  // skips the reserved truncated-zero value
+    EXPECT_EQ(s.trunc(s.assign()), 1u);
+}
+
+TEST(Ssn, AckWithoutPendingWrapPanics)
+{
+    SsnState s(16);
+    EXPECT_THROW(s.ackWrap(), std::logic_error);
+}
+
+TEST(Ssn, RollbackRestoresAllocationPoint)
+{
+    SsnState s(16);
+    s.assign();
+    s.assign();
+    SSN save = s.ssnRename();
+    s.assign();
+    s.assign();
+    s.rollbackTo(save);
+    EXPECT_EQ(s.assign(), save + 1);
+}
+
+TEST(Ssn, RetirementTracked)
+{
+    SsnState s(16);
+    SSN a = s.assign();
+    EXPECT_EQ(s.retired(), 0u);
+    s.onRetire(a);
+    EXPECT_EQ(s.retired(), a);
+}
+
+TEST(Ssn, SixtyFourBitNeverWraps)
+{
+    SsnState s(64);
+    for (int i = 0; i < 100000; ++i)
+        s.assign();
+    EXPECT_FALSE(s.nextAssignWraps());
+}
+
+TEST(Ssn, BadWidthPanics)
+{
+    EXPECT_THROW(SsnState(2), std::logic_error);
+    EXPECT_THROW(SsnState(65), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// SSBF
+// ---------------------------------------------------------------------
+
+namespace {
+
+SSBF
+mkSsbf(stats::StatRegistry &reg, unsigned entries = 512, bool dual = false,
+       unsigned gran = 8, bool inf = false)
+{
+    SsbfParams p;
+    p.entries = entries;
+    p.dualHash = dual;
+    p.granularityBytes = gran;
+    p.infinite = inf;
+    return SSBF(p, reg);
+}
+
+} // namespace
+
+TEST(Ssbf, FreshFilterNeverForcesReExecution)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg);
+    EXPECT_FALSE(f.test(0x1000, 8, 0));
+    EXPECT_FALSE(f.test(0x1000, 8, 100));
+}
+
+TEST(Ssbf, StoreMakesVulnerableLoadsTestPositive)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg);
+    f.update(0x1000, 8, 50);
+    EXPECT_TRUE(f.test(0x1000, 8, 49));   // vulnerable (svw < 50)
+    EXPECT_FALSE(f.test(0x1000, 8, 50));  // not vulnerable
+    EXPECT_FALSE(f.test(0x1000, 8, 51));
+}
+
+TEST(Ssbf, EightByteGranularityFalseSharing)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg);
+    f.update(0x1000, 1, 50);  // one byte
+    // A non-overlapping byte in the same quadword still tests positive
+    // ("false sharing due to non-overlapping sub-quad writes").
+    EXPECT_TRUE(f.test(0x1007, 1, 10));
+    // The next quadword does not.
+    EXPECT_FALSE(f.test(0x1008, 1, 10));
+}
+
+TEST(Ssbf, FourByteGranularitySeparatesSubQuad)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg, 512, false, 4);
+    f.update(0x1000, 1, 50);
+    EXPECT_TRUE(f.test(0x1003, 1, 10));
+    EXPECT_FALSE(f.test(0x1004, 1, 10));  // other half of the quadword
+}
+
+TEST(Ssbf, MultiGranuleAccessChecksAllGranules)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg);
+    f.update(0x1008, 8, 50);
+    // An unaligned 8-byte load spanning 0x1004-0x100b overlaps the
+    // written granule.
+    EXPECT_TRUE(f.test(0x1004, 8, 10));
+}
+
+TEST(Ssbf, AliasingOnlyFalsePositives)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg, 128);
+    f.update(0x0000, 8, 70);
+    // 128 entries x 8 B granules: 0x400 aliases to the same slot.
+    EXPECT_TRUE(f.test(0x400, 8, 10));  // false positive (conservative)
+    // But a slot nothing mapped to stays clean: never false negative.
+    EXPECT_FALSE(f.test(0x8, 8, 10));
+}
+
+TEST(Ssbf, DualHashFiltersSingleTableAliases)
+{
+    stats::StatRegistry reg;
+    SSBF simple = mkSsbf(reg, 128, false);
+    SSBF dual = mkSsbf(reg, 128, true);
+    simple.update(0x0000, 8, 70);
+    dual.update(0x0000, 8, 70);
+    // Table-1 alias (same low bits, different high bits).
+    EXPECT_TRUE(simple.test(0x400, 8, 10));
+    EXPECT_FALSE(dual.test(0x400, 8, 10));  // second hash disambiguates
+    // True match still positive in both.
+    EXPECT_TRUE(dual.test(0x0000, 8, 10));
+}
+
+TEST(Ssbf, InfiniteFilterExact)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg, 512, false, 4, true);
+    f.update(0x123450, 4, 99);
+    EXPECT_TRUE(f.test(0x123450, 4, 98));
+    EXPECT_FALSE(f.test(0x123450, 4, 99));
+    // No aliasing anywhere.
+    for (Addr a = 0; a < 0x4000; a += 4)
+        EXPECT_FALSE(f.test(a, 4, 0));
+}
+
+TEST(Ssbf, YoungerStoreOverwritesOlderSsn)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg);
+    f.update(0x1000, 8, 10);
+    f.update(0x1000, 8, 90);
+    EXPECT_TRUE(f.test(0x1000, 8, 50));  // vulnerable to the younger one
+}
+
+TEST(Ssbf, InvalidateLineWritesEveryGranule)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg);
+    f.invalidateLine(0x2000, 64, 77);
+    for (Addr a = 0x2000; a < 0x2040; a += 8)
+        EXPECT_TRUE(f.test(a, 8, 76)) << std::hex << a;
+    EXPECT_FALSE(f.test(0x2040, 8, 76));
+    EXPECT_EQ(f.invalidationUpdates.value(), 8u);
+}
+
+TEST(Ssbf, ClearResetsEverything)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg);
+    f.update(0x1000, 8, 50);
+    f.clear();
+    EXPECT_FALSE(f.test(0x1000, 8, 0));
+}
+
+TEST(Ssbf, StorageCostMatchesPaper)
+{
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg, 512);
+    // 512 entries x 16-bit SSNs = 1 KB: the paper's headline cost.
+    EXPECT_EQ(f.storageBits(16), 512u * 16u);
+    EXPECT_EQ(f.storageBits(16) / 8, 1024u);
+}
+
+/**
+ * Property: the SSBF is conservative. For any update/test sequence, a
+ * test on an address whose granule was written with SSN > svw MUST be
+ * positive (no false negatives), for every organization.
+ */
+class SsbfConservative
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool, unsigned>>
+{
+};
+
+TEST_P(SsbfConservative, NoFalseNegatives)
+{
+    auto [entries, dual, gran] = GetParam();
+    stats::StatRegistry reg;
+    SSBF f = mkSsbf(reg, entries, dual, gran);
+    Random rng(entries * 31 + gran);
+
+    // Ground truth: exact map from granule to last SSN.
+    std::unordered_map<Addr, SSN> truth;
+    for (SSN ssn = 1; ssn <= 2000; ++ssn) {
+        const Addr addr = rng.nextBounded(1 << 14) & ~Addr(7);
+        f.update(addr, 8, ssn);
+        for (Addr g = addr / gran; g <= (addr + 7) / gran; ++g)
+            truth[g] = ssn;
+
+        if (ssn % 7 == 0) {
+            const Addr la = rng.nextBounded(1 << 14) & ~Addr(7);
+            const SSN svw = rng.nextBounded(ssn);
+            bool mustRex = false;
+            for (Addr g = la / gran; g <= (la + 7) / gran; ++g) {
+                auto it = truth.find(g);
+                if (it != truth.end() && it->second > svw)
+                    mustRex = true;
+            }
+            if (mustRex) {
+                EXPECT_TRUE(f.test(la, 8, svw));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Organizations, SsbfConservative,
+    ::testing::Values(std::make_tuple(128u, false, 8u),
+                      std::make_tuple(512u, false, 8u),
+                      std::make_tuple(2048u, false, 8u),
+                      std::make_tuple(512u, true, 8u),
+                      std::make_tuple(512u, false, 4u)));

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests: statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+using namespace svw::stats;
+
+TEST(Stats, ScalarCountsAndResets)
+{
+    StatRegistry reg;
+    Scalar s(reg, "s", "a counter");
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 10;
+    EXPECT_EQ(s.value(), 11u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, AverageMean)
+{
+    StatRegistry reg;
+    Average a(reg, "a", "an average");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "dist", 0, 100, 10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(99);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 2u);
+    EXPECT_EQ(d.bucketCount(9), 1u);
+    EXPECT_EQ(d.totalSamples(), 4u);
+}
+
+TEST(Stats, DistributionOverUnderflow)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "dist", 10, 20, 5);
+    d.sample(5);
+    d.sample(25);
+    d.sample(15);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_DOUBLE_EQ(d.mean(), 15.0);
+}
+
+TEST(Stats, DistributionReset)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "dist", 0, 10, 5);
+    d.sample(3);
+    d.reset();
+    EXPECT_EQ(d.totalSamples(), 0u);
+    EXPECT_EQ(d.bucketCount(1), 0u);
+}
+
+TEST(Stats, RegistryFindsByName)
+{
+    StatRegistry reg;
+    Scalar s1(reg, "alpha", "");
+    Scalar s2(reg, "beta", "");
+    EXPECT_EQ(reg.find("alpha"), &s1);
+    EXPECT_EQ(reg.find("beta"), &s2);
+    EXPECT_EQ(reg.find("gamma"), nullptr);
+}
+
+TEST(Stats, RegistryResetAll)
+{
+    StatRegistry reg;
+    Scalar s1(reg, "a", "");
+    Scalar s2(reg, "b", "");
+    s1 += 5;
+    s2 += 7;
+    reg.resetAll();
+    EXPECT_EQ(s1.value(), 0u);
+    EXPECT_EQ(s2.value(), 0u);
+}
+
+TEST(Stats, PrintContainsNameValueDesc)
+{
+    StatRegistry reg;
+    Scalar s(reg, "core.widgets", "number of widgets");
+    s += 42;
+    std::ostringstream os;
+    reg.printAll(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("core.widgets"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("number of widgets"), std::string::npos);
+}
+
+TEST(Stats, DistributionPrintSkipsEmptyBuckets)
+{
+    StatRegistry reg;
+    Distribution d(reg, "d", "dist", 0, 100, 10);
+    d.sample(55);
+    std::ostringstream os;
+    d.print(os);
+    EXPECT_NE(os.str().find("[50,60)"), std::string::npos);
+    EXPECT_EQ(os.str().find("[0,10)"), std::string::npos);
+}
+
+TEST(Stats, BadDistributionShapePanics)
+{
+    StatRegistry reg;
+    EXPECT_THROW(Distribution(reg, "d", "", 10, 10, 5), std::logic_error);
+    EXPECT_THROW(Distribution(reg, "d", "", 0, 10, 0), std::logic_error);
+}
+
+TEST(Stats, RegistryOrderPreserved)
+{
+    StatRegistry reg;
+    Scalar s1(reg, "first", "");
+    Scalar s2(reg, "second", "");
+    ASSERT_EQ(reg.all().size(), 2u);
+    EXPECT_EQ(reg.all()[0]->name(), "first");
+    EXPECT_EQ(reg.all()[1]->name(), "second");
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests: SvwUnit policy glue — per-optimization SVW assignment,
+ * forwarding updates, the re-execution filter test, invalidations, and
+ * wrap clears.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/dyninst.hh"
+#include "svw/svw.hh"
+
+using namespace svw;
+
+namespace {
+
+StaticInst ld8Inst{Opcode::Ld8, 1, 2, 0, 0};
+StaticInst st8Inst{Opcode::St8, 0, 2, 3, 0};
+
+SvwUnit
+mkUnit(stats::StatRegistry &reg, bool upd = true)
+{
+    SvwConfig c;
+    c.enabled = true;
+    c.updateOnForward = upd;
+    return SvwUnit(c, reg);
+}
+
+DynInst
+mkLoad(Addr addr, SSN svw)
+{
+    DynInst d;
+    d.si = &ld8Inst;
+    d.addr = addr;
+    d.size = 8;
+    d.svw = svw;
+    d.svwValid = true;
+    return d;
+}
+
+DynInst
+mkStore(Addr addr, SSN ssn)
+{
+    DynInst d;
+    d.si = &st8Inst;
+    d.addr = addr;
+    d.size = 8;
+    d.ssn = ssn;
+    return d;
+}
+
+} // namespace
+
+TEST(SvwUnit, DispatchWindowIsSsnRetire)
+{
+    stats::StatRegistry reg;
+    SvwUnit u = mkUnit(reg);
+    u.ssn().assign();
+    u.ssn().assign();
+    u.ssn().onRetire(1);
+    EXPECT_EQ(u.svwAtDispatch(), 1u);
+}
+
+TEST(SvwUnit, UnwrittenAddressNeverReExecutes)
+{
+    stats::StatRegistry reg;
+    SvwUnit u = mkUnit(reg);
+    DynInst ld = mkLoad(0x1000, 0);
+    EXPECT_FALSE(u.mustReExecute(ld));
+    EXPECT_EQ(u.loadsFiltered.value(), 1u);
+}
+
+TEST(SvwUnit, VulnerableStoreForcesReExecution)
+{
+    stats::StatRegistry reg;
+    SvwUnit u = mkUnit(reg);
+    // Working example of Figure 4a: load svw=62, store 66 writes A.
+    DynInst st = mkStore(0xA00, 66);
+    u.storeUpdate(st);
+    DynInst ld = mkLoad(0xA00, 62);
+    EXPECT_TRUE(u.mustReExecute(ld));
+}
+
+TEST(SvwUnit, FigureFourBAlternative)
+{
+    stats::StatRegistry reg;
+    SvwUnit u = mkUnit(reg);
+    // Store 64 (older than the forwarding store 65) writes A; the load
+    // forwarded from 65 so ld.svw=65 and must NOT re-execute.
+    DynInst st = mkStore(0xA00, 64);
+    u.storeUpdate(st);
+    DynInst ld = mkLoad(0xA00, 62);
+    u.onStoreForward(ld, 65);
+    EXPECT_EQ(ld.svw, 65u);
+    EXPECT_FALSE(u.mustReExecute(ld));
+}
+
+TEST(SvwUnit, ForwardUpdateDisabledInNoUpdMode)
+{
+    stats::StatRegistry reg;
+    SvwUnit u = mkUnit(reg, /*upd=*/false);
+    DynInst ld = mkLoad(0xA00, 62);
+    u.onStoreForward(ld, 65);
+    EXPECT_EQ(ld.svw, 62u);  // -UPD: window unchanged
+}
+
+TEST(SvwUnit, ForwardUpdateNeverShrinksWindow)
+{
+    stats::StatRegistry reg;
+    SvwUnit u = mkUnit(reg);
+    DynInst ld = mkLoad(0xA00, 70);
+    u.onStoreForward(ld, 65);  // older than current window start
+    EXPECT_EQ(ld.svw, 70u);
+}
+
+TEST(SvwUnit, ComposeTakesMin)
+{
+    EXPECT_EQ(SvwUnit::composeSvw(10, 20), 10u);
+    EXPECT_EQ(SvwUnit::composeSvw(20, 10), 10u);
+}
+
+TEST(SvwUnit, InvalidationMarksWholeLineYoung)
+{
+    stats::StatRegistry reg;
+    SvwUnit u = mkUnit(reg);
+    for (int i = 0; i < 5; ++i)
+        u.ssn().assign();  // SSNRENAME = 5
+    u.invalidation(0x2000, 64);
+    // Every load in flight (svw <= SSNRENAME) is vulnerable.
+    DynInst ld = mkLoad(0x2010, 5);
+    EXPECT_TRUE(u.mustReExecute(ld));
+    DynInst ld2 = mkLoad(0x2040, 5);  // next line untouched
+    EXPECT_FALSE(u.mustReExecute(ld2));
+}
+
+TEST(SvwUnit, WrapClearResetsFilter)
+{
+    stats::StatRegistry reg;
+    SvwUnit u = mkUnit(reg);
+    u.storeUpdate(mkStore(0xA00, 66));
+    u.wrapClear();
+    DynInst ld = mkLoad(0xA00, 0);
+    EXPECT_FALSE(u.mustReExecute(ld));
+    EXPECT_EQ(u.wrapDrains.value(), 1u);
+}
+
+TEST(SvwUnit, TruncatedComparisonWithinEpoch)
+{
+    stats::StatRegistry reg;
+    SvwConfig c;
+    c.enabled = true;
+    c.ssnBits = 8;
+    SvwUnit u(c, reg);
+    // SSNs near the top of the 8-bit range still compare correctly
+    // within an epoch (the wrap drain prevents cross-epoch compares).
+    DynInst st = mkStore(0xA00, 250);
+    u.storeUpdate(st);
+    EXPECT_TRUE(u.mustReExecute(mkLoad(0xA00, 249)));
+    EXPECT_FALSE(u.mustReExecute(mkLoad(0xA00, 250)));
+}
+
+TEST(SvwUnit, DisabledUnitSkipsStoreUpdates)
+{
+    stats::StatRegistry reg;
+    SvwConfig c;
+    c.enabled = false;
+    SvwUnit u(c, reg);
+    u.storeUpdate(mkStore(0xA00, 5));
+    EXPECT_EQ(u.ssbf().updates.value(), 0u);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests: the pipeline event tracer — event counts are consistent
+ * with retirement stats, the text formatter produces the documented
+ * format, and detaching the tracer is safe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cpu/core.hh"
+#include "cpu/tracer.hh"
+#include "harness/config.hh"
+#include "prog/builder.hh"
+
+using namespace svw;
+using namespace svw::harness;
+
+namespace {
+
+Program
+smallLoop(int iters)
+{
+    ProgramBuilder b("traced");
+    Addr buf = b.allocData(256);
+    b.loadAddr(1, buf);
+    b.movi(2, 0);
+    b.movi(3, iters);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.st8(2, 1, 0);
+    b.ld8(4, 1, 0);
+    b.add(5, 5, 4);
+    b.addi(2, 2, 1);
+    b.blt(2, 3, loop);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Tracer, EventNamesDistinct)
+{
+    std::set<std::string> names;
+    for (unsigned e = 0; e < 8; ++e)
+        names.insert(traceEventName(static_cast<TraceEvent>(e)));
+    EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Tracer, CountsMatchRetirementStats)
+{
+    Program prog = smallLoop(50);
+    stats::StatRegistry reg;
+    ExperimentConfig cfg;
+    cfg.opt = OptMode::Ssq;
+    cfg.svw = SvwMode::Upd;
+    Core core(buildParams(cfg), prog, reg);
+    CountingTracer tracer;
+    core.setTracer(&tracer);
+    RunOutcome out = core.run(~0ull, 1'000'000);
+    ASSERT_TRUE(out.halted);
+
+    EXPECT_EQ(tracer.count(TraceEvent::Commit), out.instructions);
+    // Everything committed was fetched and dispatched at least once.
+    EXPECT_GE(tracer.count(TraceEvent::Fetch), out.instructions);
+    EXPECT_GE(tracer.count(TraceEvent::Dispatch), out.instructions);
+    // Issue excludes nop/halt/eliminated; it is bounded by dispatch.
+    EXPECT_LE(tracer.count(TraceEvent::Issue),
+              tracer.count(TraceEvent::Dispatch));
+    // Marked loads that retire cleanly report a rex pass.
+    const auto *marked = dynamic_cast<const stats::Scalar *>(
+        reg.find("core.retiredLoads"));
+    EXPECT_GE(tracer.count(TraceEvent::RexPass), marked->value() - 2);
+}
+
+TEST(Tracer, SquashEventsOnMispredicts)
+{
+    Program prog = smallLoop(100);
+    stats::StatRegistry reg;
+    ExperimentConfig cfg;
+    Core core(buildParams(cfg), prog, reg);
+    CountingTracer tracer;
+    core.setTracer(&tracer);
+    core.run(~0ull, 1'000'000);
+    const auto *sq = dynamic_cast<const stats::Scalar *>(
+        reg.find("core.branchSquashes"));
+    if (sq->value() > 0) {
+        EXPECT_GT(tracer.count(TraceEvent::Squash), 0u);
+    }
+}
+
+TEST(Tracer, TextFormat)
+{
+    std::ostringstream os;
+    Tracer tracer(os);
+    StaticInst ld{Opcode::Ld8, 3, 1, 0, 16};
+    DynInst d;
+    d.si = &ld;
+    d.seq = 7;
+    d.pc = 42;
+    d.addr = 0x1000;
+    d.size = 8;
+    d.addrResolved = true;
+    d.rexReasons = RexSsqAll;
+    d.svw = 99;
+    tracer.event(123, TraceEvent::Issue, d);
+    tracer.note(124, "wrapDrain", 1);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("123"), std::string::npos);
+    EXPECT_NE(s.find("seq=7"), std::string::npos);
+    EXPECT_NE(s.find("pc=42"), std::string::npos);
+    EXPECT_NE(s.find("ld8 r3, 16(r1)"), std::string::npos);
+    EXPECT_NE(s.find("addr=0x1000"), std::string::npos);
+    EXPECT_NE(s.find("svw=99"), std::string::npos);
+    EXPECT_NE(s.find("wrapDrain"), std::string::npos);
+}
+
+TEST(Tracer, DetachingIsSafe)
+{
+    Program prog = smallLoop(20);
+    stats::StatRegistry reg;
+    ExperimentConfig cfg;
+    Core core(buildParams(cfg), prog, reg);
+    CountingTracer tracer;
+    core.setTracer(&tracer);
+    for (int i = 0; i < 50; ++i)
+        core.tick();
+    core.setTracer(nullptr);
+    RunOutcome out = core.run(~0ull, 1'000'000);
+    EXPECT_TRUE(out.halted);
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Workload-suite tests: every kernel builds, validates, halts under the
+ * functional interpreter, scales with the instruction target, and
+ * exhibits the memory behaviour its benchmark mapping claims
+ * (DESIGN.md section 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/interp.hh"
+#include "prog/workloads/workloads.hh"
+
+using namespace svw;
+using namespace svw::workloads;
+
+TEST(Workloads, SuiteHasSixteenPaperNames)
+{
+    const auto &names = suiteNames();
+    ASSERT_EQ(names.size(), 16u);
+    EXPECT_EQ(names.front(), "bzip2");
+    EXPECT_EQ(names.back(), "vpr.r");
+    for (const auto &n : names)
+        EXPECT_TRUE(isKnown(n));
+    EXPECT_FALSE(isKnown("quake"));
+}
+
+TEST(Workloads, Fig8SubsetIsInSuite)
+{
+    for (const auto &n : fig8Names())
+        EXPECT_TRUE(isKnown(n));
+    EXPECT_EQ(fig8Names().size(), 5u);
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_THROW(make("nonesuch", 1000), std::runtime_error);
+}
+
+/** Per-workload checks parameterized over the full suite. */
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSuite, BuildsAndValidates)
+{
+    Program p = make(GetParam(), 10'000);
+    EXPECT_EQ(p.name(), GetParam());
+    EXPECT_GT(p.textSize(), 4u);
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST_P(WorkloadSuite, HaltsNearTarget)
+{
+    Program p = make(GetParam(), 10'000);
+    Interp in(p);
+    ASSERT_TRUE(in.run(2'000'000)) << "did not halt";
+    // Within a loose band of the requested dynamic size.
+    EXPECT_GT(in.counts().insts, 2'000u);
+    EXPECT_LT(in.counts().insts, 200'000u);
+}
+
+TEST_P(WorkloadSuite, DeterministicAcrossBuilds)
+{
+    Program p1 = make(GetParam(), 5'000);
+    Program p2 = make(GetParam(), 5'000);
+    Interp a(p1), b(p2);
+    a.run(1'000'000);
+    b.run(1'000'000);
+    ASSERT_EQ(a.counts().insts, b.counts().insts);
+    for (RegIndex r = 0; r < numArchRegs; ++r)
+        EXPECT_EQ(a.reg(r), b.reg(r)) << "r" << r;
+    EXPECT_TRUE(a.memory().identicalTo(b.memory()));
+}
+
+TEST_P(WorkloadSuite, ScalesWithTarget)
+{
+    Program small = make(GetParam(), 5'000);
+    Program big = make(GetParam(), 40'000);
+    Interp is(small), ib(big);
+    is.run(10'000'000);
+    ib.run(10'000'000);
+    EXPECT_GT(ib.counts().insts, is.counts().insts * 3);
+}
+
+TEST_P(WorkloadSuite, HasLoadsAndStores)
+{
+    Program p = make(GetParam(), 10'000);
+    Interp in(p);
+    in.run(2'000'000);
+    EXPECT_GT(in.counts().loads, 0u);
+    EXPECT_GT(in.counts().stores, 0u);
+    EXPECT_GT(in.counts().branches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadSuite, ::testing::ValuesIn(suiteNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+// ---------------------------------------------------------------------
+// Behavioural claims from the DESIGN.md mapping
+// ---------------------------------------------------------------------
+
+namespace {
+
+InterpCounts
+countsOf(const std::string &name, std::uint64_t target = 20'000)
+{
+    Program p = make(name, target);
+    Interp in(p);
+    in.run(5'000'000);
+    return in.counts();
+}
+
+} // namespace
+
+TEST(WorkloadBehaviour, TwolfAndVprHaveSilentStores)
+{
+    EXPECT_GT(countsOf("twolf").silentStores, 50u);
+    EXPECT_GT(countsOf("vpr.p").silentStores, 50u);
+    EXPECT_GT(countsOf("vpr.r").silentStores, 50u);
+}
+
+TEST(WorkloadBehaviour, EonIsCallAndStoreHeavy)
+{
+    auto c = countsOf("eon.c");
+    // Stack push/pop plus object writes: stores are a sizable fraction.
+    EXPECT_GT(double(c.stores) / double(c.insts), 0.12);
+}
+
+TEST(WorkloadBehaviour, VortexIsStoreDense)
+{
+    auto c = countsOf("vortex");
+    EXPECT_GT(double(c.stores) / double(c.insts), 0.2);
+    EXPECT_GT(double(c.loads) / double(c.insts), 0.3);
+}
+
+TEST(WorkloadBehaviour, McfIsLoadSerial)
+{
+    auto c = countsOf("mcf");
+    EXPECT_GT(double(c.loads) / double(c.insts), 0.2);
+    // Few stores: write-back is periodic.
+    EXPECT_LT(double(c.stores) / double(c.insts), 0.1);
+}
+
+TEST(WorkloadBehaviour, CraftyIsComputeBound)
+{
+    auto c = countsOf("crafty");
+    EXPECT_LT(double(c.loads + c.stores) / double(c.insts), 0.2);
+}
+
+TEST(WorkloadBehaviour, TwolfIsBranchy)
+{
+    auto c = countsOf("twolf");
+    EXPECT_GT(double(c.branches) / double(c.insts), 0.05);
+}
+
+TEST(WorkloadBehaviour, EonVariantsDiffer)
+{
+    Program c = make("eon.c", 10'000);
+    Program k = make("eon.k", 10'000);
+    Interp ic(c), ik(k);
+    ic.run(1'000'000);
+    ik.run(1'000'000);
+    // Same kernel skeleton, different parameters: different results.
+    bool differ = false;
+    for (RegIndex r = 0; r < numArchRegs && !differ; ++r)
+        differ = ic.reg(r) != ik.reg(r);
+    EXPECT_TRUE(differ);
+}
