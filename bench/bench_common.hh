@@ -4,9 +4,12 @@
  * sizing, suite iteration, and figure assembly.
  *
  * Every binary accepts:
- *   --insts=N   dynamic-instruction target per run (default 60000)
+ *   --insts=N   dynamic-instruction target per run (default 100000)
  *   --quick     reduce to 20000 instructions per run
  *   --bench=X   restrict to one workload
+ *
+ * Unrecognized arguments (flags or positionals) are rejected with
+ * exit 2 so typos fail fast.
  */
 
 #ifndef SVW_BENCH_BENCH_COMMON_HH
@@ -14,6 +17,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -46,8 +50,13 @@ parseArgs(int argc, char **argv)
             args.only = a.substr(8);
         else if (a.rfind("--benchmark", 0) == 0)
             continue;  // tolerate google-benchmark flags
-        else
-            std::fprintf(stderr, "unknown arg %s\n", a.c_str());
+        else {
+            std::fprintf(stderr,
+                         "error: unknown arg %s\n"
+                         "usage: %s [--insts=N] [--quick] [--bench=X]\n",
+                         a.c_str(), argv[0]);
+            std::exit(2);
+        }
     }
     return args;
 }

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Host-side simulator throughput tracker.
+ *
+ * Unlike the figure benches (which reproduce the paper's *simulated*
+ * results), this binary measures how fast the simulator itself runs:
+ * simulated instructions retired per host second (Minsts/s), the budget
+ * that bounds every sweep in bench/. It times the out-of-order core on a
+ * representative config matrix — the conventional baseline, NLQ and SSQ
+ * with SVW (the hot rex/SVW paths), and RLE on the 4-wide machine — over
+ * a small workload subset, and emits BENCH_hotloop.json so the perf
+ * trajectory is machine-readable across PRs.
+ *
+ * Flags (in addition to the bench_common set):
+ *   --out=FILE   JSON output path (default BENCH_hotloop.json)
+ *   --reps=N     timing repetitions per cell; best-of-N is reported
+ */
+
+#include <chrono>
+#include <fstream>
+
+#include "bench_common.hh"
+
+using namespace svw;
+using namespace svw::bench;
+using namespace svw::harness;
+
+namespace {
+
+struct Cell
+{
+    std::string workload;
+    std::string config;
+    std::uint64_t insts = 0;
+    std::uint64_t cycles = 0;
+    double seconds = 0.0;
+    double minstsPerSec = 0.0;
+    double mcyclesPerSec = 0.0;
+};
+
+/** Time one (workload, config) run; golden check off: timing loop only. */
+Cell
+timeCell(const std::string &workload, const ExperimentConfig &cfg,
+         std::uint64_t targetInsts, unsigned reps)
+{
+    Cell cell;
+    cell.workload = workload;
+    cell.config = configLabel(cfg);
+    for (unsigned r = 0; r < reps; ++r) {
+        Program prog = workloads::make(workload, targetInsts);
+        stats::StatRegistry reg;
+        Core core(buildParams(cfg), prog, reg);
+        const auto t0 = std::chrono::steady_clock::now();
+        RunOutcome out = core.run(~std::uint64_t(0),
+                                  100 * targetInsts + 1'000'000);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (r == 0 || secs < cell.seconds) {
+            cell.seconds = secs;
+            cell.insts = out.instructions;
+            cell.cycles = out.cycles;
+        }
+    }
+    cell.minstsPerSec = cell.seconds > 0.0
+        ? double(cell.insts) / cell.seconds / 1e6 : 0.0;
+    cell.mcyclesPerSec = cell.seconds > 0.0
+        ? double(cell.cycles) / cell.seconds / 1e6 : 0.0;
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath = "BENCH_hotloop.json";
+    unsigned reps = 3;
+
+    // Pre-filter our private flags; bench_common rejects unknown ones.
+    std::vector<char *> passDown;
+    passDown.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--out=", 0) == 0)
+            outPath = a.substr(6);
+        else if (a.rfind("--reps=", 0) == 0)
+            reps = static_cast<unsigned>(std::stoul(a.substr(7)));
+        else
+            passDown.push_back(argv[i]);
+    }
+    const BenchArgs args =
+        parseArgs(static_cast<int>(passDown.size()), passDown.data());
+
+    // Workload subset: dense forwarding (gzip), pointer-chasing misses
+    // (mcf), control + silent stores (crafty), RLE redundancy (perl.d).
+    const std::vector<std::string> suite =
+        selectSuite(args, {"gzip", "mcf", "crafty", "perl.d"});
+
+    // Config matrix: the structures this bench guards (ROB, LQ/SQ
+    // searches, completion queue, committed-memory reads) are hot in all
+    // of these; SSQ/NLQ add the rex + SVW paths, RLE the 4-wide machine.
+    std::vector<ExperimentConfig> configs(4);
+    configs[0].opt = OptMode::Baseline;
+    configs[1].opt = OptMode::Nlq;
+    configs[1].svw = SvwMode::Upd;
+    configs[2].opt = OptMode::Ssq;
+    configs[2].svw = SvwMode::Upd;
+    configs[3].machine = Machine::FourWide;
+    configs[3].opt = OptMode::Rle;
+    configs[3].svw = SvwMode::Upd;
+
+    std::vector<Cell> cells;
+    double totalInsts = 0.0, totalSecs = 0.0;
+    for (const auto &w : suite) {
+        for (const auto &cfg : configs) {
+            Cell c = timeCell(w, cfg, args.insts, reps);
+            std::printf("%-8s %-24s %8.3f Minsts/s (%.3fs, %llu insts)\n",
+                        c.workload.c_str(), c.config.c_str(),
+                        c.minstsPerSec, c.seconds,
+                        static_cast<unsigned long long>(c.insts));
+            std::fflush(stdout);
+            totalInsts += double(c.insts);
+            totalSecs += c.seconds;
+            cells.push_back(std::move(c));
+        }
+    }
+    const double aggregate =
+        totalSecs > 0.0 ? totalInsts / totalSecs / 1e6 : 0.0;
+    std::printf("aggregate: %.3f Minsts/s over %zu cells\n", aggregate,
+                cells.size());
+
+    std::ofstream js(outPath);
+    js << "{\n  \"bench\": \"hotloop\",\n"
+       << "  \"unit\": \"Minsts_per_host_second\",\n"
+       << "  \"insts_per_run\": " << args.insts << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"aggregate_minsts_per_sec\": " << aggregate << ",\n"
+       << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        js << "    {\"workload\": \"" << c.workload << "\", "
+           << "\"config\": \"" << c.config << "\", "
+           << "\"insts\": " << c.insts << ", "
+           << "\"cycles\": " << c.cycles << ", "
+           << "\"seconds\": " << c.seconds << ", "
+           << "\"minsts_per_sec\": " << c.minstsPerSec << ", "
+           << "\"mcycles_per_sec\": " << c.mcyclesPerSec << "}"
+           << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+    std::printf("wrote %s\n", outPath.c_str());
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring over a power-of-two slot array.
+ *
+ * A drop-in for the bounded std::deque uses on the simulator's hot path
+ * (e.g. the fetch queue): no per-push allocation, and slot addresses are
+ * stable while an element is live. Capacity is fixed at construction;
+ * pushing past it is a programming error (svw_assert).
+ */
+
+#ifndef SVW_BASE_BOUNDED_RING_HH
+#define SVW_BASE_BOUNDED_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace svw {
+
+/** Bounded FIFO; push at the back, pop at the front. */
+template <typename T>
+class BoundedRing
+{
+  public:
+    explicit BoundedRing(std::size_t capacity) : cap(capacity)
+    {
+        std::size_t ring = 1;
+        while (ring < cap)
+            ring <<= 1;
+        mask = ring - 1;
+        slots.resize(ring);
+    }
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count >= cap; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return cap; }
+
+    void push_back(T &&v)
+    {
+        svw_assert(count < cap, "BoundedRing overflow");
+        slots[(headPos + count) & mask] = std::move(v);
+        ++count;
+    }
+
+    T &front() { return slots[headPos & mask]; }
+    const T &front() const { return slots[headPos & mask]; }
+    T &back() { return slots[(headPos + count - 1) & mask]; }
+
+    void pop_front()
+    {
+        ++headPos;
+        --count;
+    }
+
+    void clear()
+    {
+        headPos = 0;
+        count = 0;
+    }
+
+  private:
+    std::size_t cap;
+    std::size_t mask = 0;
+    std::uint64_t headPos = 0;
+    std::size_t count = 0;
+    std::vector<T> slots;
+};
+
+} // namespace svw
+
+#endif // SVW_BASE_BOUNDED_RING_HH

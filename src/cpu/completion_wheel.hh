@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Completion event wheel: the core's "result arrives at cycle C" queue.
+ *
+ * A bucketed timing wheel replaces the old std::multimap<Cycle, seq>:
+ * scheduling and per-cycle drain are O(1) plus the events themselves,
+ * with no node allocation on the hot path. The wheel is sized past the
+ * worst common completion latency (memory access + buses + extra load
+ * latency); the rare event beyond the horizon goes to a sorted overflow
+ * map.
+ *
+ * Ordering matches the multimap exactly. Events for the same cycle fire
+ * in insertion order: an overflow event due at cycle C was necessarily
+ * inserted before any in-wheel event due at C (its insertion cycle
+ * precedes C - horizon), so draining overflow first preserves global
+ * insertion order; std::multimap keeps equal keys in insertion order.
+ *
+ * The drain contract assumes the owner calls drain(now) every cycle with
+ * `now` advancing by one — exactly what Core::tick does. Events
+ * scheduled for the current or a past cycle fire on the next drain (the
+ * multimap behaved the same way: completeStage had already run by the
+ * time issue inserted them).
+ */
+
+#ifndef SVW_CPU_COMPLETION_WHEEL_HH
+#define SVW_CPU_COMPLETION_WHEEL_HH
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace svw {
+
+/** Bucketed event wheel keyed by completion cycle. */
+class CompletionWheel
+{
+  public:
+    /** @p horizon must be a power of two and exceed the largest common
+     * scheduling delta (larger deltas still work via overflow). */
+    explicit CompletionWheel(std::size_t horizon = 1024)
+        : mask(horizon - 1), buckets(horizon)
+    {
+        svw_assert(horizon > 1 && (horizon & (horizon - 1)) == 0,
+                   "wheel horizon must be a power of two");
+    }
+
+    /** Schedule @p seq to fire at cycle @p due (clamped to now + 1: an
+     * already-due event fires on the next drain, like the multimap). */
+    void schedule(Cycle now, Cycle due, InstSeqNum seq)
+    {
+        if (due <= now)
+            due = now + 1;
+        if (due - now <= mask)
+            buckets[due & mask].push_back(seq);
+        else
+            overflow.emplace(due, seq);
+        ++pending;
+    }
+
+    bool empty() const { return pending == 0; }
+    std::size_t size() const { return pending; }
+
+    /**
+     * Fire every event due at (or before) @p now, in insertion order,
+     * invoking @p fn(seq). @p fn may schedule new events (they are due
+     * strictly after @p now) but must not call drain reentrantly.
+     */
+    template <typename F>
+    void drain(Cycle now, F &&fn)
+    {
+        while (!overflow.empty() && overflow.begin()->first <= now) {
+            const InstSeqNum seq = overflow.begin()->second;
+            overflow.erase(overflow.begin());
+            --pending;
+            fn(seq);
+        }
+        auto &bucket = buckets[now & mask];
+        if (bucket.empty())
+            return;
+        // Swap out the bucket: fn may schedule, but never for this slot
+        // (deltas are clamped to [1, mask]), so scratch sees it all.
+        scratch.clear();
+        scratch.swap(bucket);
+        pending -= scratch.size();
+        for (const InstSeqNum seq : scratch)
+            fn(seq);
+    }
+
+  private:
+    std::size_t mask;
+    std::vector<std::vector<InstSeqNum>> buckets;
+    std::multimap<Cycle, InstSeqNum> overflow;
+    std::vector<InstSeqNum> scratch;  ///< reused drain buffer
+    std::size_t pending = 0;
+};
+
+} // namespace svw
+
+#endif // SVW_CPU_COMPLETION_WHEEL_HH

@@ -45,7 +45,9 @@ Core::Core(const CoreParams &p, const Program &program,
       spct(512, 8),
       dcachePort(p.dcachePorts),
       storeIssuePorts(p.lsu.storeIssueWidth),
-      fetchPc(program.entry())
+      fetchPc(program.entry()),
+      fetchQueue(static_cast<std::size_t>(p.frontendDepth + 1) *
+                 p.fetchWidth)
 {
     committedMem.loadProgram(program);
     rename.regs().setValue(rename.map(regSp), program.stackTop());
@@ -98,19 +100,16 @@ Core::tick()
 void
 Core::completeStage()
 {
-    while (!completionQueue.empty() &&
-           completionQueue.begin()->first <= now) {
-        const InstSeqNum seq = completionQueue.begin()->second;
-        completionQueue.erase(completionQueue.begin());
+    completionQueue.drain(now, [this](InstSeqNum seq) {
         DynInst *inst = rob.findBySeq(seq);
         if (!inst)
-            continue;  // squashed
+            return;  // squashed
         inst->completed = true;
         if (tracer)
             tracer->event(now, TraceEvent::Complete, *inst);
         if (inst->si->isCtrl())
             finishBranch(*inst);
-    }
+    });
 
     // Stores whose address issued early capture data as it arrives.
     for (std::size_t i = 0; i < storesAwaitingData.size();) {
@@ -154,7 +153,7 @@ Core::captureStoreData(DynInst &store)
     store.storeData = srcVal(store.prs2);
     store.dataResolved = true;
     store.completeCycle = now + 1;
-    completionQueue.emplace(now + 1, store.seq);
+    completionQueue.schedule(now, now + 1, store.seq);
     lsu.storeDataReady(store);
 }
 
@@ -180,24 +179,30 @@ Core::issueStage()
     unsigned globalUsed = 0;
     unsigned intUsed = 0, loadUsed = 0, storeUsed = 0, branchUsed = 0;
 
-    // Work over a snapshot; issue mutates the queue.
-    const std::vector<IssueQueue::Entry> snapshot = iq.entries();
-    for (const IssueQueue::Entry &e : snapshot) {
+    // In-place oldest-first scan: issue tombstones the slot under the
+    // scan (indices never shift mid-cycle; squash only pops the young
+    // suffix, and the scan breaks right after any squash).
+    const std::size_t nSlots = iq.slotCount();
+    for (std::size_t idx = 0; idx < nSlots; ++idx) {
         if (globalUsed >= prm.issueWidth)
             break;
-        DynInst *inst = e.inst;
-        if (inst->issued)
-            continue;
+        DynInst *inst = iq.slot(idx).inst;
+        if (!inst || inst->issued)
+            continue;  // tombstone / already issued
+        if (inst->issueRetryCycle > now ||
+            inst->issueWakeEpoch == regWakeEpoch) {
+            continue;  // sleeping on a source that cannot be ready yet
+        }
         const std::size_t squashesBefore =
             branchSquashes.value() + orderingSquashes.value();
         if (tryIssue(*inst, intUsed, loadUsed, storeUsed, branchUsed)) {
             ++globalUsed;
-            iq.remove(e.seq);
+            iq.removeAt(idx);
             if (tracer)
                 tracer->event(now, TraceEvent::Issue, *inst);
         }
         // A store issue may have triggered an ordering squash that
-        // invalidated the snapshot; stop for this cycle.
+        // invalidated the scan; stop for this cycle.
         if (branchSquashes.value() + orderingSquashes.value() !=
             squashesBefore) {
             break;
@@ -216,20 +221,20 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
       case InstClass::IntMul: {
         if (intUsed >= prm.intIssue)
             return false;
-        if (si.readsRs1() && !srcReady(inst.prs1))
+        if (si.readsRs1() && srcBlocked(inst, inst.prs1))
             return false;
-        if (si.readsRs2() && !srcReady(inst.prs2))
+        if (si.readsRs2() && srcBlocked(inst, inst.prs2))
             return false;
         const std::uint64_t r = evalAlu(si, srcVal(inst.prs1),
                                         srcVal(inst.prs2), inst.pc);
         const Cycle done = now + si.execLatency();
         if (si.writesReg()) {
             rename.regs().setValue(inst.prd, r);
-            rename.regs().setReadyAt(inst.prd, done);
+            noteReadyAt(inst.prd, done);
         }
         inst.issued = true;
         inst.completeCycle = done;
-        completionQueue.emplace(done, inst.seq);
+        completionQueue.schedule(now, done, inst.seq);
         ++intUsed;
         return true;
       }
@@ -239,9 +244,9 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
       case InstClass::JumpReg: {
         if (branchUsed >= prm.branchIssue)
             return false;
-        if (si.readsRs1() && !srcReady(inst.prs1))
+        if (si.readsRs1() && srcBlocked(inst, inst.prs1))
             return false;
-        if (si.readsRs2() && !srcReady(inst.prs2))
+        if (si.readsRs2() && srcBlocked(inst, inst.prs2))
             return false;
         if (si.isCondBranch()) {
             inst.actualTaken = evalBranchTaken(si, srcVal(inst.prs1),
@@ -252,14 +257,14 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
             inst.actualNextPc = static_cast<std::uint64_t>(si.imm);
             if (si.isCall()) {
                 rename.regs().setValue(inst.prd, inst.pc + 1);
-                rename.regs().setReadyAt(inst.prd, now + 1);
+                noteReadyAt(inst.prd, now + 1);
             }
         } else {
             inst.actualNextPc = srcVal(inst.prs1);
         }
         inst.issued = true;
         inst.completeCycle = now + 1;
-        completionQueue.emplace(now + 1, inst.seq);
+        completionQueue.schedule(now, now + 1, inst.seq);
         ++branchUsed;
         return true;
       }
@@ -267,7 +272,7 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
       case InstClass::Load: {
         if (loadUsed >= prm.loadIssue)
             return false;
-        if (!srcReady(inst.prs1))
+        if (srcBlocked(inst, inst.prs1))
             return false;
         // Store-sets: wait for the predicted-conflicting store.
         if (inst.storeSetDep != 0) {
@@ -295,7 +300,7 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
         // ambiguous-store windows short.
         if (storeUsed >= prm.lsu.storeIssueWidth)
             return false;
-        if (!srcReady(inst.prs1))
+        if (srcBlocked(inst, inst.prs1))
             return false;
         if (inst.storeSetDep != 0) {
             DynInst *dep = rob.findBySeq(inst.storeSetDep);
@@ -315,7 +320,7 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
 void
 Core::issueLoad(DynInst &load)
 {
-    LoadExecResult res = lsu.executeLoad(load, rob, now);
+    LoadExecResult res = lsu.executeLoad(load, now);
     if (res.status != LoadExecResult::Status::Done)
         return;  // retry next cycle
 
@@ -338,9 +343,9 @@ Core::issueLoad(DynInst &load)
     load.completeCycle = done;
     if (load.si->writesReg()) {
         rename.regs().setValue(load.prd, load.loadValue);
-        rename.regs().setReadyAt(load.prd, done);
+        noteReadyAt(load.prd, done);
     }
-    completionQueue.emplace(done, load.seq);
+    completionQueue.schedule(now, done, load.seq);
 }
 
 void
@@ -358,7 +363,7 @@ Core::issueStore(DynInst &store)
         storesAwaitingData.push_back(store.seq);
     }
 
-    const InstSeqNum victim = lsu.storeResolved(store, rob);
+    const InstSeqNum victim = lsu.storeResolved(store);
     if (victim != 0) {
         // Associative LQ search found a premature load: flush at the
         // load and train store-sets with the exact store-load pair.
@@ -545,8 +550,11 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
     // ---- IT entries of squashed creators become squash-reusable -------
     rle.onSquash(keepSeq, rename);
 
-    // ---- IQ prune must precede ROB pops (it holds ROB pointers) -------
+    // ---- pointer-holder prune precedes ROB pops (IQ, LSU queues, and
+    //      the rex store buffer all hold ROB slot pointers) -------------
     iq.squashAfter(keepSeq);
+    lsu.squashAfter(keepSeq);
+    rex.squashAfter(keepSeq);
 
     // ---- rename recovery: youngest-first walk --------------------------
     while (!rob.empty() && rob.tail().seq > keepSeq) {
@@ -572,16 +580,10 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
         rob.popTail();
     }
 
-    lsu.squashAfter(keepSeq);
-    rex.squashAfter(keepSeq);
-
     // ---- SSN allocation rollback ----------------------------------------
     SSN lastSsn = svw.ssn().retired();
-    if (const InstSeqNum stSeq = lsu.youngestStoreSeq()) {
-        DynInst *st = rob.findBySeq(stSeq);
-        svw_assert(st, "SQ tail not in ROB");
+    if (const DynInst *st = lsu.youngestStore())
         lastSsn = st->ssn;
-    }
     svw.ssn().rollbackTo(lastSsn);
 
     // ---- front end redirect ----------------------------------------------

@@ -15,13 +15,13 @@
 #define SVW_CPU_CORE_HH
 
 #include <array>
-#include <deque>
 #include <functional>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
+#include "base/bounded_ring.hh"
 #include "cpu/bpred.hh"
+#include "cpu/completion_wheel.hh"
 #include "cpu/iq.hh"
 #include "cpu/rename.hh"
 #include "cpu/rob.hh"
@@ -181,6 +181,30 @@ class Core
         return rename.regs().isReady(p, now);
     }
 
+    /**
+     * srcReady complement for the issue scan: on an unready source,
+     * record when the entry is worth polling again (the source's
+     * readyAt, or next cycle while the producer has not issued yet).
+     */
+    bool srcBlocked(DynInst &inst, PhysRegIndex p)
+    {
+        if (srcReady(p))
+            return false;
+        const Cycle r = rename.regs().readyAt(p);
+        if (r == notReady)
+            inst.issueWakeEpoch = regWakeEpoch;
+        else
+            inst.issueRetryCycle = r;
+        return true;
+    }
+
+    /** A register became schedulable: wake epoch-sleeping IQ entries. */
+    void noteReadyAt(PhysRegIndex p, Cycle c)
+    {
+        rename.regs().setReadyAt(p, c);
+        ++regWakeEpoch;
+    }
+
     CoreParams prm;
     const Program &prog;
     Tracer *tracer = nullptr;
@@ -205,12 +229,15 @@ class Core
     Cycle now = 0;
     InstSeqNum seqCounter = 0;
     bool haltCommitted = false;
+    /** Bumped on every setReadyAt; see DynInst::issueWakeEpoch. Starts
+     * at 1 so freshly dispatched entries (epoch 0) always get polled. */
+    std::uint64_t regWakeEpoch = 1;
 
     // Fetch state.
     std::uint64_t fetchPc;
     bool fetchStopped = false;   ///< halted / ran off text on this path
     Cycle fetchResumeCycle = 0;
-    std::deque<DynInst> fetchQueue;
+    BoundedRing<DynInst> fetchQueue;
     Addr lastFetchLine = ~Addr(0);
 
     // SSN wrap drain (section 3.6).
@@ -225,8 +252,9 @@ class Core
     std::unordered_map<std::uint64_t, unsigned> replaceFlushStreak;
     static constexpr unsigned replaceStreakLimit = 2;
 
-    // Completion bookkeeping.
-    std::multimap<Cycle, InstSeqNum> completionQueue;
+    // Completion bookkeeping. Squash does not prune the wheel: stale
+    // events miss their findBySeq at drain time and are skipped.
+    CompletionWheel completionQueue;
     std::vector<InstSeqNum> elimPending;  ///< eliminated insts awaiting
                                           ///< their shared register
     std::vector<InstSeqNum> storesAwaitingData;

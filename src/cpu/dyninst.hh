@@ -53,6 +53,23 @@ struct DynInst
     bool completed = false;
     Cycle fetchReadyCycle = 0;   ///< when it exits the front end
     Cycle completeCycle = 0;     ///< result available
+    /**
+     * Issue-scan sleep: earliest cycle this entry could possibly issue,
+     * learned from a failed wakeup check (a source register's readyAt).
+     * Purely an iteration-skipping bound — readyAt is written exactly
+     * once per producer (at issue) and a waiting consumer's source
+     * register cannot be freed or reallocated under it, so sleeping to
+     * this cycle never changes which cycle the entry issues.
+     */
+    Cycle issueRetryCycle = 0;
+    /**
+     * Issue-scan sleep for a source whose producer has not even issued
+     * (readyAt == notReady): re-poll only after some setReadyAt happened
+     * (the core's register-wakeup epoch moved). A sleeping entry's
+     * source can only become ready through a setReadyAt, so this skips
+     * no issue opportunity.
+     */
+    std::uint64_t issueWakeEpoch = 0;
 
     // --- memory -------------------------------------------------------
     Addr addr = 0;

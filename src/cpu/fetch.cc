@@ -21,9 +21,7 @@ Core::fetchStage()
     if (haltCommitted || fetchStopped || now < fetchResumeCycle)
         return;
 
-    const std::size_t fqCap =
-        static_cast<std::size_t>(prm.frontendDepth + 1) * prm.fetchWidth;
-    if (fetchQueue.size() >= fqCap)
+    if (fetchQueue.full())
         return;
 
     // I-cache: probe the line holding the first instruction.
@@ -92,7 +90,7 @@ Core::fetchStage()
         }
         if (redirects)
             return;  // at most one taken branch per fetch cycle
-        if (fetchQueue.size() >= fqCap)
+        if (fetchQueue.full())
             return;
     }
 }

@@ -5,21 +5,23 @@
 namespace svw {
 
 void
-IssueQueue::remove(InstSeqNum seq)
+IssueQueue::squashAfter(InstSeqNum keepSeq)
 {
-    auto it = std::find_if(entries_.begin(), entries_.end(),
-                           [seq](const Entry &e) { return e.seq == seq; });
-    if (it != entries_.end())
-        entries_.erase(it);
+    // Squashed entries are the age-ordered suffix; dead tombstones in
+    // that suffix go with them.
+    while (!entries_.empty() &&
+           (!entries_.back().inst || entries_.back().seq > keepSeq)) {
+        if (entries_.back().inst)
+            --live;
+        entries_.pop_back();
+    }
 }
 
 void
-IssueQueue::squashAfter(InstSeqNum keepSeq)
+IssueQueue::compact()
 {
     entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                  [keepSeq](const Entry &e) {
-                                      return e.seq > keepSeq;
-                                  }),
+                                  [](const Entry &e) { return !e.inst; }),
                    entries_.end());
 }
 

@@ -3,9 +3,15 @@
  * Issue queue: holds dispatched, un-issued instructions in age order;
  * the scheduler scans it oldest-first each cycle.
  *
- * Entries carry a raw DynInst pointer: ROB storage is a std::deque, so
- * references stay valid until the element is erased, and the core prunes
- * the IQ before popping squashed ROB entries.
+ * Entries carry a raw DynInst pointer: ROB ring slots are stable for an
+ * entry's lifetime, and the core prunes the IQ before popping squashed
+ * ROB entries.
+ *
+ * The scheduler iterates the slot array in place (no per-cycle snapshot
+ * copy). Issue removal tombstones the slot (inst = nullptr); compaction
+ * is deferred to insert time, so slot indices never shift while the
+ * issue scan is live. Squash only pops from the back (squashed entries
+ * are the age-ordered suffix), which also leaves earlier indices intact.
  */
 
 #ifndef SVW_CPU_IQ_HH
@@ -25,31 +31,50 @@ class IssueQueue
     struct Entry
     {
         InstSeqNum seq;
-        DynInst *inst;
+        DynInst *inst;  ///< nullptr = tombstone (already issued)
     };
 
     explicit IssueQueue(unsigned capacity) : cap(capacity) {}
 
-    bool full() const { return entries_.size() >= cap; }
-    std::size_t size() const { return entries_.size(); }
+    bool full() const { return live >= cap; }
+    std::size_t size() const { return live; }
     unsigned capacity() const { return cap; }
 
     void insert(DynInst *inst)
     {
+        // Deferred compaction: reclaim tombstones outside the issue
+        // scan (dispatch never runs mid-scan).
+        if (entries_.size() - live > compactThreshold)
+            compact();
         entries_.push_back(Entry{inst->seq, inst});
+        ++live;
     }
 
-    /** Remove an issued entry by sequence number. */
-    void remove(InstSeqNum seq);
+    /** Number of slots to scan (live entries + tombstones). */
+    std::size_t slotCount() const { return entries_.size(); }
+
+    /** Slot @p idx; check .inst for nullptr (tombstone). */
+    const Entry &slot(std::size_t idx) const { return entries_[idx]; }
+
+    /** Tombstone the (live) entry at slot @p idx after it issued. */
+    void removeAt(std::size_t idx)
+    {
+        entries_[idx].inst = nullptr;
+        --live;
+    }
 
     /** Drop all entries with seq > @p keepSeq (squash). Must run before
-     * the ROB discards the squashed instructions. */
+     * the ROB discards the squashed instructions. Only pops from the
+     * back: surviving slot indices are unchanged. */
     void squashAfter(InstSeqNum keepSeq);
 
-    const std::vector<Entry> &entries() const { return entries_; }
-
   private:
+    void compact();
+
+    static constexpr std::size_t compactThreshold = 32;
+
     unsigned cap;
+    std::size_t live = 0;
     std::vector<Entry> entries_;  ///< kept in insertion (age) order
 };
 

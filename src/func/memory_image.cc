@@ -1,5 +1,6 @@
 #include "func/memory_image.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/logging.hh"
@@ -7,21 +8,34 @@
 
 namespace svw {
 
-const MemoryImage::Page *
-MemoryImage::findPage(Addr addr) const
+MemoryImage::Page *
+MemoryImage::findPage(Addr pageNum) const
 {
-    auto it = pages.find(addr / pageBytes);
-    return it == pages.end() ? nullptr : it->second.get();
+    if (pageNum == lastPageNum)
+        return lastPage;
+    const PtabEntry &e = ptab[pageNum & (ptabEntries - 1)];
+    if (e.pageNum == pageNum) {
+        lastPageNum = pageNum;
+        lastPage = e.page;
+        return e.page;
+    }
+    auto it = pages.find(pageNum);
+    if (it == pages.end())
+        return nullptr;  // absence is not cached: a write may create it
+    Page *p = it->second.get();
+    cachePage(pageNum, p);
+    return p;
 }
 
 MemoryImage::Page &
-MemoryImage::getPage(Addr addr)
+MemoryImage::getPage(Addr pageNum)
 {
-    auto &slot = pages[addr / pageBytes];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
-    }
+    if (Page *p = findPage(pageNum))
+        return *p;
+    auto &slot = pages[pageNum];
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+    cachePage(pageNum, slot.get());
     return *slot;
 }
 
@@ -30,6 +44,14 @@ MemoryImage::read(Addr addr, unsigned size) const
 {
     svw_assert(size == 1 || size == 2 || size == 4 || size == 8,
                "bad access size ", size);
+    const std::uint64_t off = addr % pageBytes;
+    if (off + size <= pageBytes) {
+        // Single-page fast path (virtually all simulator accesses).
+        std::uint64_t v = 0;
+        if (const Page *p = findPage(addr / pageBytes))
+            std::memcpy(&v, p->data() + off, size);
+        return v;
+    }
     std::uint8_t buf[8] = {0};
     readBytes(addr, buf, size);
     std::uint64_t v = 0;
@@ -42,6 +64,11 @@ MemoryImage::write(Addr addr, unsigned size, std::uint64_t value)
 {
     svw_assert(size == 1 || size == 2 || size == 4 || size == 8,
                "bad access size ", size);
+    const std::uint64_t off = addr % pageBytes;
+    if (off + size <= pageBytes) {
+        std::memcpy(getPage(addr / pageBytes).data() + off, &value, size);
+        return;
+    }
     std::uint8_t buf[8];
     std::memcpy(buf, &value, 8);
     writeBytes(addr, buf, size);
@@ -54,7 +81,7 @@ MemoryImage::readBytes(Addr addr, std::uint8_t *buf, std::uint64_t len) const
         const std::uint64_t off = addr % pageBytes;
         const std::uint64_t chunk = std::min<std::uint64_t>(len,
                                                             pageBytes - off);
-        if (const Page *p = findPage(addr))
+        if (const Page *p = findPage(addr / pageBytes))
             std::memcpy(buf, p->data() + off, chunk);
         else
             std::memset(buf, 0, chunk);
@@ -71,7 +98,7 @@ MemoryImage::writeBytes(Addr addr, const std::uint8_t *buf, std::uint64_t len)
         const std::uint64_t off = addr % pageBytes;
         const std::uint64_t chunk = std::min<std::uint64_t>(len,
                                                             pageBytes - off);
-        Page &p = getPage(addr);
+        Page &p = getPage(addr / pageBytes);
         std::memcpy(p.data() + off, buf, chunk);
         buf += chunk;
         addr += chunk;

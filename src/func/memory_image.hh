@@ -6,6 +6,12 @@
  * memory, as the timing simulator's committed ("cache") state, and as the
  * re-execution pipeline's in-order pre-commit view (committed state plus
  * the rex store buffer). Unwritten memory reads as zero.
+ *
+ * The interpreter, every committed-state load, and every re-execution
+ * read hit this class, so page lookup is fronted by a single-entry
+ * last-page cache plus a small direct-mapped page table; the backing
+ * unordered_map is only consulted on a miss in both. Page storage is
+ * unique_ptr, so cached raw Page pointers stay valid as the map grows.
  */
 
 #ifndef SVW_FUNC_MEMORY_IMAGE_HH
@@ -13,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -51,15 +58,46 @@ class MemoryImage
     bool identicalTo(const MemoryImage &other) const;
 
     /** Drop all contents. */
-    void clear() { pages.clear(); }
+    void clear()
+    {
+        pages.clear();
+        lastPageNum = badPage;
+        lastPage = nullptr;
+        ptab.fill(PtabEntry{});
+    }
 
   private:
     using Page = std::array<std::uint8_t, pageBytes>;
 
-    const Page *findPage(Addr addr) const;
-    Page &getPage(Addr addr);
+    static constexpr Addr badPage = ~Addr(0);
+    static constexpr std::size_t ptabEntries = 64;  ///< direct-mapped
+
+    struct PtabEntry
+    {
+        Addr pageNum = badPage;
+        Page *page = nullptr;
+    };
+
+    /** Page lookup: last-page cache, then the direct-mapped table, then
+     * the hash map (filling both caches on a hit). nullptr if absent. */
+    Page *findPage(Addr pageNum) const;
+
+    /** Like findPage but creates the page if absent. */
+    Page &getPage(Addr pageNum);
+
+    void cachePage(Addr pageNum, Page *p) const
+    {
+        lastPageNum = pageNum;
+        lastPage = p;
+        ptab[pageNum & (ptabEntries - 1)] = PtabEntry{pageNum, p};
+    }
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+
+    // Lookup caches (logically const: they never change visible state).
+    mutable Addr lastPageNum = badPage;
+    mutable Page *lastPage = nullptr;
+    mutable std::array<PtabEntry, ptabEntries> ptab{};
 };
 
 } // namespace svw

@@ -13,16 +13,15 @@
 namespace svw {
 
 LoadExecResult
-LoadStoreUnit::searchSq(DynInst &load, ROB &rob)
+LoadStoreUnit::searchSq(DynInst &load)
 {
     LoadExecResult res;
 
     // Youngest-first scan of older stores.
     for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
-        if (*it > load.seq)
+        DynInst *st = *it;
+        if (st->seq > load.seq)
             continue;
-        DynInst *st = rob.findBySeq(*it);
-        svw_assert(st, "SQ entry not in ROB");
         if (!st->addrResolved) {
             // Ambiguous older store: the load may speculate past it.
             res.sawAmbiguousOlderStore = true;
@@ -60,7 +59,7 @@ LoadStoreUnit::storeDataReady(DynInst &store)
 }
 
 InstSeqNum
-LoadStoreUnit::storeResolved(DynInst &store, ROB &rob)
+LoadStoreUnit::storeResolved(DynInst &store)
 {
     if (prm.nlq)
         return 0;  // no LQ CAM; re-execution checks ordering
@@ -68,11 +67,9 @@ LoadStoreUnit::storeResolved(DynInst &store, ROB &rob)
     // Associative LQ search: oldest younger load that already issued
     // with an overlapping address is a memory-ordering violation.
     ++lqSearches;
-    for (InstSeqNum seq : lq) {
-        if (seq <= store.seq)
+    for (DynInst *ld : lq) {
+        if (ld->seq <= store.seq)
             continue;
-        DynInst *ld = rob.findBySeq(seq);
-        svw_assert(ld, "LQ entry not in ROB");
         if (!ld->issued || !ld->addrResolved)
             continue;
         // A load that forwarded from a store younger than (or equal to)
@@ -90,7 +87,7 @@ LoadStoreUnit::storeResolved(DynInst &store, ROB &rob)
                 continue;
             }
             ++lqViolations;
-            return seq;
+            return ld->seq;
         }
     }
     return 0;

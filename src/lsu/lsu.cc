@@ -50,18 +50,18 @@ LoadStoreUnit::dispatchLoad(DynInst &load)
     svw_assert(!lqFull(), "LQ overflow");
     if (prm.ssq)
         load.fsqLoad = loadSteeredToFsq(load.pc);
-    lq.push_back(load.seq);
+    lq.push_back(&load);
 }
 
 void
 LoadStoreUnit::dispatchStore(DynInst &store)
 {
     svw_assert(!sqFull(), "SQ overflow");
-    sq.push_back(store.seq);
+    sq.push_back(&store);
     if (prm.ssq && storeSteeredToFsq(store.pc)) {
         svw_assert(fsq.size() < prm.fsqEntries, "FSQ overflow");
         store.fsqStore = true;
-        fsq.push_back(store.seq);
+        fsq.push_back(&store);
     }
 }
 
@@ -78,10 +78,10 @@ LoadStoreUnit::extractForward(const DynInst &store, const DynInst &load)
 }
 
 LoadExecResult
-LoadStoreUnit::executeLoad(DynInst &load, ROB &rob, Cycle now)
+LoadStoreUnit::executeLoad(DynInst &load, Cycle now)
 {
-    LoadExecResult res = prm.ssq ? searchSsq(load, rob, now)
-                                 : searchSq(load, rob);
+    LoadExecResult res = prm.ssq ? searchSsq(load, now)
+                                 : searchSq(load);
     if (res.status != LoadExecResult::Status::Done)
         return res;
 
@@ -102,7 +102,7 @@ LoadStoreUnit::executeLoad(DynInst &load, ROB &rob, Cycle now)
 void
 LoadStoreUnit::commitLoad(const DynInst &load)
 {
-    svw_assert(!lq.empty() && lq.front() == load.seq,
+    svw_assert(!lq.empty() && lq.front()->seq == load.seq,
                "LQ commit out of order");
     lq.erase(lq.begin());
 }
@@ -110,7 +110,7 @@ LoadStoreUnit::commitLoad(const DynInst &load)
 void
 LoadStoreUnit::commitStore(const DynInst &store)
 {
-    svw_assert(!sq.empty() && sq.front() == store.seq,
+    svw_assert(!sq.empty() && sq.front()->seq == store.seq,
                "SQ commit out of order");
     sq.erase(sq.begin());
     if (prm.ssq) {
@@ -123,7 +123,10 @@ LoadStoreUnit::commitStore(const DynInst &store)
         buf.push_back(FwdBufEntry{store.addr, store.size, store.storeData});
     }
     if (store.fsqStore) {
-        auto it = std::find(fsq.begin(), fsq.end(), store.seq);
+        auto it = std::find_if(fsq.begin(), fsq.end(),
+                               [&store](const DynInst *s) {
+                                   return s->seq == store.seq;
+                               });
         svw_assert(it != fsq.end(), "FSQ entry lost");
         fsq.erase(it);
     }
@@ -132,10 +135,11 @@ LoadStoreUnit::commitStore(const DynInst &store)
 void
 LoadStoreUnit::squashAfter(InstSeqNum keepSeq)
 {
-    auto prune = [keepSeq](std::vector<InstSeqNum> &q) {
-        q.erase(std::remove_if(q.begin(), q.end(),
-                               [keepSeq](InstSeqNum s) { return s > keepSeq; }),
-                q.end());
+    // Squashed entries are a suffix (queues are age-ordered): pop while
+    // the tail is younger than the squash point.
+    auto prune = [keepSeq](std::vector<DynInst *> &q) {
+        while (!q.empty() && q.back()->seq > keepSeq)
+            q.pop_back();
     };
     prune(lq);
     prune(sq);

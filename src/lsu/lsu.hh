@@ -29,7 +29,6 @@
 
 #include "base/types.hh"
 #include "cpu/dyninst.hh"
-#include "cpu/rob.hh"
 #include "func/memory_image.hh"
 #include "stats/stats.hh"
 #include "svw/svw.hh"
@@ -73,9 +72,10 @@ struct LoadExecResult
 };
 
 /**
- * The load/store unit. Owns the LQ/SQ (as ordered seq lists), the SSQ
- * structures, and the steering predictor. The core owns the ROB and
- * passes it in so the LSU can dereference sequence numbers.
+ * The load/store unit. Owns the LQ/SQ (as age-ordered lists of DynInst
+ * pointers into the ROB ring, whose slots are stable for an entry's
+ * lifetime), the SSQ structures, and the steering predictor. Associative
+ * searches walk the pointers directly; no per-entry ROB lookups.
  */
 class LoadStoreUnit
 {
@@ -100,7 +100,7 @@ class LoadStoreUnit
      * structures / the committed image; does not model cache latency
      * (the core layers that on top).
      */
-    LoadExecResult executeLoad(DynInst &load, ROB &rob, Cycle now);
+    LoadExecResult executeLoad(DynInst &load, Cycle now);
 
     /** A store's data became available (best-effort buffer insertion). */
     void storeDataReady(DynInst &store);
@@ -111,7 +111,7 @@ class LoadStoreUnit
      *         overlapping address (ordering violation; 0 = none).
      *         Always 0 when the LQ CAM is removed (NLQ).
      */
-    InstSeqNum storeResolved(DynInst &store, ROB &rob);
+    InstSeqNum storeResolved(DynInst &store);
 
     // --- retirement / squash --------------------------------------------
     void commitLoad(const DynInst &load);
@@ -128,10 +128,16 @@ class LoadStoreUnit
     std::size_t sqSize() const { return sq.size(); }
     std::size_t fsqSize() const { return fsq.size(); }
 
-    /** Seq of the youngest in-flight store (0 if none); SSN rollback. */
+    /** Youngest in-flight store (nullptr if none); SSN rollback. */
+    DynInst *youngestStore() const
+    {
+        return sq.empty() ? nullptr : sq.back();
+    }
+
+    /** Seq of the youngest in-flight store (0 if none). */
     InstSeqNum youngestStoreSeq() const
     {
-        return sq.empty() ? 0 : sq.back();
+        return sq.empty() ? 0 : sq.back()->seq;
     }
 
   public:
@@ -157,9 +163,9 @@ class LoadStoreUnit
                                         const DynInst &load);
 
     /** Conventional/NLQ path: associative SQ search. */
-    LoadExecResult searchSq(DynInst &load, ROB &rob);
+    LoadExecResult searchSq(DynInst &load);
     /** SSQ path: FSQ search (steered) or best-effort buffer. */
-    LoadExecResult searchSsq(DynInst &load, ROB &rob, Cycle now);
+    LoadExecResult searchSsq(DynInst &load, Cycle now);
 
     unsigned steeringIndex(std::uint64_t pc) const
     {
@@ -170,9 +176,9 @@ class LoadStoreUnit
     MemoryImage &committed;
     SvwUnit &svw;
 
-    std::vector<InstSeqNum> lq;   ///< age-ordered in-flight loads
-    std::vector<InstSeqNum> sq;   ///< age-ordered in-flight stores
-    std::vector<InstSeqNum> fsq;  ///< subset of sq steered to the FSQ
+    std::vector<DynInst *> lq;   ///< age-ordered in-flight loads
+    std::vector<DynInst *> sq;   ///< age-ordered in-flight stores
+    std::vector<DynInst *> fsq;  ///< subset of sq steered to the FSQ
 
     std::vector<std::deque<FwdBufEntry>> fwdBufs;  ///< per cache bank
     std::vector<bool> loadFsqBits;

@@ -12,16 +12,16 @@
 namespace svw {
 
 LoadExecResult
-LoadStoreUnit::searchSsq(DynInst &load, ROB &rob, Cycle now)
+LoadStoreUnit::searchSsq(DynInst &load, Cycle now)
 {
     LoadExecResult res;
 
     // Note ambiguous older stores for statistics/NLQ composition; the
     // SSQ itself marks every load regardless.
     for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
-        if (*it > load.seq)
+        DynInst *st = *it;
+        if (st->seq > load.seq)
             continue;
-        DynInst *st = rob.findBySeq(*it);
         if (!st->addrResolved) {
             res.sawAmbiguousOlderStore = true;
             break;
@@ -42,10 +42,9 @@ LoadStoreUnit::searchSsq(DynInst &load, ROB &rob, Cycle now)
 
         // Youngest-first search of FSQ stores older than the load.
         for (auto it = fsq.rbegin(); it != fsq.rend(); ++it) {
-            if (*it > load.seq)
+            DynInst *st = *it;
+            if (st->seq > load.seq)
                 continue;
-            DynInst *st = rob.findBySeq(*it);
-            svw_assert(st, "FSQ entry not in ROB");
             if (!st->addrResolved)
                 continue;
             if (!rangesOverlap(st->addr, st->size, load.addr, load.size))

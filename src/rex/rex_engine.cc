@@ -80,7 +80,7 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
                 svw.storeUpdate(*inst);
             inst->rexProcessed = true;
             inst->rexDoneCycle = std::max(now + 1, pendingLoadRexMax);
-            storeBuffer.push_back(inst->seq);
+            storeBuffer.push_back(inst);
             rexNextSeq = inst->seq + 1;
             --budget;
             continue;
@@ -120,7 +120,7 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
 
             if (prm.perfect) {
                 // Ideal re-execution: instant, no bandwidth.
-                const std::uint64_t v = readRexValue(load, rob);
+                const std::uint64_t v = readRexValue(load);
                 load.rexPassed = (v == load.loadValue);
                 if (!load.rexPassed)
                     ++loadsRexFailed;
@@ -170,18 +170,16 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
             ++portConflictStalls;
             return;
         }
-        reExecuteLoad(load, rob, rename, now);
+        reExecuteLoad(load, now);
         rexNextSeq = load.seq + 1;
     }
 }
 
 void
-RexEngine::reExecuteLoad(DynInst &load, ROB &rob, const RenameState &rename,
-                         Cycle now)
+RexEngine::reExecuteLoad(DynInst &load, Cycle now)
 {
-    (void)rename;
     ++loadsReExecuted;
-    const std::uint64_t v = readRexValue(load, rob);
+    const std::uint64_t v = readRexValue(load);
     const unsigned extra = load.eliminated ? prm.regfileReadLatency : 0;
     load.rexProcessed = true;
     load.rexDone = true;
@@ -194,18 +192,16 @@ RexEngine::reExecuteLoad(DynInst &load, ROB &rob, const RenameState &rename,
 }
 
 std::uint64_t
-RexEngine::readRexValue(const DynInst &load, ROB &rob) const
+RexEngine::readRexValue(const DynInst &load) const
 {
     std::uint8_t buf[8] = {0};
     committed.readBytes(load.addr, buf, load.size);
 
     // Overlay older buffered (rex-passed, not yet committed) stores in
     // age order; they are the in-order memory state at this load.
-    for (InstSeqNum seq : storeBuffer) {
-        if (seq > load.seq)
+    for (const DynInst *st : storeBuffer) {
+        if (st->seq > load.seq)
             break;
-        DynInst *st = const_cast<ROB &>(rob).findBySeq(seq);
-        svw_assert(st, "rex store buffer entry not in ROB");
         if (!rangesOverlap(st->addr, st->size, load.addr, load.size))
             continue;
         std::uint8_t sbuf[8];
@@ -235,7 +231,8 @@ RexEngine::storeCommitted(const DynInst &store)
 {
     if (!prm.enabled)
         return;
-    svw_assert(!storeBuffer.empty() && storeBuffer.front() == store.seq,
+    svw_assert(!storeBuffer.empty() &&
+               storeBuffer.front()->seq == store.seq,
                "rex store buffer commit out of order");
     storeBuffer.pop_front();
     if (!svw.config().speculativeSsbfUpdate)
@@ -245,7 +242,7 @@ RexEngine::storeCommitted(const DynInst &store)
 void
 RexEngine::squashAfter(InstSeqNum keepSeq)
 {
-    while (!storeBuffer.empty() && storeBuffer.back() > keepSeq)
+    while (!storeBuffer.empty() && storeBuffer.back()->seq > keepSeq)
         storeBuffer.pop_back();
     if (rexNextSeq > keepSeq + 1)
         rexNextSeq = keepSeq + 1;

@@ -80,7 +80,7 @@ class RexEngine
      * In-order pre-commit memory read for a re-executing load:
      * committed state overlaid with older buffered stores.
      */
-    std::uint64_t readRexValue(const DynInst &load, ROB &rob) const;
+    std::uint64_t readRexValue(const DynInst &load) const;
 
     /** True if @p seq already passed the rex SVW stage. */
     bool processed(InstSeqNum seq) const { return seq < rexNextSeq; }
@@ -103,8 +103,7 @@ class RexEngine
                   Cycle now) const;
 
     /** Perform the cache read + compare for a marked load. */
-    void reExecuteLoad(DynInst &load, ROB &rob, const RenameState &rename,
-                       Cycle now);
+    void reExecuteLoad(DynInst &load, Cycle now);
 
     RexParams prm;
     MemoryImage &committed;
@@ -112,7 +111,10 @@ class RexEngine
     CyclePort &dcachePort;
 
     InstSeqNum rexNextSeq = 1;     ///< next seq to pass the SVW stage
-    std::deque<InstSeqNum> storeBuffer;
+    /** Buffered (rex-passed, not yet committed) stores, oldest first.
+     * Pointers into the ROB ring: a buffered store is always live in
+     * the ROB until storeCommitted() or squashAfter() drops it. */
+    std::deque<DynInst *> storeBuffer;
     Cycle pendingLoadRexMax = 0;   ///< latest in-flight rex completion
 };
 

@@ -60,10 +60,40 @@ IntegrationTable::lookup(const ItKey &key, const RenameState &rename)
         if (e.fromSquash && f.readyAt(e.dst) == notReady)
             continue;
         e.lru = ++lruCounter;
+        lruTouch(e);
         ++hits;
         return &e;
     }
     return nullptr;
+}
+
+void
+IntegrationTable::lruUnlink(ItEntry &e)
+{
+    const int i = entryIndex(e);
+    if (e.lruPrev != -1)
+        table[e.lruPrev].lruNext = e.lruNext;
+    else if (lruHead == i)
+        lruHead = e.lruNext;
+    if (e.lruNext != -1)
+        table[e.lruNext].lruPrev = e.lruPrev;
+    else if (lruTail == i)
+        lruTail = e.lruPrev;
+    e.lruPrev = -1;
+    e.lruNext = -1;
+}
+
+void
+IntegrationTable::lruAppend(ItEntry &e)
+{
+    const int i = entryIndex(e);
+    e.lruPrev = lruTail;
+    e.lruNext = -1;
+    if (lruTail != -1)
+        table[lruTail].lruNext = i;
+    else
+        lruHead = i;
+    lruTail = i;
 }
 
 void
@@ -103,6 +133,7 @@ IntegrationTable::insert(const ItKey &key, PhysRegIndex dst, SSN ssn,
     victim->bypass = bypass;
     victim->creatorSeq = creatorSeq;
     victim->lru = ++lruCounter;
+    lruAppend(*victim);
     rename.addRef(dst);
     ++livePins;
 }
@@ -115,6 +146,7 @@ IntegrationTable::invalidate(ItEntry &e, RenameState &rename)
     if (rename.regs().generation(e.dst) == e.dstGen)
         rename.deref(e.dst);
     e.valid = false;
+    lruUnlink(e);
     svw_assert(livePins > 0, "IT pin underflow");
     --livePins;
 }
@@ -152,6 +184,11 @@ IntegrationTable::releaseOnePinned(RenameState &rename)
     // Load and bypass entries are the ones that eliminate re-executable
     // loads, so they are worth keeping; ALU entries mostly serve squash
     // reuse and are cheap to regenerate.
+    //
+    // The walk follows the intrusive LRU list oldest-first, so the first
+    // match in each category is that category's LRU minimum and the walk
+    // can stop at the first solo-pinned ALU entry — same victim as the
+    // historical whole-table scan, without touching every entry.
     auto isLoadKey = [](const ItEntry &e) {
         return e.key.op == Opcode::Ld1 || e.key.op == Opcode::Ld2 ||
             e.key.op == Opcode::Ld4 || e.key.op == Opcode::Ld8;
@@ -159,15 +196,17 @@ IntegrationTable::releaseOnePinned(RenameState &rename)
     ItEntry *soloAlu = nullptr;
     ItEntry *soloLoad = nullptr;
     ItEntry *any = nullptr;
-    for (ItEntry &e : table) {
-        if (!e.valid)
-            continue;
-        if (!any || e.lru < any->lru)
+    for (int i = lruHead; i != -1; i = table[i].lruNext) {
+        ItEntry &e = table[i];
+        if (!any)
             any = &e;
         if (rename.regs().refCount(e.dst) == 1) {
-            ItEntry *&slot = isLoadKey(e) ? soloLoad : soloAlu;
-            if (!slot || e.lru < slot->lru)
-                slot = &e;
+            if (!isLoadKey(e)) {
+                soloAlu = &e;
+                break;
+            }
+            if (!soloLoad)
+                soloLoad = &e;
         }
     }
     ItEntry *victim = soloAlu ? soloAlu : (soloLoad ? soloLoad : any);

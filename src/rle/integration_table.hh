@@ -55,6 +55,11 @@ struct ItEntry
     bool bypass = false;    ///< created by a store (memory bypassing)
     InstSeqNum creatorSeq = 0;
     std::uint64_t lru = 0;
+    // Intrusive LRU list links (indices into the table; -1 = none).
+    // Valid entries are linked oldest-touch first, so pressure eviction
+    // walks candidates in LRU order instead of scanning the whole table.
+    int lruPrev = -1;
+    int lruNext = -1;
 };
 
 /** Set-associative integration table. */
@@ -118,10 +123,24 @@ class IntegrationTable
     unsigned livePins = 0;
     std::vector<ItEntry> table;
     std::uint64_t lruCounter = 0;
+    int lruHead = -1;  ///< oldest-touched valid entry
+    int lruTail = -1;  ///< newest-touched valid entry
 
     unsigned indexOf(const ItKey &key) const;
     static bool keyEq(const ItKey &a, const ItKey &b);
     void invalidate(ItEntry &e, RenameState &rename);
+
+    int entryIndex(const ItEntry &e) const
+    {
+        return static_cast<int>(&e - table.data());
+    }
+    void lruUnlink(ItEntry &e);
+    void lruAppend(ItEntry &e);
+    void lruTouch(ItEntry &e)
+    {
+        lruUnlink(e);
+        lruAppend(e);
+    }
 };
 
 } // namespace svw

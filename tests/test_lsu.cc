@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cpu/rob.hh"
 #include "lsu/lsu.hh"
 
 using namespace svw;
@@ -74,7 +75,7 @@ TEST_F(LsuFixture, LoadReadsCommittedMemoryWithoutStores)
     build();
     mem.write(0x100, 8, 0x1234);
     DynInst &ld = addLoad(1, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_EQ(res.status, LoadExecResult::Status::Done);
     EXPECT_EQ(res.value, 0x1234u);
     EXPECT_FALSE(res.forwarded);
@@ -85,7 +86,7 @@ TEST_F(LsuFixture, FullCoverForwarding)
     build();
     addStore(1, 0x100, 8, 0xabcdef);
     DynInst &ld = addLoad(2, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_TRUE(res.forwarded);
     EXPECT_EQ(res.value, 0xabcdefu);
     EXPECT_EQ(res.fwdSsn, 1u);
@@ -97,11 +98,11 @@ TEST_F(LsuFixture, SubsetForwardExtractsAndZeroExtends)
     build();
     addStore(1, 0x100, 8, 0x8877665544332211ull);
     DynInst &ld4 = addLoad(2, 0x104, 4);
-    auto res = lsu->executeLoad(ld4, rob, 0);
+    auto res = lsu->executeLoad(ld4, 0);
     EXPECT_TRUE(res.forwarded);
     EXPECT_EQ(res.value, 0x88776655u);
     DynInst &ld1 = addLoad(3, 0x103, 1);
-    res = lsu->executeLoad(ld1, rob, 0);
+    res = lsu->executeLoad(ld1, 0);
     EXPECT_EQ(res.value, 0x44u);
 }
 
@@ -111,7 +112,7 @@ TEST_F(LsuFixture, YoungestMatchingStoreWins)
     addStore(1, 0x100, 8, 111);
     addStore(2, 0x100, 8, 222);
     DynInst &ld = addLoad(3, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_EQ(res.value, 222u);
     EXPECT_EQ(res.fwdSsn, 2u);
 }
@@ -122,7 +123,7 @@ TEST_F(LsuFixture, YoungerStoreInvisibleToOlderLoad)
     mem.write(0x100, 8, 5);
     DynInst &ld = addLoad(1, 0x100, 8);
     addStore(2, 0x100, 8, 999);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_FALSE(res.forwarded);
     EXPECT_EQ(res.value, 5u);
 }
@@ -132,7 +133,7 @@ TEST_F(LsuFixture, PartialOverlapBlocks)
     build();
     addStore(1, 0x104, 4, 0xdead);
     DynInst &ld = addLoad(2, 0x100, 8);  // store covers only half
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_EQ(res.status, LoadExecResult::Status::BlockedPartial);
     EXPECT_EQ(lsu->partialBlocks.value(), 1u);
 }
@@ -143,7 +144,7 @@ TEST_F(LsuFixture, MatchingStoreWithoutDataBlocks)
     DynInst &st = addStore(1, 0x100, 8, 0, true);
     st.dataResolved = false;  // address known, data still in flight
     DynInst &ld = addLoad(2, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_EQ(res.status, LoadExecResult::Status::BlockedPartial);
 }
 
@@ -153,7 +154,7 @@ TEST_F(LsuFixture, AmbiguousOlderStoreReported)
     addStore(1, 0, 8, 0, /*resolved=*/false);
     mem.write(0x100, 8, 9);
     DynInst &ld = addLoad(2, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_EQ(res.status, LoadExecResult::Status::Done);
     EXPECT_TRUE(res.sawAmbiguousOlderStore);
     EXPECT_EQ(res.value, 9u);  // speculative read of committed state
@@ -165,7 +166,7 @@ TEST_F(LsuFixture, AmbiguityHiddenBehindYoungerForwarder)
     addStore(1, 0, 8, 0, /*resolved=*/false);  // older ambiguous
     addStore(2, 0x100, 8, 77);                 // younger, resolved
     DynInst &ld = addLoad(3, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_TRUE(res.forwarded);
     // The forwarder is younger than the ambiguity: the load is NOT
     // vulnerable to the unresolved store (natural-filter precision).
@@ -177,7 +178,7 @@ TEST_F(LsuFixture, LqSearchFindsPrematureLoad)
     build();
     DynInst &st = addStore(1, 0x100, 8, 1, /*resolved=*/false);
     DynInst &ld = addLoad(2, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     ld.issued = true;
     ld.addrResolved = true;
     ld.loadValue = res.value;
@@ -185,7 +186,7 @@ TEST_F(LsuFixture, LqSearchFindsPrematureLoad)
     st.addr = 0x100;
     st.size = 8;
     st.addrResolved = true;
-    EXPECT_EQ(lsu->storeResolved(st, rob), 2u);
+    EXPECT_EQ(lsu->storeResolved(st), 2u);
     EXPECT_EQ(lsu->lqViolations.value(), 1u);
 }
 
@@ -197,7 +198,7 @@ TEST_F(LsuFixture, LqSearchSkipsUnissuedAndNonOverlapping)
     DynInst &far = addLoad(3, 0x900, 8);
     far.issued = true;
     far.addrResolved = true;
-    EXPECT_EQ(lsu->storeResolved(st, rob), 0u);
+    EXPECT_EQ(lsu->storeResolved(st), 0u);
 }
 
 TEST_F(LsuFixture, LqSearchSkipsForwardedFromYoungerStore)
@@ -206,7 +207,7 @@ TEST_F(LsuFixture, LqSearchSkipsForwardedFromYoungerStore)
     DynInst &st1 = addStore(1, 0x100, 8, 1, false);
     addStore(2, 0x100, 8, 2);
     DynInst &ld = addLoad(3, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     ld.issued = true;
     ld.addrResolved = true;
     ld.forwarded = res.forwarded;
@@ -214,7 +215,7 @@ TEST_F(LsuFixture, LqSearchSkipsForwardedFromYoungerStore)
     ASSERT_TRUE(res.forwarded);
     st1.addr = 0x100;
     st1.addrResolved = true;
-    EXPECT_EQ(lsu->storeResolved(st1, rob), 0u)
+    EXPECT_EQ(lsu->storeResolved(st1), 0u)
         << "load took its value from a younger store; no violation";
 }
 
@@ -226,7 +227,7 @@ TEST_F(LsuFixture, ValueAwareLqSearchIgnoresSilentStores)
     mem.write(0x100, 8, 42);
     DynInst &st = addStore(1, 0x100, 8, 42, /*resolved=*/false);
     DynInst &ld = addLoad(2, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     ld.issued = true;
     ld.addrResolved = true;
     ld.loadValue = res.value;  // 42 from memory
@@ -234,9 +235,9 @@ TEST_F(LsuFixture, ValueAwareLqSearchIgnoresSilentStores)
     st.addrResolved = true;
     st.dataResolved = true;
     st.storeData = 42;  // silent store
-    EXPECT_EQ(lsu->storeResolved(st, rob), 0u);
+    EXPECT_EQ(lsu->storeResolved(st), 0u);
     st.storeData = 43;  // now a real conflict
-    EXPECT_EQ(lsu->storeResolved(st, rob), 2u);
+    EXPECT_EQ(lsu->storeResolved(st), 2u);
 }
 
 TEST_F(LsuFixture, NlqDisablesLqSearch)
@@ -246,12 +247,12 @@ TEST_F(LsuFixture, NlqDisablesLqSearch)
     build(p);
     DynInst &st = addStore(1, 0x100, 8, 1, false);
     DynInst &ld = addLoad(2, 0x100, 8);
-    lsu->executeLoad(ld, rob, 0);
+    lsu->executeLoad(ld, 0);
     ld.issued = true;
     ld.addrResolved = true;
     st.addr = 0x100;
     st.addrResolved = true;
-    EXPECT_EQ(lsu->storeResolved(st, rob), 0u);
+    EXPECT_EQ(lsu->storeResolved(st), 0u);
     EXPECT_EQ(lsu->lqSearches.value(), 0u);
 }
 
@@ -308,7 +309,7 @@ TEST_F(LsuFixture, SsqUnsteeredLoadIgnoresInFlightStores)
     mem.write(0x100, 8, 5);
     addStore(1, 0x100, 8, 999);       // in flight, unsteered
     DynInst &ld = addLoad(2, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_FALSE(res.forwarded);
     EXPECT_EQ(res.value, 5u) << "stale read; re-execution must catch it";
     EXPECT_TRUE(res.sawAmbiguousOlderStore || true);
@@ -321,7 +322,7 @@ TEST_F(LsuFixture, SsqBestEffortServesCommittedStores)
     mem.write(0x100, 8, 31);   // commit applies the value...
     lsu->commitStore(st);      // ...and inserts the buffer entry
     DynInst &ld = addLoad(2, 0x100, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_TRUE(res.bestEffort);
     EXPECT_EQ(res.value, 31u);
     EXPECT_EQ(lsu->bestEffortHits.value(), 1u);
@@ -340,7 +341,7 @@ TEST_F(LsuFixture, SteeringBitsRouteLoadsToFsq)
     EXPECT_EQ(lsu->fsqSize(), 1u);
     DynInst &ld = addLoad(7, 0x100, 8);
     EXPECT_TRUE(ld.fsqLoad);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_TRUE(res.forwarded);
     EXPECT_FALSE(res.bestEffort);
     EXPECT_EQ(res.value, 55u);
@@ -355,12 +356,12 @@ TEST_F(LsuFixture, FsqPortLimitsOneSearchPerCycle)
     addStore(3, 0x100, 8, 55);
     DynInst &l1 = addLoad(7, 0x100, 8);
     DynInst &l2 = addLoad(8, 0x100, 8);
-    auto r1 = lsu->executeLoad(l1, rob, 5);
-    auto r2 = lsu->executeLoad(l2, rob, 5);
+    auto r1 = lsu->executeLoad(l1, 5);
+    auto r2 = lsu->executeLoad(l2, 5);
     EXPECT_EQ(r1.status, LoadExecResult::Status::Done);
     EXPECT_EQ(r2.status, LoadExecResult::Status::BlockedPort);
     // Next cycle the second load gets the port.
-    r2 = lsu->executeLoad(l2, rob, 6);
+    r2 = lsu->executeLoad(l2, 6);
     EXPECT_EQ(r2.status, LoadExecResult::Status::Done);
 }
 
@@ -399,7 +400,7 @@ TEST_F(LsuFixture, SteeredLoadWithoutFsqProducerReadsCache)
     lsu->trainSteering(7, 3);
     mem.write(0x200, 8, 17);
     DynInst &ld = addLoad(7, 0x200, 8);
-    auto res = lsu->executeLoad(ld, rob, 0);
+    auto res = lsu->executeLoad(ld, 0);
     EXPECT_EQ(res.status, LoadExecResult::Status::Done);
     EXPECT_FALSE(res.forwarded);
     EXPECT_EQ(res.value, 17u);

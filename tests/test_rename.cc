@@ -173,11 +173,19 @@ TEST(Iq, InsertRemoveSquash)
     iq.insert(&b);
     iq.insert(&c);
     EXPECT_EQ(iq.size(), 3u);
-    iq.remove(2);
+    for (std::size_t i = 0; i < iq.slotCount(); ++i)
+        if (iq.slot(i).inst && iq.slot(i).seq == 2)
+            iq.removeAt(i);
     EXPECT_EQ(iq.size(), 2u);
     iq.squashAfter(1);
     ASSERT_EQ(iq.size(), 1u);
-    EXPECT_EQ(iq.entries()[0].seq, 1u);
+    // First live slot is the surviving oldest entry.
+    const IssueQueue::Entry *survivor = nullptr;
+    for (std::size_t i = 0; i < iq.slotCount() && !survivor; ++i)
+        if (iq.slot(i).inst)
+            survivor = &iq.slot(i);
+    ASSERT_NE(survivor, nullptr);
+    EXPECT_EQ(survivor->seq, 1u);
 }
 
 TEST(Iq, FullReflectsCapacity)
