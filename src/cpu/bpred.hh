@@ -25,6 +25,24 @@ struct BPredParams
 };
 
 /**
+ * Speculative front-end predictor state at one point in the instruction
+ * stream: the global history register and the RAS top. Taken per branch
+ * at fetch; squash recovery restores from it (directly for the walk
+ * path, or via the rename checkpoint that embeds it).
+ *
+ * Restoring only the RAS *top* (not the whole stack) is the paper-era
+ * approximation: a wrong-path call/return imbalance deeper than one
+ * entry can still corrupt lower stack slots, which real RAS repair
+ * schemes accept too.
+ */
+struct BPredCheckpoint
+{
+    std::uint64_t ghist = 0;
+    std::uint32_t rasTop = 0;
+    std::uint64_t rasTopVal = 0;
+};
+
+/**
  * Direction + target prediction with checkpoint/restore of speculative
  * history state (global history register and RAS top).
  */
@@ -35,6 +53,15 @@ class BPred
 
     /** Predict a conditional branch's direction at @p pc. */
     bool predictDirection(std::uint64_t pc);
+
+    /**
+     * Confidence of the most recent predictDirection: true when the
+     * selected counter was weak (1 or 2 of the 2-bit range). Weak
+     * counters supply the bulk of mispredictions, so low-confidence
+     * branches are where rename checkpoints pay off. Host-side heuristic
+     * only — never feeds back into timing.
+     */
+    bool lowConfidence() const { return lastLowConf; }
 
     /** Speculatively update global history with outcome @p taken. */
     void speculativeUpdate(bool taken);
@@ -55,8 +82,22 @@ class BPred
     std::uint32_t rasTop() const { return rasPtr; }
     std::uint64_t rasTopValue() const
     {
-        return ras.empty() ? 0 : ras[rasPtr % ras.size()];
+        // rasPtr is kept in [0, size) by push/pop/restore; no modulo on
+        // this per-fetch path.
+        return ras.empty() ? 0 : ras[rasPtr];
     }
+
+    /** Snapshot the speculative state (fetch takes one per branch). */
+    BPredCheckpoint save() const
+    {
+        return BPredCheckpoint{_ghist, rasPtr, rasTopValue()};
+    }
+
+    void restore(const BPredCheckpoint &ck)
+    {
+        restore(ck.ghist, ck.rasTop, ck.rasTopVal);
+    }
+
     void restore(std::uint64_t ghist, std::uint32_t rasTop,
                  std::uint64_t rasTopVal);
 
@@ -75,6 +116,7 @@ class BPred
     };
 
     unsigned tableMask;
+    bool lastLowConf = false;
     std::vector<std::uint8_t> bimodal;  ///< 2-bit counters
     std::vector<std::uint8_t> gshare;
     std::vector<std::uint8_t> chooser;  ///< 0..3, >=2 favours gshare

@@ -74,7 +74,7 @@ Core::commitStage()
         }
 
         if (d.si->isCondBranch()) {
-            bpred.train(d.pc, d.actualTaken, d.ghistSnap);
+            bpred.train(d.pc, d.actualTaken, d.bpredSnap.ghist);
             ++retiredBranches;
         }
 

@@ -30,11 +30,18 @@ Core::Core(const CoreParams &p, const Program &program,
                       "cycles dispatch stalled for SSN wrap drains"),
       invalidationsSeen(reg, "core.invalidationsSeen",
                         "external invalidations observed"),
+      ckptRestores(reg, "core.ckptRestores",
+                   "squashes recovered from a rename checkpoint"),
+      ckptWalks(reg, "core.ckptWalks",
+                "squashes recovered by the youngest-first walk"),
       prm(p),
       prog(program),
       mem(p.mem, reg),
       bpred(p.bpred, reg),
-      rename(p.numPhysRegs),
+      rename(p.numPhysRegs,
+             // RLE squash hygiene must inspect each squashed load, so
+             // checkpoint recovery never engages there; don't pool.
+             p.rle.enabled ? 0 : p.renameCheckpoints, p.robEntries),
       rob(p.robEntries),
       iq(p.iqEntries),
       svw(p.svw, reg),
@@ -178,21 +185,53 @@ Core::issueStage()
 {
     unsigned globalUsed = 0;
     unsigned intUsed = 0, loadUsed = 0, storeUsed = 0, branchUsed = 0;
+    const unsigned storeWidth = prm.lsu.storeIssueWidth;
 
     // In-place oldest-first scan: issue tombstones the slot under the
     // scan (indices never shift mid-cycle; squash only pops the young
-    // suffix, and the scan breaks right after any squash).
+    // suffix, and the scan breaks right after any squash). Sleep state
+    // and issue class are read from the compact IQ entry mirror; the
+    // DynInst itself is touched only when the entry might really issue.
     const std::size_t nSlots = iq.slotCount();
     for (std::size_t idx = 0; idx < nSlots; ++idx) {
         if (globalUsed >= prm.issueWidth)
             break;
-        DynInst *inst = iq.slot(idx).inst;
-        if (!inst || inst->issued)
-            continue;  // tombstone / already issued
-        if (inst->issueRetryCycle > now ||
-            inst->issueWakeEpoch == regWakeEpoch) {
-            continue;  // sleeping on a source that cannot be ready yet
+        if (intUsed >= prm.intIssue && loadUsed >= prm.loadIssue &&
+            storeUsed >= storeWidth && branchUsed >= prm.branchIssue) {
+            break;  // every class cap saturated: nothing more can issue
         }
+        IssueQueue::Entry &e = iq.slotRef(idx);
+        if (!e.inst)
+            continue;  // tombstone
+        if (e.sleepRetry > now)
+            continue;  // value known to arrive later
+        if (e.sleepReg != invalidPhysReg &&
+            rename.regs().readyAt(e.sleepReg) == notReady) {
+            continue;  // blocking source's producer still unissued
+        }
+        // A capped class would fail tryIssue's first check; skip the
+        // call (and the DynInst access) outright.
+        switch (e.clsGroup) {
+          case IssueQueue::ClsInt:
+            if (intUsed >= prm.intIssue)
+                continue;
+            break;
+          case IssueQueue::ClsBranch:
+            if (branchUsed >= prm.branchIssue)
+                continue;
+            break;
+          case IssueQueue::ClsLoad:
+            if (loadUsed >= prm.loadIssue)
+                continue;
+            break;
+          case IssueQueue::ClsStore:
+            if (storeUsed >= storeWidth)
+                continue;
+            break;
+        }
+        DynInst *inst = e.inst;
+        if (inst->issued)
+            continue;
         const std::size_t squashesBefore =
             branchSquashes.value() + orderingSquashes.value();
         if (tryIssue(*inst, intUsed, loadUsed, storeUsed, branchUsed)) {
@@ -200,6 +239,13 @@ Core::issueStage()
             iq.removeAt(idx);
             if (tracer)
                 tracer->event(now, TraceEvent::Issue, *inst);
+        } else {
+            // Refresh the sleep mirror from whatever the failed attempt
+            // learned (srcBlocked writes the DynInst fields). Failures
+            // that bypass srcBlocked (port conflicts, store-set waits)
+            // copy already-expired values, leaving the entry awake.
+            e.sleepRetry = inst->issueRetryCycle;
+            e.sleepReg = inst->issueWaitReg;
         }
         // A store issue may have triggered an ordering squash that
         // invalidated the scan; stop for this cycle.
@@ -440,7 +486,7 @@ Core::dispatchOne(DynInst &d)
 
     // ---- RLE integration -----------------------------------------------
     bool integrated = false;
-    if (si.writesReg()) {
+    if (rle.enabled() && si.writesReg()) {
         if (auto integ = rle.tryIntegrate(si, d.prs1, d.prs2, rename)) {
             integrated = true;
             d.eliminated = true;
@@ -449,7 +495,7 @@ Core::dispatchOne(DynInst &d)
             d.prd = integ->dst;
             rename.addRef(d.prd);
             d.prevPrd = rename.map(si.rd);
-            rename.setMap(si.rd, d.prd);
+            rename.speculativeDef(si.rd, d.prd);
             if (si.isLoad()) {
                 d.rexReasons |= RexRleElim;
                 // Section 3.4: the window starts at the IT entry,
@@ -471,8 +517,15 @@ Core::dispatchOne(DynInst &d)
             return false;
         d.prevPrd = rename.map(si.rd);
         d.prd = rename.alloc();
-        rename.setMap(si.rd, d.prd);
+        rename.speculativeDef(si.rd, d.prd);
     }
+
+    // ---- recovery checkpoint at low-confidence control ------------------
+    // Taken after this instruction's own definition so the snapshot is
+    // exactly the state a squash keeping d.seq must restore. Pure
+    // host-side recovery machinery; never affects timing.
+    if (si.isCtrl() && d.predLowConf)
+        d.ckptTag = rename.takeCheckpoint(d.seq, d.bpredSnap);
 
     // ---- class-specific dispatch ---------------------------------------
     if (si.isStore()) {
@@ -514,7 +567,8 @@ Core::dispatchOne(DynInst &d)
     } else {
         if (!trivial)
             iq.insert(&r);
-        rle.createEntry(r, rename, svw.ssn().ssnRename(), r.ssn);
+        if (rle.enabled())
+            rle.createEntry(r, rename, svw.ssn().ssnRename(), r.ssn);
     }
     return true;
 }
@@ -527,10 +581,27 @@ void
 Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
                   const DynInst *replay)
 {
+    // Checkpoints younger than the squash point snapshot wrong-path
+    // state; drop them before looking for a covering one. With a tracer
+    // attached the walk must run anyway (it emits the Squash events), so
+    // the checkpoint is ignored — recovered state is identical either
+    // way. RLE runs pool no checkpoints (see the Core constructor).
+    rename.discardCheckpointsAfter(keepSeq);
+    // A resolving branch finds its checkpoint through the tag it was
+    // handed at dispatch; non-branch squash points can only match the
+    // pool's youngest survivor.
+    const RenameCheckpoint *ckpt = nullptr;
+    if (!tracer) {
+        ckpt = replay ? rename.checkpointByTag(replay->ckptTag, keepSeq)
+                      : rename.findCheckpoint(keepSeq);
+    }
+
     // ---- branch predictor state repair --------------------------------
     if (replay) {
-        bpred.restore(replay->ghistSnap, replay->rasTopSnap,
-                      replay->rasTopValSnap);
+        // On a checkpoint hit the pooled snapshot is the same fetch-time
+        // state the replay instruction carries (wired by checkpoint tag
+        // at dispatch); otherwise read it from the instruction.
+        bpred.restore(ckpt ? ckpt->bpred : replay->bpredSnap);
         if (replay->si->isCondBranch())
             bpred.speculativeUpdate(replay->actualTaken);
         if (replay->si->isCall())
@@ -541,14 +612,21 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
         const DynInst *oldest = rob.lowerBound(keepSeq + 1);
         if (!oldest && !fetchQueue.empty())
             oldest = &fetchQueue.front();
-        if (oldest) {
-            bpred.restore(oldest->ghistSnap, oldest->rasTopSnap,
-                          oldest->rasTopValSnap);
-        }
+        if (oldest)
+            bpred.restore(oldest->bpredSnap);
     }
 
     // ---- IT entries of squashed creators become squash-reusable -------
     rle.onSquash(keepSeq, rename);
+
+    if (ckpt) {
+        // The store-set LFST claims of squashed stores must still be
+        // released one by one; the squashed stores are exactly the SQ's
+        // age-ordered suffix, released youngest-first like the walk.
+        const auto &sq = lsu.storeQueue();
+        for (std::size_t i = sq.size(); i-- > 0 && sq[i]->seq > keepSeq;)
+            storeSets.storeSquashed(sq[i]->pc, sq[i]->seq);
+    }
 
     // ---- pointer-holder prune precedes ROB pops (IQ, LSU queues, and
     //      the rex store buffer all hold ROB slot pointers) -------------
@@ -556,28 +634,34 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
     lsu.squashAfter(keepSeq);
     rex.squashAfter(keepSeq);
 
-    // ---- rename recovery: youngest-first walk --------------------------
-    while (!rob.empty() && rob.tail().seq > keepSeq) {
-        DynInst &t = rob.tail();
-        if (tracer)
-            tracer->event(now, TraceEvent::Squash, t);
-        // Squash-reuse hygiene: a load that executed speculatively or
-        // forwarded from an in-flight (now squashed) store holds a value
-        // the correct path may never see; kill its IT entry rather than
-        // offering it for reuse. This is exactly the "forwarding store
-        // exists on the squashed path but not the correct path" corner
-        // case of section 4.3.
-        if (t.isLoad() && t.issued && !t.eliminated &&
-            (t.specExecuted || t.forwarded)) {
-            rle.onSquashedSpeculativeLoad(t, rename);
+    if (ckpt) {
+        // ---- checkpoint recovery: map snapshot + journal replay -------
+        rename.restoreCheckpoint(*ckpt);
+        rob.squashTail(keepSeq);
+        ++ckptRestores;
+    } else {
+        // ---- fallback: youngest-first walk ----------------------------
+        ++ckptWalks;
+        while (!rob.empty() && rob.tail().seq > keepSeq) {
+            DynInst &t = rob.tail();
+            if (tracer)
+                tracer->event(now, TraceEvent::Squash, t);
+            // Squash-reuse hygiene: a load that executed speculatively or
+            // forwarded from an in-flight (now squashed) store holds a
+            // value the correct path may never see; kill its IT entry
+            // rather than offering it for reuse. This is exactly the
+            // "forwarding store exists on the squashed path but not the
+            // correct path" corner case of section 4.3.
+            if (t.isLoad() && t.issued && !t.eliminated &&
+                (t.specExecuted || t.forwarded)) {
+                rle.onSquashedSpeculativeLoad(t, rename);
+            }
+            if (t.si->writesReg())
+                rename.undoLastDef();
+            if (t.isStore())
+                storeSets.storeSquashed(t.pc, t.seq);
+            rob.popTail();
         }
-        if (t.si->writesReg()) {
-            rename.setMap(t.si->rd, t.prevPrd);
-            rename.deref(t.prd);
-        }
-        if (t.isStore())
-            storeSets.storeSquashed(t.pc, t.seq);
-        rob.popTail();
     }
 
     // ---- SSN allocation rollback ----------------------------------------

@@ -56,6 +56,13 @@ struct CoreParams
     unsigned robEntries = 512;
     unsigned iqEntries = 200;
     unsigned numPhysRegs = 448;
+    /**
+     * Rename-map checkpoint pool for squash recovery (0 disables and
+     * every squash takes the youngest-first walk). Host-side recovery
+     * machinery only: pool size never changes simulated timing, just
+     * how fast the simulator repairs state on a squash.
+     */
+    unsigned renameCheckpoints = 64;
 
     // Pipeline shape (15-stage base pipe).
     unsigned frontendDepth = 7;      ///< fetch->dispatch stages
@@ -142,6 +149,8 @@ class Core
     stats::Scalar fsqLoadsRetired;
     stats::Scalar wrapDrainCycles;
     stats::Scalar invalidationsSeen;
+    stats::Scalar ckptRestores;      ///< squashes recovered via checkpoint
+    stats::Scalar ckptWalks;         ///< squashes recovered via the walk
 
   private:
     // --- pipeline stages (one call each per tick) ----------------------
@@ -183,26 +192,31 @@ class Core
 
     /**
      * srcReady complement for the issue scan: on an unready source,
-     * record when the entry is worth polling again (the source's
-     * readyAt, or next cycle while the producer has not issued yet).
+     * record what the entry is waiting for — the cycle the value
+     * arrives (producer issued, readyAt known) or the blocking register
+     * itself (producer not issued yet). Both fields are written so a
+     * later mirror copy into the IQ entry is exact.
      */
     bool srcBlocked(DynInst &inst, PhysRegIndex p)
     {
         if (srcReady(p))
             return false;
         const Cycle r = rename.regs().readyAt(p);
-        if (r == notReady)
-            inst.issueWakeEpoch = regWakeEpoch;
-        else
+        if (r == notReady) {
+            inst.issueWaitReg = p;
+            inst.issueRetryCycle = 0;
+        } else {
             inst.issueRetryCycle = r;
+            inst.issueWaitReg = invalidPhysReg;
+        }
         return true;
     }
 
-    /** A register became schedulable: wake epoch-sleeping IQ entries. */
+    /** A register became schedulable (its waiters' readyAt check now
+     * passes on the next scan). */
     void noteReadyAt(PhysRegIndex p, Cycle c)
     {
         rename.regs().setReadyAt(p, c);
-        ++regWakeEpoch;
     }
 
     CoreParams prm;
@@ -229,9 +243,6 @@ class Core
     Cycle now = 0;
     InstSeqNum seqCounter = 0;
     bool haltCommitted = false;
-    /** Bumped on every setReadyAt; see DynInst::issueWakeEpoch. Starts
-     * at 1 so freshly dispatched entries (epoch 0) always get polled. */
-    std::uint64_t regWakeEpoch = 1;
 
     // Fetch state.
     std::uint64_t fetchPc;

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "base/types.hh"
+#include "cpu/bpred.hh"
 #include "isa/inst.hh"
 
 namespace svw {
@@ -37,9 +38,21 @@ struct DynInst
     bool actualTaken = false;   ///< conditional-branch outcome
     bool mispredicted = false;
     /** Branch-history / RAS snapshot taken at fetch, for squash repair. */
-    std::uint64_t ghistSnap = 0;
-    std::uint32_t rasTopSnap = 0;
-    std::uint64_t rasTopValSnap = 0;
+    BPredCheckpoint bpredSnap{};
+    /**
+     * Fetch-time confidence estimate for control instructions: weak
+     * direction counter, BTB-predicted indirect, or return. Dispatch
+     * allocates a rename checkpoint only for low-confidence branches
+     * (high-confidence ones rarely mispredict; the walk covers them).
+     */
+    bool predLowConf = false;
+    /**
+     * Rename-checkpoint tag: pool slot + 1 of the checkpoint taken when
+     * this branch dispatched, 0 if none. A mispredicting branch resolves
+     * its checkpoint through this tag (RenameState::checkpointByTag),
+     * which revalidates the slot by seq before trusting it.
+     */
+    std::uint16_t ckptTag = 0;
 
     // --- rename -------------------------------------------------------
     PhysRegIndex prs1 = invalidPhysReg;
@@ -64,12 +77,14 @@ struct DynInst
     Cycle issueRetryCycle = 0;
     /**
      * Issue-scan sleep for a source whose producer has not even issued
-     * (readyAt == notReady): re-poll only after some setReadyAt happened
-     * (the core's register-wakeup epoch moved). A sleeping entry's
-     * source can only become ready through a setReadyAt, so this skips
-     * no issue opportunity.
+     * (readyAt == notReady): the blocking physical register. The scan
+     * re-polls only once that register's readyAt leaves notReady —
+     * which is exactly its producer's issue (readyAt is written once
+     * per allocation, and a squash that kills the producer kills this
+     * consumer too) — so the per-register wait skips no issue
+     * opportunity and never wakes spuriously.
      */
-    std::uint64_t issueWakeEpoch = 0;
+    PhysRegIndex issueWaitReg = invalidPhysReg;
 
     // --- memory -------------------------------------------------------
     Addr addr = 0;

@@ -48,14 +48,13 @@ Core::fetchStage()
         d.seq = ++seqCounter;
         d.pc = fetchPc;
         d.si = &prog.inst(fetchPc);
-        d.ghistSnap = bpred.ghist();
-        d.rasTopSnap = bpred.rasTop();
-        d.rasTopValSnap = bpred.rasTopValue();
+        d.bpredSnap = bpred.save();
         d.fetchReadyCycle = now + prm.frontendDepth;
 
         const StaticInst &si = *d.si;
         if (si.isCondBranch()) {
             const bool taken = bpred.predictDirection(d.pc);
+            d.predLowConf = bpred.lowConfidence();
             bpred.speculativeUpdate(taken);
             d.predNextPc = taken ? static_cast<std::uint64_t>(si.imm)
                                  : d.pc + 1;
@@ -64,6 +63,9 @@ Core::fetchStage()
             if (si.isCall())
                 bpred.rasPush(d.pc + 1);
         } else if (si.isIndirectCtrl()) {
+            // Indirect targets (RAS or BTB) are where the expensive
+            // mispredicts live; always checkpoint-worthy.
+            d.predLowConf = true;
             if (si.rs1 == regLink) {
                 d.predNextPc = bpred.rasPop();
             } else {

@@ -28,10 +28,29 @@ namespace svw {
 class IssueQueue
 {
   public:
+    /** Issue-resource class of an entry (which per-class cap gates it). */
+    enum ClsGroup : std::uint8_t
+    {
+        ClsInt = 0,
+        ClsBranch,
+        ClsLoad,
+        ClsStore,
+    };
+
+    /**
+     * One slot. Besides the instruction pointer the entry mirrors the
+     * scan-relevant DynInst state (class group at insert; sleep state
+     * after every failed issue attempt) so the per-cycle scan can skip
+     * blocked entries from this compact sequential array without
+     * touching the ~4-cache-line DynInst at all.
+     */
     struct Entry
     {
         InstSeqNum seq;
         DynInst *inst;  ///< nullptr = tombstone (already issued)
+        Cycle sleepRetry;        ///< mirror of DynInst::issueRetryCycle
+        PhysRegIndex sleepReg;   ///< mirror of DynInst::issueWaitReg
+        std::uint8_t clsGroup;   ///< issue-resource class
     };
 
     explicit IssueQueue(unsigned capacity) : cap(capacity) {}
@@ -40,13 +59,31 @@ class IssueQueue
     std::size_t size() const { return live; }
     unsigned capacity() const { return cap; }
 
+    static std::uint8_t classGroup(const StaticInst &si)
+    {
+        switch (si.cls()) {
+          case InstClass::Load:
+            return ClsLoad;
+          case InstClass::Store:
+            return ClsStore;
+          case InstClass::Branch:
+          case InstClass::Jump:
+          case InstClass::JumpReg:
+            return ClsBranch;
+          default:
+            return ClsInt;
+        }
+    }
+
     void insert(DynInst *inst)
     {
         // Deferred compaction: reclaim tombstones outside the issue
         // scan (dispatch never runs mid-scan).
         if (entries_.size() - live > compactThreshold)
             compact();
-        entries_.push_back(Entry{inst->seq, inst});
+        entries_.push_back(Entry{inst->seq, inst, inst->issueRetryCycle,
+                                 inst->issueWaitReg,
+                                 classGroup(*inst->si)});
         ++live;
     }
 
@@ -55,6 +92,9 @@ class IssueQueue
 
     /** Slot @p idx; check .inst for nullptr (tombstone). */
     const Entry &slot(std::size_t idx) const { return entries_[idx]; }
+
+    /** Mutable slot access (the scan refreshes the sleep mirror). */
+    Entry &slotRef(std::size_t idx) { return entries_[idx]; }
 
     /** Tombstone the (live) entry at slot @p idx after it issued. */
     void removeAt(std::size_t idx)

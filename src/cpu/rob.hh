@@ -71,6 +71,24 @@ class ROB
 
     void popTail() { --count; }
 
+    /**
+     * Drop every entry younger than @p keepSeq without touching the
+     * entries themselves (checkpoint recovery's bulk pop; the walk
+     * fallback pops per entry). O(log n) binary search on seq.
+     */
+    void squashTail(InstSeqNum keepSeq)
+    {
+        std::size_t lo = 0, hi = count;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (at(mid).seq <= keepSeq)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        count = lo;
+    }
+
     /** Find by sequence number; O(1) when seqs are dense from the head.
      * nullptr if absent (younger, older, or squashed out). */
     DynInst *findBySeq(InstSeqNum seq)

@@ -134,6 +134,11 @@ class LoadStoreUnit
         return sq.empty() ? nullptr : sq.back();
     }
 
+    /** Age-ordered in-flight stores. Checkpoint recovery reads the
+     * squashed suffix (before squashAfter prunes it) to release the
+     * stores' LFST claims without walking the ROB. */
+    const std::vector<DynInst *> &storeQueue() const { return sq; }
+
     /** Seq of the youngest in-flight store (0 if none). */
     InstSeqNum youngestStoreSeq() const
     {

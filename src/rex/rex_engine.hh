@@ -16,6 +16,15 @@
  * until every older load has re-executed successfully — appears here as
  * the store's commit-eligible cycle being the max of the pending older
  * load re-execution completion cycles.
+ *
+ * Paper-term map: this is the "re-execution" pipeline of Figure 1 with
+ * the SVW stage of Figure 3 inserted; rexNextSeq is the R-head pointer
+ * walking the window in order, the internal store buffer is the
+ * paper's post-SVW store queue segment, and a "marked" load is one
+ * whose optimization (NLQ-LS/NLQ-SM/SSQ/RLE, DynInst::rexReasons)
+ * obliges verification before commit. svwReplacesReExecution models
+ * section 6's replacement mode: a positive SSBF test flushes instead
+ * of re-executing, trading cache-port bandwidth for squashes.
  */
 
 #ifndef SVW_REX_REX_ENGINE_HH

@@ -9,6 +9,16 @@
  * matching load, whose "result" is the store's data register.
  * Squash reuse: entries of squashed instructions stay integrable
  * (SVW is disabled for those consumers — section 4.3 / SVW-SQU).
+ *
+ * Paper-term map: the IT is the paper's "integration table"; an
+ * eliminated load is "integrated" (it never issues — rename points its
+ * output at the table entry's physical register and completion waits
+ * on that register's readiness). Because an unaccounted-for store may
+ * have intervened since the entry was created, every eliminated load
+ * is marked for pre-commit re-execution (RexRleElim) with
+ * ld.SVW = IT-entry.SSN per section 3.4; onVerifiedElimination and
+ * onFalseElimination maintain the entry's window from commit/flush
+ * outcomes.
  */
 
 #ifndef SVW_RLE_RLE_HH

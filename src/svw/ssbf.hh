@@ -14,6 +14,14 @@
  * For NLQ-SM, the SSBF is logically banked by word-in-line so a cache
  * line invalidation can update every granule of the line in one shot
  * (section 3.2); invalidate() models that.
+ *
+ * Paper-term map: SSBF[A] approximates "the SSN of the youngest store
+ * that wrote address granule A". The filter test for a marked load is
+ * SSBF[ld.addr] > ld.SVW => re-execute (a store the load is vulnerable
+ * to may have hit its address). Stores update the table at their rex
+ * SVW stage (speculative update, section 3.6) or at their cache commit
+ * (atomic variant); wrap-around of the finite SSN width flash-clears
+ * it behind a pipeline drain.
  */
 
 #ifndef SVW_SVW_SSBF_HH

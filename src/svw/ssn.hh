@@ -9,6 +9,12 @@
  * wrap-around policy (section 3.6): when SSNRENAME wraps, drain the
  * pipeline and flash-clear the SSBF (and the IT under RLE) so no load's
  * vulnerability range straddles the wrap point.
+ *
+ * Paper-term map: SSNRENAME is the SSN of the youngest store dispatched
+ * (assigned at rename/dispatch; assign() here), SSNRETIRE the SSN of
+ * the youngest store retired (onRetire). Squash rolls SSNRENAME back to
+ * the youngest surviving store (rollbackTo). Loads' SVWs and the SSBF's
+ * entries are expressed in this numbering.
  */
 
 #ifndef SVW_SVW_SSN_HH

@@ -2,6 +2,17 @@
  * @file
  * SvwUnit: ties SSN numbering and the SSBF together and implements the
  * per-optimization SVW assignment policies of paper sections 3.1-3.5.
+ *
+ * Paper-term map: a load's SVW ("store vulnerability window") names the
+ * youngest older store the load is provably NOT vulnerable to, as an
+ * SSN; the load is vulnerable to the interval (ld.SVW, ld's dispatch
+ * point]. The filter test (section 3) re-executes a marked load only if
+ * SSBF[ld.addr] > ld.SVW — some store the load is vulnerable to wrote
+ * its address granule. Assignment policies: SSNRETIRE at dispatch for
+ * NLQ/SSQ loads (section 3.1); the forwarding store's SSN on a
+ * store-forward under +UPD (section 3.3, onStoreForward); the IT
+ * entry's SSN for RLE-eliminated loads (section 3.4); and the min
+ * composition of those under NLQ-SM (section 3.5, composeSvw).
  */
 
 #ifndef SVW_SVW_SVW_HH

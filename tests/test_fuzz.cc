@@ -211,3 +211,160 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string("seed") + std::to_string(fc.seed) + "_" +
             fc.configName;
     });
+
+// ---------------------------------------------------------------------
+// Checkpoint-recovery equivalence: restore must be indistinguishable
+// from the youngest-first walk, at both the unit and the whole-core
+// level, on randomly chosen squash points.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Mirror of one speculative definition, for the reference walk. */
+struct DefRecord
+{
+    RegIndex rd;
+    PhysRegIndex prd;
+    PhysRegIndex prevPrd;
+    bool shared;
+};
+
+/** Drain both free lists in allocation order and compare; leaves both
+ * states equally exhausted, which is itself part of the comparison. */
+void
+expectIdenticalRenameState(RenameState &a, RenameState &b,
+                           unsigned numPhysRegs, std::uint64_t seed)
+{
+    for (RegIndex r = 0; r < numArchRegs; ++r)
+        ASSERT_EQ(a.map(r), b.map(r)) << "map r" << r << " seed " << seed;
+    for (unsigned p = 0; p < numPhysRegs; ++p) {
+        ASSERT_EQ(a.regs().refCount(p), b.regs().refCount(p))
+            << "refs p" << p << " seed " << seed;
+        ASSERT_EQ(a.regs().generation(p), b.regs().generation(p))
+            << "gen p" << p << " seed " << seed;
+    }
+    ASSERT_EQ(a.freeRegs(), b.freeRegs()) << "seed " << seed;
+    while (a.hasFreeReg()) {
+        ASSERT_EQ(a.alloc(), b.alloc())
+            << "free-list order diverged, seed " << seed;
+    }
+}
+
+} // namespace
+
+TEST(FuzzCheckpointRecovery, RestoreEquivalentToWalkOnRandomSquashes)
+{
+    constexpr unsigned numPhysRegs = 96;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        Random rng(seed * 0x9e3779b9ull + 7);
+        RenameState ckpt(numPhysRegs, 8);   // recovers via checkpoint
+        RenameState walk(numPhysRegs, 8);   // recovers via the walk
+        std::vector<DefRecord> defs;        // since run start
+        std::size_t ckptAt = 0;             // defs.size() at checkpoint
+
+        // Random prologue of definitions, some register-sharing
+        // (integration-style), some commit-time releases of displaced
+        // registers — then a checkpoint, more definitions, a squash.
+        const unsigned pre = 1 + rng.nextBounded(20);
+        const unsigned post = 1 + rng.nextBounded(30);
+        auto makeDef = [&]() {
+            DefRecord rec;
+            rec.rd = static_cast<RegIndex>(1 + rng.nextBounded(10));
+            // One in four definitions shares an earlier definition's
+            // register (every recorded prd is still referenced during
+            // the definition phase — nothing frees until later).
+            rec.shared = !defs.empty() && rng.nextBounded(4) == 0;
+            rec.prevPrd = ckpt.map(rec.rd);
+            if (rec.shared) {
+                rec.prd = defs[rng.nextBounded(static_cast<std::uint32_t>(
+                                   defs.size()))].prd;
+                ckpt.addRef(rec.prd);
+                walk.addRef(rec.prd);
+            } else {
+                rec.prd = ckpt.alloc();
+                const PhysRegIndex w = walk.alloc();
+                ASSERT_EQ(w, rec.prd) << "states diverged pre-squash";
+            }
+            ckpt.speculativeDef(rec.rd, rec.prd);
+            walk.speculativeDef(rec.rd, rec.prd);
+            defs.push_back(rec);
+        };
+
+        for (unsigned i = 0; i < pre; ++i)
+            makeDef();
+        ckptAt = defs.size();
+        ckpt.takeCheckpoint(1000, BPredCheckpoint{});
+        for (unsigned i = 0; i < post; ++i)
+            makeDef();
+
+        // Commit-style releases of displaced registers are legal only
+        // for definitions older than the checkpointed branch (in-order
+        // commit cannot pass an unresolved branch).
+        for (std::size_t i = 0; i < ckptAt; ++i) {
+            if (rng.nextBounded(3) == 0) {
+                ckpt.deref(defs[i].prevPrd);
+                walk.deref(defs[i].prevPrd);
+            }
+        }
+
+        // Recover: checkpoint restore on one state, reference
+        // youngest-first walk on the other.
+        ckpt.discardCheckpointsAfter(1000);
+        const RenameCheckpoint *ck = ckpt.findCheckpoint(1000);
+        ASSERT_NE(ck, nullptr) << "seed " << seed;
+        ckpt.restoreCheckpoint(*ck);
+        for (std::size_t i = defs.size(); i-- > ckptAt;)
+            walk.undoLastDef();
+
+        expectIdenticalRenameState(ckpt, walk, numPhysRegs, seed);
+    }
+}
+
+TEST(FuzzCheckpointRecovery, CoreTimingIdenticalWithAndWithoutCheckpoints)
+{
+    // Same random programs, same config, checkpoints on vs off: cycle
+    // counts, architectural state, and memory must match exactly. This
+    // is the bit-identical-timing invariant the recovery path must
+    // preserve (docs/ARCHITECTURE.md "Squash recovery").
+    const std::pair<const char *, ExperimentConfig> configs[] = {
+        {"base", {}},
+        {"ssqSvw",
+         [] {
+             ExperimentConfig c;
+             c.opt = OptMode::Ssq;
+             c.svw = SvwMode::Upd;
+             return c;
+         }()},
+    };
+    for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+        Program prog = randomProgram(seed, 24, 120);
+        for (const auto &[name, cfg] : configs) {
+            CoreParams on = buildParams(cfg);
+            CoreParams off = buildParams(cfg);
+            off.renameCheckpoints = 0;
+
+            stats::StatRegistry regOn, regOff;
+            Core coreOn(on, prog, regOn);
+            Core coreOff(off, prog, regOff);
+            RunOutcome a = coreOn.run(~0ull, 3'000'000);
+            RunOutcome b = coreOff.run(~0ull, 3'000'000);
+
+            ASSERT_TRUE(a.halted) << name << " seed " << seed;
+            ASSERT_TRUE(b.halted) << name << " seed " << seed;
+            EXPECT_GT(coreOn.ckptRestores.value(), 0u)
+                << name << " seed " << seed
+                << " (no squash ever hit a checkpoint; the equivalence "
+                   "check exercised nothing)";
+            EXPECT_EQ(coreOff.ckptRestores.value(), 0u);
+            ASSERT_EQ(a.cycles, b.cycles) << name << " seed " << seed;
+            ASSERT_EQ(a.instructions, b.instructions)
+                << name << " seed " << seed;
+            for (RegIndex r = 0; r < numArchRegs; ++r) {
+                ASSERT_EQ(coreOn.archReg(r), coreOff.archReg(r))
+                    << "r" << r << " " << name << " seed " << seed;
+            }
+            ASSERT_TRUE(coreOn.memory().identicalTo(coreOff.memory()))
+                << name << " seed " << seed;
+        }
+    }
+}

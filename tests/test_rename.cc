@@ -2,7 +2,8 @@
  * @file
  * Unit tests: physical register file, rename map, free list, reference
  * counting and generations (the substrate register integration relies
- * on).
+ * on), the speculative-definition journal, and the squash-recovery
+ * checkpoint pool.
  */
 
 #include <gtest/gtest.h>
@@ -90,13 +91,152 @@ TEST(Rename, MapUpdate)
 {
     RenameState rs(64);
     PhysRegIndex p = rs.alloc();
-    rs.setMap(5, p);
+    rs.speculativeDef(5, p);
     EXPECT_EQ(rs.map(5), p);
 }
 
 TEST(Rename, TooFewRegsPanics)
 {
     EXPECT_THROW(RenameState rs(numArchRegs), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Definition journal and checkpoints
+// ---------------------------------------------------------------------
+
+TEST(RenameCkpt, UndoLastDefRestoresMapAndFrees)
+{
+    RenameState rs(64);
+    const PhysRegIndex orig = rs.map(5);
+    PhysRegIndex p = rs.alloc();
+    rs.speculativeDef(5, p);
+    EXPECT_EQ(rs.map(5), p);
+    EXPECT_EQ(rs.journalPos(), 1u);
+    rs.undoLastDef();
+    EXPECT_EQ(rs.map(5), orig);
+    EXPECT_EQ(rs.regs().refCount(p), 0u);  // released
+    EXPECT_EQ(rs.journalPos(), 0u);
+}
+
+TEST(RenameCkpt, RestoreRewindsMapAndFreeListInWalkOrder)
+{
+    RenameState rs(64, 4);
+    PhysRegIndex p1 = rs.alloc();
+    rs.speculativeDef(3, p1);
+    rs.takeCheckpoint(10, BPredCheckpoint{});
+    const auto freeBefore = rs.freeRegs();
+
+    // Two wrong-path definitions after the checkpoint.
+    PhysRegIndex p2 = rs.alloc();
+    rs.speculativeDef(4, p2);
+    PhysRegIndex p3 = rs.alloc();
+    rs.speculativeDef(5, p3);
+
+    rs.discardCheckpointsAfter(10);
+    const RenameCheckpoint *ck = rs.findCheckpoint(10);
+    ASSERT_NE(ck, nullptr);
+    rs.restoreCheckpoint(*ck);
+
+    EXPECT_EQ(rs.map(3), p1);   // pre-checkpoint def survives
+    EXPECT_EQ(rs.map(4), 4u);   // post-checkpoint defs undone
+    EXPECT_EQ(rs.map(5), 5u);
+    EXPECT_EQ(rs.freeRegs(), freeBefore);
+    // Free-list order must equal the youngest-first walk's: p3 released
+    // first, p2 on top — so allocation hands p2 back first.
+    EXPECT_EQ(rs.alloc(), p2);
+    EXPECT_EQ(rs.alloc(), p3);
+}
+
+TEST(RenameCkpt, RestoreDropsSharedReferenceWithoutFreeing)
+{
+    RenameState rs(64, 4);
+    PhysRegIndex p = rs.alloc();
+    rs.speculativeDef(3, p);
+    rs.takeCheckpoint(20, BPredCheckpoint{});
+    // An integration-style shared definition of the same register.
+    rs.addRef(p);
+    rs.speculativeDef(4, p);
+    EXPECT_EQ(rs.regs().refCount(p), 2u);
+
+    rs.discardCheckpointsAfter(20);
+    const RenameCheckpoint *ck = rs.findCheckpoint(20);
+    ASSERT_NE(ck, nullptr);
+    const auto gen = rs.regs().generation(p);
+    rs.restoreCheckpoint(*ck);
+    EXPECT_EQ(rs.regs().refCount(p), 1u);       // still pinned by map(3)
+    EXPECT_EQ(rs.regs().generation(p), gen);    // never recycled
+    EXPECT_EQ(rs.map(3), p);
+    EXPECT_EQ(rs.map(4), 4u);
+}
+
+TEST(RenameCkpt, PoolExhaustionDropsOldest)
+{
+    RenameState rs(64, 2);
+    rs.takeCheckpoint(1, BPredCheckpoint{});
+    rs.takeCheckpoint(2, BPredCheckpoint{});
+    EXPECT_EQ(rs.checkpointsPooled(), 2u);
+    rs.takeCheckpoint(3, BPredCheckpoint{});
+    EXPECT_EQ(rs.checkpointsPooled(), 2u);  // oldest (seq 1) evicted
+
+    // A squash keeping seq 1 pops 2 and 3 and finds nothing: the walk
+    // fallback covers it.
+    rs.discardCheckpointsAfter(1);
+    EXPECT_EQ(rs.checkpointsPooled(), 0u);
+    EXPECT_EQ(rs.findCheckpoint(1), nullptr);
+}
+
+TEST(RenameCkpt, DiscardPopsOnlyYoungerCheckpoints)
+{
+    RenameState rs(64, 4);
+    rs.takeCheckpoint(5, BPredCheckpoint{});
+    rs.takeCheckpoint(8, BPredCheckpoint{});
+    rs.takeCheckpoint(11, BPredCheckpoint{});
+    rs.discardCheckpointsAfter(8);
+    EXPECT_EQ(rs.checkpointsPooled(), 2u);
+    const RenameCheckpoint *ck = rs.findCheckpoint(8);
+    ASSERT_NE(ck, nullptr);
+    EXPECT_EQ(ck->seq, 8u);
+    // Only the youngest survivor can match a squash point.
+    EXPECT_EQ(rs.findCheckpoint(5), nullptr);
+}
+
+TEST(RenameCkpt, ZeroPoolNeverCheckpoints)
+{
+    RenameState rs(64, 0);
+    EXPECT_EQ(rs.takeCheckpoint(1, BPredCheckpoint{}), 0u);
+    EXPECT_EQ(rs.checkpointsPooled(), 0u);
+    rs.discardCheckpointsAfter(0);
+    EXPECT_EQ(rs.findCheckpoint(1), nullptr);
+}
+
+TEST(RenameCkpt, TagsNameDistinctPoolSlots)
+{
+    RenameState rs(64, 4);
+    const auto t1 = rs.takeCheckpoint(1, BPredCheckpoint{});
+    const auto t2 = rs.takeCheckpoint(2, BPredCheckpoint{});
+    EXPECT_NE(t1, 0u);
+    EXPECT_NE(t2, 0u);
+    EXPECT_NE(t1, t2);
+}
+
+TEST(RenameCkpt, TagResolvesOwnSlotAndRejectsRewrites)
+{
+    RenameState rs(64, 2);
+    const auto t1 = rs.takeCheckpoint(1, BPredCheckpoint{});
+    const auto t2 = rs.takeCheckpoint(2, BPredCheckpoint{});
+    const RenameCheckpoint *ck = rs.checkpointByTag(t1, 1);
+    ASSERT_NE(ck, nullptr);
+    EXPECT_EQ(ck->seq, 1u);
+    EXPECT_EQ(rs.checkpointByTag(0, 1), nullptr);   // untagged branch
+    EXPECT_EQ(rs.checkpointByTag(t1, 5), nullptr);  // wrong seq
+
+    // Overflow rewrites the oldest slot for a younger branch; the old
+    // tag must no longer resolve.
+    const auto t3 = rs.takeCheckpoint(3, BPredCheckpoint{});
+    EXPECT_EQ(t3, t1);  // slot reused
+    EXPECT_EQ(rs.checkpointByTag(t1, 1), nullptr);
+    ASSERT_NE(rs.checkpointByTag(t3, 3), nullptr);
+    ASSERT_NE(rs.checkpointByTag(t2, 2), nullptr);
 }
 
 // ---------------------------------------------------------------------
