@@ -15,6 +15,7 @@
 #ifndef SVW_BENCH_BENCH_COMMON_HH
 #define SVW_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +60,21 @@ parseArgs(int argc, char **argv)
         }
     }
     return args;
+}
+
+/**
+ * Monotonic host wall-clock seconds (arbitrary origin). Timing benches
+ * report both a best-of-reps figure (noise-resistant throughput) and
+ * the total wall time burned per cell — the difference between the two
+ * is the signature of a loaded container, diagnosable straight from
+ * the committed JSON.
+ */
+inline double
+hostSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
 
 inline std::vector<std::string>

@@ -41,12 +41,14 @@ BPred::BPred(const BPredParams &p, stats::StatRegistry &reg)
     btb.resize(p.btbEntries);
 
     ras.assign(p.rasEntries, 0);
+
+    lookups.bind(&hot.lookups);
 }
 
 bool
 BPred::predictDirection(std::uint64_t pc)
 {
-    ++lookups;
+    ++hot.lookups;
     const unsigned bi = static_cast<unsigned>(pc & tableMask);
     const unsigned gi = static_cast<unsigned>((pc ^ _ghist) & tableMask);
     const bool bPred = bimodal[bi] >= 2;

@@ -107,6 +107,14 @@ class BPred
     stats::Scalar btbMisses;
 
   private:
+    /** Dense hot-loop accumulator for the per-fetch lookup counter,
+     * bound to the Scalar above (stats::Scalar::bind). */
+    struct HotCounters
+    {
+        std::uint64_t lookups = 0;
+    };
+    HotCounters hot;
+
     struct BtbEntry
     {
         bool valid = false;

@@ -53,41 +53,41 @@ Core::commitStage()
             svw.ssn().onRetire(d.ssn);
             rex.storeCommitted(d);
             lsu.commitStore(d);
-            ++retiredStores;
+            ++hot.retiredStores;
         }
 
         if (d.isLoad()) {
             lsu.commitLoad(d);
-            ++retiredLoads;
+            ++hot.retiredLoads;
             if (d.eliminated) {
                 // The elimination was verified (or SVW proved it safe):
                 // restart the feeding entry's vulnerability window here.
                 rle.onVerifiedElimination(d, rename, svw.ssn().retired());
-                ++loadsEliminatedRetired;
+                ++hot.loadsEliminatedRetired;
                 if (d.elimFromBypass)
-                    ++elimBypassRetired;
+                    ++hot.elimBypassRetired;
                 else if (!d.elimFromSquash)
-                    ++elimReuseRetired;
+                    ++hot.elimReuseRetired;
             }
             if (d.fsqLoad)
-                ++fsqLoadsRetired;
+                ++hot.fsqLoadsRetired;
         }
 
-        if (d.si->isCondBranch()) {
-            bpred.train(d.pc, d.actualTaken, d.bpredSnap.ghist);
-            ++retiredBranches;
+        if (d.isCondBranch()) {
+            bpred.train(d.pc, d.actualTaken, rob.cold(d).bpredSnap.ghist);
+            ++hot.retiredBranches;
         }
 
-        if (d.si->writesReg()) {
-            archMap[d.si->rd] = d.prd;
+        if (d.writesReg()) {
+            archMap[d.archRd] = d.prd;
             rename.deref(d.prevPrd);
         }
 
         if (tracer)
             tracer->event(now, TraceEvent::Commit, d);
 
-        const bool halt = d.si->isHalt();
-        ++retired;
+        const bool halt = d.isHalt();
+        ++hot.retired;
         rob.popHead();
         if (halt) {
             haltCommitted = true;
@@ -99,7 +99,7 @@ Core::commitStage()
 void
 Core::handleRexFailure(DynInst &load)
 {
-    ++rexFlushes;
+    ++hot.rexFlushes;
     if (tracer)
         tracer->event(now, TraceEvent::RexFail, load);
     if (prm.rex.svwReplacesReExecution && !load.forceRealRex)

@@ -38,10 +38,11 @@ Core::Core(const CoreParams &p, const Program &program,
       prog(program),
       mem(p.mem, reg),
       bpred(p.bpred, reg),
-      rename(p.numPhysRegs,
-             // RLE squash hygiene must inspect each squashed load, so
-             // checkpoint recovery never engages there; don't pool.
-             p.rle.enabled ? 0 : p.renameCheckpoints, p.robEntries),
+      rename(p.numPhysRegs, p.renameCheckpoints,
+             // Journal capacity: one definition per in-flight
+             // instruction plus one hygiene marker per in-flight load
+             // (RLE checkpoint recovery).
+             2 * p.robEntries),
       rob(p.robEntries),
       iq(p.iqEntries),
       svw(p.svw, reg),
@@ -52,8 +53,11 @@ Core::Core(const CoreParams &p, const Program &program,
       spct(512, 8),
       dcachePort(p.dcachePorts),
       storeIssuePorts(p.lsu.storeIssueWidth),
+      hygieneJournalOn(p.rle.enabled && p.renameCheckpoints > 0),
       fetchPc(program.entry()),
       fetchQueue(static_cast<std::size_t>(p.frontendDepth + 1) *
+                 p.fetchWidth),
+      fetchColds(static_cast<std::size_t>(p.frontendDepth + 1) *
                  p.fetchWidth)
 {
     committedMem.loadProgram(program);
@@ -63,6 +67,23 @@ Core::Core(const CoreParams &p, const Program &program,
     archMap.fill(0);
     for (RegIndex a = 0; a < numArchRegs; ++a)
         archMap[a] = rename.map(a);
+
+    retired.bind(&hot.retired);
+    retiredLoads.bind(&hot.retiredLoads);
+    retiredStores.bind(&hot.retiredStores);
+    retiredBranches.bind(&hot.retiredBranches);
+    cyclesStat.bind(&hot.cycles);
+    branchSquashes.bind(&hot.branchSquashes);
+    orderingSquashes.bind(&hot.orderingSquashes);
+    rexFlushes.bind(&hot.rexFlushes);
+    loadsEliminatedRetired.bind(&hot.loadsEliminatedRetired);
+    elimReuseRetired.bind(&hot.elimReuseRetired);
+    elimBypassRetired.bind(&hot.elimBypassRetired);
+    fsqLoadsRetired.bind(&hot.fsqLoadsRetired);
+    wrapDrainCycles.bind(&hot.wrapDrainCycles);
+    invalidationsSeen.bind(&hot.invalidationsSeen);
+    ckptRestores.bind(&hot.ckptRestores);
+    ckptWalks.bind(&hot.ckptWalks);
 }
 
 std::uint64_t
@@ -97,7 +118,7 @@ Core::tick()
     dispatchStage();
     fetchStage();
     ++now;
-    ++cyclesStat;
+    ++hot.cycles;
 }
 
 // --------------------------------------------------------------------
@@ -114,7 +135,7 @@ Core::completeStage()
         inst->completed = true;
         if (tracer)
             tracer->event(now, TraceEvent::Complete, *inst);
-        if (inst->si->isCtrl())
+        if (inst->isCtrl())
             finishBranch(*inst);
     });
 
@@ -170,8 +191,8 @@ Core::finishBranch(DynInst &inst)
     if (inst.actualNextPc == inst.predNextPc)
         return;
     inst.mispredicted = true;
-    ++branchSquashes;
-    if (inst.si->isIndirectCtrl())
+    ++hot.branchSquashes;
+    if (inst.isIndirectCtrl())
         bpred.btbUpdate(inst.pc, inst.actualNextPc);
     squashAfter(inst.seq, inst.actualNextPc, &inst);
 }
@@ -183,9 +204,25 @@ Core::finishBranch(DynInst &inst)
 void
 Core::issueStage()
 {
+    // Quiesced: a previous complete scan issued nothing and every live
+    // entry was provably asleep. Nothing that could change the scan's
+    // outcome has happened since (readyAt is only ever written by
+    // issues, which cannot occur while the scan is skipped; inserts
+    // and squashes clear the quiesce), so skip the walk outright.
+    // Pure host-side iteration skipping — issue decisions when the
+    // scan re-runs are identical, so timing is untouched. This is what
+    // keeps long memory stalls (mcf-style, 13+ CPI) from paying a full
+    // IQ walk per stall cycle.
+    if (issueQuiesceUntil > now)
+        return;
+    issueQuiesceUntil = 0;
+
     unsigned globalUsed = 0;
     unsigned intUsed = 0, loadUsed = 0, storeUsed = 0, branchUsed = 0;
     const unsigned storeWidth = prm.lsu.storeIssueWidth;
+    bool sawSquash = false;
+    bool allAsleep = true;       ///< every live entry provably sleeping
+    Cycle nextWake = ~Cycle(0);  ///< earliest recorded sleep expiry
 
     // In-place oldest-first scan: issue tombstones the slot under the
     // scan (indices never shift mid-cycle; squash only pops the young
@@ -203,11 +240,18 @@ Core::issueStage()
         IssueQueue::Entry &e = iq.slotRef(idx);
         if (!e.inst)
             continue;  // tombstone
-        if (e.sleepRetry > now)
-            continue;  // value known to arrive later
+        if (e.sleepRetry > now) {
+            // Value known to arrive later; exact wake cycle recorded.
+            if (e.sleepRetry < nextWake)
+                nextWake = e.sleepRetry;
+            continue;
+        }
         if (e.sleepReg != invalidPhysReg &&
             rename.regs().readyAt(e.sleepReg) == notReady) {
-            continue;  // blocking source's producer still unissued
+            // Blocking source's producer still unissued: wakes only at
+            // that producer's issue, which cannot happen while the
+            // whole queue sleeps — no nextWake contribution needed.
+            continue;
         }
         // A capped class would fail tryIssue's first check; skip the
         // call (and the DynInst access) outright.
@@ -232,8 +276,8 @@ Core::issueStage()
         DynInst *inst = e.inst;
         if (inst->issued)
             continue;
-        const std::size_t squashesBefore =
-            branchSquashes.value() + orderingSquashes.value();
+        const std::uint64_t squashesBefore =
+            hot.branchSquashes + hot.orderingSquashes;
         if (tryIssue(*inst, intUsed, loadUsed, storeUsed, branchUsed)) {
             ++globalUsed;
             iq.removeAt(idx);
@@ -246,14 +290,32 @@ Core::issueStage()
             // copy already-expired values, leaving the entry awake.
             e.sleepRetry = inst->issueRetryCycle;
             e.sleepReg = inst->issueWaitReg;
+            if (e.sleepRetry > now) {
+                if (e.sleepRetry < nextWake)
+                    nextWake = e.sleepRetry;
+            } else if (!(e.sleepReg != invalidPhysReg &&
+                         rename.regs().readyAt(e.sleepReg) ==
+                             notReady)) {
+                // Failed for a reason with no recorded wake (port
+                // conflict, store-set wait, partial overlap): the
+                // entry must be re-polled every cycle.
+                allAsleep = false;
+            }
         }
         // A store issue may have triggered an ordering squash that
         // invalidated the scan; stop for this cycle.
-        if (branchSquashes.value() + orderingSquashes.value() !=
-            squashesBefore) {
+        if (hot.branchSquashes + hot.orderingSquashes != squashesBefore) {
+            sawSquash = true;
             break;
         }
     }
+
+    // With zero issues the per-class caps (all >= 1) never engaged, so
+    // a squash-free pass was necessarily a complete scan: if every
+    // live entry is asleep, the scan result is frozen until the first
+    // recorded wake cycle (or an insert/squash, which clear this).
+    if (globalUsed == 0 && !sawSquash && allAsleep)
+        issueQuiesceUntil = nextWake;
 }
 
 bool
@@ -262,19 +324,19 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
 {
     const StaticInst &si = *inst.si;
 
-    switch (si.cls()) {
+    switch (inst.cls()) {
       case InstClass::IntAlu:
       case InstClass::IntMul: {
         if (intUsed >= prm.intIssue)
             return false;
-        if (si.readsRs1() && srcBlocked(inst, inst.prs1))
+        if (inst.readsRs1() && srcBlocked(inst, inst.prs1))
             return false;
-        if (si.readsRs2() && srcBlocked(inst, inst.prs2))
+        if (inst.readsRs2() && srcBlocked(inst, inst.prs2))
             return false;
         const std::uint64_t r = evalAlu(si, srcVal(inst.prs1),
                                         srcVal(inst.prs2), inst.pc);
-        const Cycle done = now + si.execLatency();
-        if (si.writesReg()) {
+        const Cycle done = now + inst.execLatency();
+        if (inst.writesReg()) {
             rename.regs().setValue(inst.prd, r);
             noteReadyAt(inst.prd, done);
         }
@@ -290,23 +352,24 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
       case InstClass::JumpReg: {
         if (branchUsed >= prm.branchIssue)
             return false;
-        if (si.readsRs1() && srcBlocked(inst, inst.prs1))
+        if (inst.readsRs1() && srcBlocked(inst, inst.prs1))
             return false;
-        if (si.readsRs2() && srcBlocked(inst, inst.prs2))
+        if (inst.readsRs2() && srcBlocked(inst, inst.prs2))
             return false;
-        if (si.isCondBranch()) {
+        if (inst.isCondBranch()) {
             inst.actualTaken = evalBranchTaken(si, srcVal(inst.prs1),
                                                srcVal(inst.prs2));
             inst.actualNextPc = inst.actualTaken
-                ? static_cast<std::uint64_t>(si.imm) : inst.pc + 1;
-        } else if (si.isDirectCtrl()) {
-            inst.actualNextPc = static_cast<std::uint64_t>(si.imm);
-            if (si.isCall()) {
+                ? static_cast<std::uint32_t>(si.imm) : inst.pc + 1;
+        } else if (inst.isDirectCtrl()) {
+            inst.actualNextPc = static_cast<std::uint32_t>(si.imm);
+            if (inst.isCall()) {
                 rename.regs().setValue(inst.prd, inst.pc + 1);
                 noteReadyAt(inst.prd, now + 1);
             }
         } else {
-            inst.actualNextPc = srcVal(inst.prs1);
+            inst.actualNextPc =
+                static_cast<std::uint32_t>(srcVal(inst.prs1));
         }
         inst.issued = true;
         inst.completeCycle = now + 1;
@@ -327,7 +390,6 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
                 return false;
         }
         inst.addr = effectiveAddr(si, srcVal(inst.prs1));
-        inst.size = si.memSize();
         const unsigned bank = mem.dataBank(inst.addr);
         if (loadBankPorts[bank].freeSlots(now) == 0)
             return false;
@@ -387,7 +449,7 @@ Core::issueLoad(DynInst &load)
             prm.lsu.loadExtraLatency;
     }
     load.completeCycle = done;
-    if (load.si->writesReg()) {
+    if (load.writesReg()) {
         rename.regs().setValue(load.prd, load.loadValue);
         noteReadyAt(load.prd, done);
     }
@@ -398,7 +460,6 @@ void
 Core::issueStore(DynInst &store)
 {
     store.addr = effectiveAddr(*store.si, srcVal(store.prs1));
-    store.size = store.si->memSize();
     store.addrResolved = true;
     store.issued = true;
     storeSets.storeResolved(store.pc, store.seq);
@@ -415,7 +476,7 @@ Core::issueStore(DynInst &store)
         // load and train store-sets with the exact store-load pair.
         DynInst *load = rob.findBySeq(victim);
         svw_assert(load, "violating load vanished");
-        ++orderingSquashes;
+        ++hot.orderingSquashes;
         storeSets.train(store.pc, load->pc);
         const std::uint64_t loadPc = load->pc;
         squashAfter(victim - 1, loadPc, nullptr);
@@ -430,7 +491,7 @@ void
 Core::dispatchStage()
 {
     if (drainPending) {
-        ++wrapDrainCycles;
+        ++hot.wrapDrainCycles;
         if (rob.empty()) {
             svw.wrapClear();
             rle.wrapClear(rename);
@@ -446,28 +507,29 @@ Core::dispatchStage()
         DynInst &head = fetchQueue.front();
         if (head.fetchReadyCycle > now)
             break;
-        if (!dispatchOne(head))
+        if (!dispatchOne(head, fetchColds.front()))
             break;
         fetchQueue.pop_front();
+        fetchColds.pop_front();
         ++n;
     }
 }
 
 bool
-Core::dispatchOne(DynInst &d)
+Core::dispatchOne(DynInst &d, const DynInstCold &cold)
 {
     const StaticInst &si = *d.si;
 
     // ---- resource checks (no state change before all pass) ----------
     if (rob.full())
         return false;
-    const bool trivial = si.cls() == InstClass::Nop ||
-        si.cls() == InstClass::Halt;
+    const bool trivial = d.cls() == InstClass::Nop ||
+        d.cls() == InstClass::Halt;
     if (!trivial && iq.full())
         return false;
-    if (si.isLoad() && lsu.lqFull())
+    if (d.isLoad() && lsu.lqFull())
         return false;
-    if (si.isStore()) {
+    if (d.isStore()) {
         if (lsu.sqFull())
             return false;
         if (lsu.fsqFullFor(d)) {
@@ -486,7 +548,7 @@ Core::dispatchOne(DynInst &d)
 
     // ---- RLE integration -----------------------------------------------
     bool integrated = false;
-    if (rle.enabled() && si.writesReg()) {
+    if (rle.enabled() && d.writesReg()) {
         if (auto integ = rle.tryIntegrate(si, d.prs1, d.prs2, rename)) {
             integrated = true;
             d.eliminated = true;
@@ -496,7 +558,7 @@ Core::dispatchOne(DynInst &d)
             rename.addRef(d.prd);
             d.prevPrd = rename.map(si.rd);
             rename.speculativeDef(si.rd, d.prd);
-            if (si.isLoad()) {
+            if (d.isLoad()) {
                 d.rexReasons |= RexRleElim;
                 // Section 3.4: the window starts at the IT entry,
                 // ld.SVW = IT-ENTRY.SSN. Only when NLQ-SM is active does
@@ -510,7 +572,7 @@ Core::dispatchOne(DynInst &d)
         }
     }
 
-    if (!integrated && si.writesReg()) {
+    if (!integrated && d.writesReg()) {
         if (!rename.hasFreeReg() && !rle.relievePressure(rename))
             return false;
         if (!rename.hasFreeReg())
@@ -520,18 +582,26 @@ Core::dispatchOne(DynInst &d)
         rename.speculativeDef(si.rd, d.prd);
     }
 
+    // ---- squash-hygiene marker for checkpoint recovery ------------------
+    // On RLE cores the youngest-first walk inspects every squashed load
+    // for IT invalidation; journal a marker right after the load's own
+    // definition so a checkpoint replay performs the same check at the
+    // same point (RenameState::restoreCheckpoint).
+    if (hygieneJournalOn && d.isLoad() && !d.eliminated)
+        rename.journalSquashHygiene(d.seq);
+
     // ---- recovery checkpoint at low-confidence control ------------------
     // Taken after this instruction's own definition so the snapshot is
     // exactly the state a squash keeping d.seq must restore. Pure
     // host-side recovery machinery; never affects timing.
-    if (si.isCtrl() && d.predLowConf)
-        d.ckptTag = rename.takeCheckpoint(d.seq, d.bpredSnap);
+    if (d.isCtrl() && d.predLowConf)
+        d.ckptTag = rename.takeCheckpoint(d.seq, cold.bpredSnap);
 
     // ---- class-specific dispatch ---------------------------------------
-    if (si.isStore()) {
+    if (d.isStore()) {
         d.ssn = svw.ssn().assign();
         d.storeSetDep = storeSets.storeDispatched(d.pc, d.seq);
-    } else if (si.isLoad() && !d.eliminated) {
+    } else if (d.isLoad() && !d.eliminated) {
         d.svw = svw.svwAtDispatch();
         d.svwValid = true;
         if (prm.lsu.ssq)
@@ -553,22 +623,26 @@ Core::dispatchOne(DynInst &d)
     }
 
     d.dispatched = true;
-    DynInst &r = rob.push(std::move(d));
+    DynInst &r = rob.push(std::move(d), cold);
     if (tracer)
         tracer->event(now, TraceEvent::Dispatch, r);
 
-    if (si.isLoad())
+    if (r.isLoad())
         lsu.dispatchLoad(r);
-    else if (si.isStore())
+    else if (r.isStore())
         lsu.dispatchStore(r);
 
     if (r.eliminated) {
         elimPending.push_back(r.seq);
     } else {
-        if (!trivial)
+        if (!trivial) {
             iq.insert(&r);
-        if (rle.enabled())
-            rle.createEntry(r, rename, svw.ssn().ssnRename(), r.ssn);
+            issueQuiesceUntil = 0;  // new entry: the scan must re-run
+        }
+        if (rle.enabled()) {
+            rle.createEntry(r, rename, svw.ssn().ssnRename(),
+                            r.isStore() ? r.ssn : 0);
+        }
     }
     return true;
 }
@@ -585,7 +659,7 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
     // state; drop them before looking for a covering one. With a tracer
     // attached the walk must run anyway (it emits the Squash events), so
     // the checkpoint is ignored — recovered state is identical either
-    // way. RLE runs pool no checkpoints (see the Core constructor).
+    // way.
     rename.discardCheckpointsAfter(keepSeq);
     // A resolving branch finds its checkpoint through the tag it was
     // handed at dispatch; non-branch squash points can only match the
@@ -600,20 +674,20 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
     if (replay) {
         // On a checkpoint hit the pooled snapshot is the same fetch-time
         // state the replay instruction carries (wired by checkpoint tag
-        // at dispatch); otherwise read it from the instruction.
-        bpred.restore(ckpt ? ckpt->bpred : replay->bpredSnap);
-        if (replay->si->isCondBranch())
+        // at dispatch); otherwise read it from the instruction's cold
+        // side-record.
+        bpred.restore(ckpt ? ckpt->bpred : rob.cold(*replay).bpredSnap);
+        if (replay->isCondBranch())
             bpred.speculativeUpdate(replay->actualTaken);
-        if (replay->si->isCall())
+        if (replay->isCall())
             bpred.rasPush(replay->pc + 1);
-        if (replay->si->isIndirectCtrl() && replay->si->rs1 == regLink)
+        if (replay->isIndirectCtrl() && replay->si->rs1 == regLink)
             bpred.rasPop();
     } else {
-        const DynInst *oldest = rob.lowerBound(keepSeq + 1);
-        if (!oldest && !fetchQueue.empty())
-            oldest = &fetchQueue.front();
-        if (oldest)
-            bpred.restore(oldest->bpredSnap);
+        if (const DynInst *oldest = rob.lowerBound(keepSeq + 1))
+            bpred.restore(rob.cold(*oldest).bpredSnap);
+        else if (!fetchQueue.empty())
+            bpred.restore(fetchColds.front().bpredSnap);
     }
 
     // ---- IT entries of squashed creators become squash-reusable -------
@@ -631,17 +705,29 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
     // ---- pointer-holder prune precedes ROB pops (IQ, LSU queues, and
     //      the rex store buffer all hold ROB slot pointers) -------------
     iq.squashAfter(keepSeq);
+    issueQuiesceUntil = 0;  // conservative: re-scan after any squash
     lsu.squashAfter(keepSeq);
     rex.squashAfter(keepSeq);
 
     if (ckpt) {
         // ---- checkpoint recovery: map snapshot + journal replay -------
-        rename.restoreCheckpoint(*ckpt);
+        // Hygiene markers in the journal suffix re-run the walk's
+        // squashed-speculative-load check (see below) at the exact
+        // replay position the walk would, so IT state and free-list
+        // order come out bit-identical. No-op closure on non-RLE cores
+        // (no markers are journaled).
+        rename.restoreCheckpoint(*ckpt, [this](InstSeqNum seq) {
+            DynInst *t = rob.findBySeq(seq);
+            if (t && t->issued && !t->eliminated &&
+                (t->specExecuted || t->forwarded)) {
+                rle.onSquashedSpeculativeLoad(*t, rename);
+            }
+        });
         rob.squashTail(keepSeq);
-        ++ckptRestores;
+        ++hot.ckptRestores;
     } else {
         // ---- fallback: youngest-first walk ----------------------------
-        ++ckptWalks;
+        ++hot.ckptWalks;
         while (!rob.empty() && rob.tail().seq > keepSeq) {
             DynInst &t = rob.tail();
             if (tracer)
@@ -656,7 +742,7 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
                 (t.specExecuted || t.forwarded)) {
                 rle.onSquashedSpeculativeLoad(t, rename);
             }
-            if (t.si->writesReg())
+            if (t.writesReg())
                 rename.undoLastDef();
             if (t.isStore())
                 storeSets.storeSquashed(t.pc, t.seq);
@@ -672,6 +758,7 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
 
     // ---- front end redirect ----------------------------------------------
     fetchQueue.clear();
+    fetchColds.clear();
     fetchPc = newFetchPc;
     fetchStopped = newFetchPc >= prog.textSize();
     fetchResumeCycle = now + prm.mispredictRedirect;
@@ -686,7 +773,7 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
 void
 Core::externalStore(Addr addr, unsigned size, std::uint64_t value)
 {
-    ++invalidationsSeen;
+    ++hot.invalidationsSeen;
     committedMem.write(addr, size, value);
     const unsigned lineBytes = mem.lineBytes();
     const Addr firstLine = alignDownAddr(addr, lineBytes);

@@ -109,6 +109,32 @@ class Core
     Cycle cycle() const { return now; }
     std::uint64_t retiredInstCount() const { return retired.value(); }
 
+    /**
+     * Dense hot-loop counter block. Every stats::Scalar below is bound
+     * to its like-named field (stats::Scalar::bind), so the per-cycle
+     * loops bump plain adjacent uint64s instead of scattered Scalar
+     * objects; value()/print()/reset() on the Scalars stay exact.
+     */
+    struct HotCounters
+    {
+        std::uint64_t retired = 0;
+        std::uint64_t retiredLoads = 0;
+        std::uint64_t retiredStores = 0;
+        std::uint64_t retiredBranches = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t branchSquashes = 0;
+        std::uint64_t orderingSquashes = 0;
+        std::uint64_t rexFlushes = 0;
+        std::uint64_t loadsEliminatedRetired = 0;
+        std::uint64_t elimReuseRetired = 0;
+        std::uint64_t elimBypassRetired = 0;
+        std::uint64_t fsqLoadsRetired = 0;
+        std::uint64_t wrapDrainCycles = 0;
+        std::uint64_t invalidationsSeen = 0;
+        std::uint64_t ckptRestores = 0;
+        std::uint64_t ckptWalks = 0;
+    };
+
     /** Architectural view for golden-model comparison. */
     std::uint64_t archReg(RegIndex a) const;
     const MemoryImage &memory() const { return committedMem; }
@@ -161,7 +187,7 @@ class Core
     void fetchStage();
 
     // --- helpers -------------------------------------------------------
-    bool dispatchOne(DynInst &inst);
+    bool dispatchOne(DynInst &inst, const DynInstCold &cold);
     bool tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
                   unsigned &storeUsed, unsigned &branchUsed);
     void issueLoad(DynInst &load);
@@ -243,12 +269,30 @@ class Core
     Cycle now = 0;
     InstSeqNum seqCounter = 0;
     bool haltCommitted = false;
+    /**
+     * Issue-scan quiescence: set when a complete scan issued nothing
+     * and every live IQ entry was provably asleep — the scan cannot
+     * produce an issue before this cycle (readyAt transitions only
+     * happen at issues, which cannot occur while the scan is skipped).
+     * Cleared by IQ inserts and squashes. Host-side iteration skipping
+     * only; never changes which cycle anything issues.
+     */
+    Cycle issueQuiesceUntil = 0;
+    /** Journal IT squash-hygiene markers at load dispatch so checkpoint
+     * recovery can replay them (RLE cores with a checkpoint pool). */
+    bool hygieneJournalOn = false;
+
+    /** Hot-loop counter block (see HotCounters). */
+    HotCounters hot;
 
     // Fetch state.
     std::uint64_t fetchPc;
     bool fetchStopped = false;   ///< halted / ran off text on this path
     Cycle fetchResumeCycle = 0;
     BoundedRing<DynInst> fetchQueue;
+    /** Cold side-records of the fetch queue, same slot order (the queue
+     * ring itself carries only the hot records). */
+    BoundedRing<DynInstCold> fetchColds;
     Addr lastFetchLine = ~Addr(0);
 
     // SSN wrap drain (section 3.6).

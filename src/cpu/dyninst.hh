@@ -2,6 +2,30 @@
  * @file
  * DynInst: the per-dynamic-instruction record shared by every pipeline
  * stage, the load/store unit, the re-execution engine, and SVW.
+ *
+ * Layout discipline (docs/ARCHITECTURE.md "Data layout"): DynInst is
+ * the *hot* record — everything the issue scan, completion drain,
+ * commit loop, and LSU associative searches touch — and is budgeted at
+ * two cache lines (<= 128 B, enforced below). It is copied once per
+ * instruction (fetch queue -> ROB ring) and then walked in place by
+ * every stage, so every byte here is multiplied by the window size.
+ *
+ *  - The ~20 status booleans are 1-bit bitfields sharing one 32-bit
+ *    cluster.
+ *  - The StaticInst predicate answers (isLoad, writesReg, ...) plus the
+ *    instruction class, access size, and destination register are
+ *    pre-decoded into the record at fetch (setStatic), so the
+ *    scheduling/completion/commit paths never dereference `si`. `si`
+ *    itself remains for execution semantics (imm, register indices,
+ *    evalAlu).
+ *  - PCs are 32-bit: a "PC" is an index into the program text, which is
+ *    nowhere near 4G instructions.
+ *  - Load-only and store-only fields overlay each other (anonymous
+ *    unions): loadValue/storeData and svw/ssn.
+ *  - Rarely-touched state (the fetch-time branch-predictor snapshot,
+ *    read only on squash repair and commit-time training) lives in the
+ *    DynInstCold side-record, held in arenas parallel to the fetch
+ *    queue and the ROB ring (ROB::cold).
  */
 
 #ifndef SVW_CPU_DYNINST_HH
@@ -24,46 +48,27 @@ enum RexReason : std::uint8_t {
     RexNlqSm   = 1 << 3,  ///< in-flight during a coherence invalidation
 };
 
-/** One in-flight dynamic instruction. */
+/**
+ * Cold side-record of an in-flight instruction: state no per-cycle loop
+ * reads. Lives in a parallel arena (one per fetch-queue slot, one per
+ * ROB ring slot — ROB::cold) so the hot record stays within its
+ * cache-line budget.
+ */
+struct DynInstCold
+{
+    /** Branch-history / RAS snapshot taken at fetch, for squash repair
+     * and commit-time direction training. */
+    BPredCheckpoint bpredSnap{};
+};
+
+/** One in-flight dynamic instruction (hot record; see file comment). */
 struct DynInst
 {
     // --- identity ----------------------------------------------------
     InstSeqNum seq = 0;
-    std::uint64_t pc = 0;
     const StaticInst *si = nullptr;
 
-    // --- control flow -------------------------------------------------
-    std::uint64_t predNextPc = 0;
-    std::uint64_t actualNextPc = 0;
-    bool actualTaken = false;   ///< conditional-branch outcome
-    bool mispredicted = false;
-    /** Branch-history / RAS snapshot taken at fetch, for squash repair. */
-    BPredCheckpoint bpredSnap{};
-    /**
-     * Fetch-time confidence estimate for control instructions: weak
-     * direction counter, BTB-predicted indirect, or return. Dispatch
-     * allocates a rename checkpoint only for low-confidence branches
-     * (high-confidence ones rarely mispredict; the walk covers them).
-     */
-    bool predLowConf = false;
-    /**
-     * Rename-checkpoint tag: pool slot + 1 of the checkpoint taken when
-     * this branch dispatched, 0 if none. A mispredicting branch resolves
-     * its checkpoint through this tag (RenameState::checkpointByTag),
-     * which revalidates the slot by seq before trusting it.
-     */
-    std::uint16_t ckptTag = 0;
-
-    // --- rename -------------------------------------------------------
-    PhysRegIndex prs1 = invalidPhysReg;
-    PhysRegIndex prs2 = invalidPhysReg;
-    PhysRegIndex prd = invalidPhysReg;
-    PhysRegIndex prevPrd = invalidPhysReg;  ///< old mapping of arch rd
-
-    // --- status -------------------------------------------------------
-    bool dispatched = false;
-    bool issued = false;
-    bool completed = false;
+    // --- cycle fields -------------------------------------------------
     Cycle fetchReadyCycle = 0;   ///< when it exits the front end
     Cycle completeCycle = 0;     ///< result available
     /**
@@ -75,6 +80,35 @@ struct DynInst
      * this cycle never changes which cycle the entry issues.
      */
     Cycle issueRetryCycle = 0;
+    Cycle rexDoneCycle = 0;      ///< re-execution / store rex-stage done
+
+    // --- memory -------------------------------------------------------
+    Addr addr = 0;
+    union {
+        std::uint64_t storeData = 0; ///< store value (stores only)
+        std::uint64_t loadValue;     ///< value obtained at execution
+                                     ///< (loads only)
+    };
+    // SSN / SVW (paper sections 3, 3.1-3.5). A store carries its own
+    // SSN; a load carries its SVW (SSN of the youngest older store it
+    // is NOT vulnerable to). Never both: they overlay.
+    union {
+        SSN ssn = 0;  ///< store sequence number (stores only)
+        SSN svw;      ///< vulnerability-window start (loads only)
+    };
+    SSN fwdStoreSSN = 0;         ///< SSN of the forwarding store
+    InstSeqNum storeSetDep = 0;  ///< store this op must wait for (0 = none)
+
+    // --- control flow (PCs are program-text indices) -------------------
+    std::uint32_t pc = 0;
+    std::uint32_t predNextPc = 0;
+    std::uint32_t actualNextPc = 0;
+
+    // --- rename -------------------------------------------------------
+    PhysRegIndex prs1 = invalidPhysReg;
+    PhysRegIndex prs2 = invalidPhysReg;
+    PhysRegIndex prd = invalidPhysReg;
+    PhysRegIndex prevPrd = invalidPhysReg;  ///< old mapping of arch rd
     /**
      * Issue-scan sleep for a source whose producer has not even issued
      * (readyAt == notReady): the blocking physical register. The scan
@@ -85,52 +119,99 @@ struct DynInst
      * opportunity and never wakes spuriously.
      */
     PhysRegIndex issueWaitReg = invalidPhysReg;
+    /**
+     * Rename-checkpoint tag: pool slot + 1 of the checkpoint taken when
+     * this branch dispatched, 0 if none. A mispredicting branch resolves
+     * its checkpoint through this tag (RenameState::checkpointByTag),
+     * which revalidates the slot by seq before trusting it.
+     */
+    std::uint16_t ckptTag = 0;
 
-    // --- memory -------------------------------------------------------
-    Addr addr = 0;
-    unsigned size = 0;
-    bool addrResolved = false;
-    bool dataResolved = false;     ///< store data captured (stores only)
-    std::uint64_t storeData = 0;   ///< store value (low bytes significant)
-    std::uint64_t loadValue = 0;   ///< value obtained at execution
-    bool forwarded = false;        ///< got value from an in-flight store
-    bool specExecuted = false;     ///< executed past ambiguity / via a
+    // --- pre-decoded static-instruction facts (setStatic) --------------
+    std::uint16_t preFlags = 0;       ///< PreFlag bits of *si
+    std::uint8_t iclass =
+        static_cast<std::uint8_t>(InstClass::Nop);  ///< cached si->cls()
+    std::uint8_t size = 0;            ///< access size in bytes (mem ops)
+    std::uint8_t archRd = 0;          ///< cached si->rd (commit arch map)
+    std::uint8_t execLat = 1;         ///< cached si->execLatency()
+    std::uint8_t rexReasons = RexNone;
+
+    // --- status flags (one packed 32-bit cluster) ----------------------
+    bool actualTaken : 1 = false;  ///< conditional-branch outcome
+    bool mispredicted : 1 = false;
+    /**
+     * Fetch-time confidence estimate for control instructions: weak
+     * direction counter, BTB-predicted indirect, or return. Dispatch
+     * allocates a rename checkpoint only for low-confidence branches
+     * (high-confidence ones rarely mispredict; the walk covers them).
+     */
+    bool predLowConf : 1 = false;
+    bool dispatched : 1 = false;
+    bool issued : 1 = false;
+    bool completed : 1 = false;
+    bool addrResolved : 1 = false;
+    bool dataResolved : 1 = false; ///< store data captured (stores only)
+    bool forwarded : 1 = false;    ///< got value from an in-flight store
+    bool specExecuted : 1 = false; ///< executed past ambiguity / via a
                                    ///< best-effort structure (value may
                                    ///< be stale)
-    SSN fwdStoreSSN = 0;           ///< SSN of the forwarding store
-    bool committedToCache = false;
+    bool svwValid : 1 = false;
+    bool rexProcessed : 1 = false; ///< passed the rex SVW stage
+    bool rexSvwStageDone : 1 = false; ///< SVW stage work performed
+    bool rexNeedsCache : 1 = false;///< SVW test positive: awaiting port
+    bool rexFiltered : 1 = false;  ///< SVW test negative: skipped cache
+    bool forceRealRex : 1 = false; ///< replacement-mode escape hatch:
+                                   ///< this load re-executes for real
+                                   ///< (it flushed repeatedly on SSBF
+                                   ///< hits)
+    bool rexDone : 1 = false;      ///< re-execution (if any) finished
+    bool rexPassed : 1 = true;     ///< value matched (false => flush)
+    bool eliminated : 1 = false;   ///< RLE removed it from execution
+    bool elimFromSquash : 1 = false; ///< integrated a squashed incarnation
+    bool elimFromBypass : 1 = false; ///< integrated a store's data register
+    bool fsqLoad : 1 = false;      ///< steered to the FSQ (SSQ)
+    bool fsqStore : 1 = false;     ///< allocated an FSQ entry (SSQ)
 
-    // --- SSN / SVW (paper sections 3, 3.1-3.5) -------------------------
-    SSN ssn = 0;        ///< store sequence number (stores only)
-    SSN svw = 0;        ///< SSN of youngest older store load is NOT
-                        ///< vulnerable to
-    bool svwValid = false;
+    // --- pre-decoded predicate accessors -------------------------------
+    /** Bind the static instruction and cache its pre-decoded facts.
+     * Every DynInst must be initialized through this (fetch does; so do
+     * tests building instructions by hand). */
+    void setStatic(const StaticInst *s)
+    {
+        si = s;
+        preFlags = s->predecode();
+        iclass = static_cast<std::uint8_t>(s->cls());
+        size = static_cast<std::uint8_t>(s->memSize());
+        archRd = static_cast<std::uint8_t>(s->rd);
+        execLat = static_cast<std::uint8_t>(s->execLatency());
+    }
 
-    // --- re-execution -------------------------------------------------
-    std::uint8_t rexReasons = RexNone;
-    bool rexProcessed = false;   ///< passed the rex SVW stage
-    bool rexSvwStageDone = false;///< SVW stage work (test/stats) performed
-    bool rexNeedsCache = false;  ///< SVW test positive: awaiting the port
-    bool rexFiltered = false;    ///< SVW test negative: skipped cache access
-    bool forceRealRex = false;   ///< replacement-mode escape hatch: this
-                                 ///< load re-executes for real (it flushed
-                                 ///< repeatedly on SSBF hits)
-    bool rexDone = false;        ///< re-execution (if any) finished
-    bool rexPassed = true;       ///< value matched (false => flush)
-    Cycle rexDoneCycle = 0;
-
-    // --- optimization bookkeeping --------------------------------------
-    bool eliminated = false;     ///< RLE removed it from execution
-    bool elimFromSquash = false; ///< integrated a squashed incarnation
-    bool elimFromBypass = false; ///< integrated a store's data register
-    bool fsqLoad = false;        ///< steered to the FSQ (SSQ)
-    bool fsqStore = false;       ///< allocated an FSQ entry (SSQ)
-    InstSeqNum storeSetDep = 0;  ///< store this op must wait for (0 = none)
+    InstClass cls() const { return static_cast<InstClass>(iclass); }
+    bool isLoad() const { return preFlags & PfLoad; }
+    bool isStore() const { return preFlags & PfStore; }
+    bool isMem() const { return preFlags & PfMem; }
+    bool isCondBranch() const { return preFlags & PfCondBranch; }
+    bool isDirectCtrl() const { return preFlags & PfDirectCtrl; }
+    bool isIndirectCtrl() const { return preFlags & PfIndirectCtrl; }
+    bool isCtrl() const { return preFlags & PfCtrl; }
+    bool isCall() const { return preFlags & PfCall; }
+    bool isHalt() const { return preFlags & PfHalt; }
+    bool writesReg() const { return preFlags & PfWritesReg; }
+    bool readsRs1() const { return preFlags & PfReadsRs1; }
+    bool readsRs2() const { return preFlags & PfReadsRs2; }
+    unsigned execLatency() const { return execLat; }
 
     bool marked() const { return rexReasons != RexNone; }
-    bool isLoad() const { return si->isLoad(); }
-    bool isStore() const { return si->isStore(); }
 };
+
+/**
+ * The hot-record budget: two cache lines. Growing past it silently
+ * multiplies across the ROB ring, fetch queue, and every pointer walk —
+ * move the new field to DynInstCold instead (or argue the budget up
+ * here *and* in docs/ARCHITECTURE.md, and re-measure perf_hotloop).
+ */
+static_assert(sizeof(DynInst) <= 128,
+              "DynInst hot record exceeds its 128-byte budget");
 
 } // namespace svw
 

@@ -46,31 +46,33 @@ Core::fetchStage()
 
         DynInst d;
         d.seq = ++seqCounter;
-        d.pc = fetchPc;
-        d.si = &prog.inst(fetchPc);
-        d.bpredSnap = bpred.save();
+        d.pc = static_cast<std::uint32_t>(fetchPc);
+        d.setStatic(&prog.inst(fetchPc));
+        DynInstCold c;
+        c.bpredSnap = bpred.save();
         d.fetchReadyCycle = now + prm.frontendDepth;
 
         const StaticInst &si = *d.si;
-        if (si.isCondBranch()) {
+        if (d.isCondBranch()) {
             const bool taken = bpred.predictDirection(d.pc);
             d.predLowConf = bpred.lowConfidence();
             bpred.speculativeUpdate(taken);
-            d.predNextPc = taken ? static_cast<std::uint64_t>(si.imm)
+            d.predNextPc = taken ? static_cast<std::uint32_t>(si.imm)
                                  : d.pc + 1;
-        } else if (si.isDirectCtrl()) {
-            d.predNextPc = static_cast<std::uint64_t>(si.imm);
-            if (si.isCall())
+        } else if (d.isDirectCtrl()) {
+            d.predNextPc = static_cast<std::uint32_t>(si.imm);
+            if (d.isCall())
                 bpred.rasPush(d.pc + 1);
-        } else if (si.isIndirectCtrl()) {
+        } else if (d.isIndirectCtrl()) {
             // Indirect targets (RAS or BTB) are where the expensive
             // mispredicts live; always checkpoint-worthy.
             d.predLowConf = true;
             if (si.rs1 == regLink) {
-                d.predNextPc = bpred.rasPop();
+                d.predNextPc = static_cast<std::uint32_t>(bpred.rasPop());
             } else {
                 const std::uint64_t t = bpred.btbLookup(d.pc);
-                d.predNextPc = t ? t : d.pc + 1;
+                d.predNextPc = t ? static_cast<std::uint32_t>(t)
+                                 : d.pc + 1;
                 if (!t)
                     ++bpred.btbMisses;
             }
@@ -79,12 +81,13 @@ Core::fetchStage()
         }
         d.actualNextPc = d.predNextPc;  // non-control: always correct
 
-        const bool isHalt = si.isHalt();
+        const bool isHalt = d.isHalt();
         const bool redirects = d.predNextPc != d.pc + 1;
         fetchPc = d.predNextPc;
         if (tracer)
             tracer->event(now, TraceEvent::Fetch, d);
         fetchQueue.push_back(std::move(d));
+        fetchColds.push_back(std::move(c));
 
         if (isHalt) {
             fetchStopped = true;

@@ -59,9 +59,9 @@ class IssueQueue
     std::size_t size() const { return live; }
     unsigned capacity() const { return cap; }
 
-    static std::uint8_t classGroup(const StaticInst &si)
+    static std::uint8_t classGroup(const DynInst &inst)
     {
-        switch (si.cls()) {
+        switch (inst.cls()) {
           case InstClass::Load:
             return ClsLoad;
           case InstClass::Store:
@@ -83,7 +83,7 @@ class IssueQueue
             compact();
         entries_.push_back(Entry{inst->seq, inst, inst->issueRetryCycle,
                                  inst->issueWaitReg,
-                                 classGroup(*inst->si)});
+                                 classGroup(*inst)});
         ++live;
     }
 

@@ -83,10 +83,16 @@ RenameState::deref(PhysRegIndex p)
 void
 RenameState::undoLastDef()
 {
-    svw_assert(journalTail > 0, "rename journal underflow");
-    const RenameJournalEntry &e = journal[(--journalTail) & journalMask];
-    mapTable[e.rd] = e.prevPrd;
-    deref(e.prd);
+    for (;;) {
+        svw_assert(journalTail > 0, "rename journal underflow");
+        const RenameJournalEntry &e =
+            journal[(--journalTail) & journalMask];
+        if (e.hygiene)
+            continue;  // walk hygiene runs off the ROB, not the journal
+        mapTable[e.rd] = e.prevPrd;
+        deref(e.prd);
+        return;
+    }
 }
 
 std::uint16_t
@@ -125,14 +131,27 @@ RenameState::findCheckpoint(InstSeqNum keepSeq) const
 }
 
 void
-RenameState::restoreCheckpoint(const RenameCheckpoint &ck)
+RenameState::restoreCheckpoint(const RenameCheckpoint &ck,
+                               const std::function<void(InstSeqNum)> &hygiene)
 {
     svw_assert(journalTail >= ck.journalPos,
                "checkpoint journal cursor ahead of the journal");
     // Release squashed definitions youngest-first: identical free-list
     // push order, reference counting, and generation bumps to the walk.
-    while (journalTail > ck.journalPos)
-        deref(journal[(--journalTail) & journalMask].prd);
+    // Hygiene markers fire in place so IT invalidations interleave with
+    // the releases exactly as they do in the walk (an invalidation can
+    // drop the last pin on a register and push it to the free list; the
+    // order of that push relative to the definition releases matters).
+    while (journalTail > ck.journalPos) {
+        const RenameJournalEntry &e =
+            journal[(--journalTail) & journalMask];
+        if (e.hygiene) {
+            if (hygiene)
+                hygiene(e.seq);
+        } else {
+            deref(e.prd);
+        }
+    }
     mapTable = ck.map;
 }
 

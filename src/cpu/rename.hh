@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "base/types.hh"
@@ -66,17 +67,30 @@ class PhysRegFile
 };
 
 /**
- * One journaled speculative definition: arch register @c rd was pointed
- * at @c prd, displacing @c prevPrd. Undoing it (walk) restores the map
- * entry and releases @c prd; releasing it (checkpoint replay) only
- * drops the @c prd reference, because the map is restored wholesale
- * from the snapshot.
+ * One journaled rename-time event. Two kinds share the ring so their
+ * relative order — which squash recovery must replay exactly — is the
+ * order they happened in:
+ *
+ *  - A speculative definition: arch register @c rd was pointed at
+ *    @c prd, displacing @c prevPrd. Undoing it (walk) restores the map
+ *    entry and releases @c prd; releasing it (checkpoint replay) only
+ *    drops the @c prd reference, because the map is restored wholesale
+ *    from the snapshot.
+ *  - A squash-hygiene marker (@c hygiene set): load @c seq dispatched
+ *    on an RLE core. The youngest-first walk inspects each squashed
+ *    load directly (Core's loop) to decide whether its IntegrationTable
+ *    entry must die (speculative/forwarded value, section 4.3); a
+ *    checkpoint replay has no per-instruction loop, so it replays these
+ *    markers instead, invoking the same check at the exact point the
+ *    walk would — just before the load's own definition is released.
  */
 struct RenameJournalEntry
 {
+    InstSeqNum seq;        ///< hygiene marker: the load's seq
     RegIndex rd;
     PhysRegIndex prd;
     PhysRegIndex prevPrd;
+    bool hygiene;
 };
 
 /**
@@ -143,9 +157,24 @@ class RenameState
     void speculativeDef(RegIndex rd, PhysRegIndex p)
     {
         journal[journalTail & journalMask] =
-            RenameJournalEntry{rd, p, mapTable[rd]};
+            RenameJournalEntry{0, rd, p, mapTable[rd], false};
         ++journalTail;
         mapTable[rd] = p;
+    }
+
+    /**
+     * Journal a squash-hygiene marker for load @p seq (RLE cores; see
+     * RenameJournalEntry). Dispatch appends it right after the load's
+     * own definition so a checkpoint replay visits it youngest-first in
+     * exactly the walk's position: hygiene check, then the release of
+     * the load's definition.
+     */
+    void journalSquashHygiene(InstSeqNum seq)
+    {
+        journal[journalTail & journalMask] =
+            RenameJournalEntry{seq, 0, invalidPhysReg, invalidPhysReg,
+                               true};
+        ++journalTail;
     }
 
     /** Journal cursor (monotonic; one unit per speculativeDef). */
@@ -155,7 +184,9 @@ class RenameState
      * Walk-recovery step: undo the youngest journaled definition
      * (restore the displaced mapping, release the defined register).
      * The caller walks squashed instructions youngest-first and invokes
-     * this once per register-writing instruction.
+     * this once per register-writing instruction. Hygiene markers above
+     * the definition are discarded — the walk performs its hygiene
+     * directly from the ROB entries it visits.
      */
     void undoLastDef();
 
@@ -201,9 +232,15 @@ class RenameState
     /**
      * Checkpoint recovery: release every journaled definition younger
      * than the checkpoint (youngest-first, preserving free-list order),
-     * then restore the map table from the snapshot.
+     * then restore the map table from the snapshot. Hygiene markers in
+     * the replayed suffix invoke @p hygiene (may be null) with the
+     * journaled load seq, interleaved exactly where the walk would have
+     * performed the check — the callback may release IT register pins
+     * (deref) but must not touch the journal.
      */
-    void restoreCheckpoint(const RenameCheckpoint &ck);
+    void restoreCheckpoint(const RenameCheckpoint &ck,
+                           const std::function<void(InstSeqNum)> &hygiene =
+                               nullptr);
 
     /** Pooled checkpoints (diagnostics / tests). */
     unsigned checkpointsPooled() const

@@ -7,7 +7,9 @@
  * Storage is a fixed-capacity power-of-two ring buffer: slot addresses
  * are stable for an entry's whole lifetime (the IQ, LSU queues, and rex
  * store buffer hold raw DynInst pointers into it), pushes and pops are
- * O(1), and iteration is a contiguous cache-friendly walk.
+ * O(1), and iteration is a contiguous cache-friendly walk. Each ring
+ * slot has a parallel DynInstCold side-record (cold()) so the walked
+ * array carries only the hot two-cache-line records.
  *
  * Lookup by sequence number exploits the seq->slot invariant: entries
  * are strictly increasing in seq, and seqs are dense (+1 per slot)
@@ -42,6 +44,7 @@ class ROB
             ring <<= 1;
         mask = ring - 1;
         slots.resize(ring);
+        colds.resize(ring);
     }
 
     bool full() const { return count >= cap; }
@@ -49,13 +52,30 @@ class ROB
     std::size_t size() const { return count; }
     unsigned capacity() const { return cap; }
 
-    DynInst &push(DynInst &&inst)
+    DynInst &push(DynInst &&inst, const DynInstCold &cold)
     {
         svw_assert(count < cap, "ROB overflow");
         DynInst &slot = at(count);
         slot = std::move(inst);
+        colds[(headPos + count) & mask] = cold;
         ++count;
         return slot;
+    }
+
+    DynInst &push(DynInst &&inst)
+    {
+        return push(std::move(inst), DynInstCold{});
+    }
+
+    /** Cold side-record of a live ROB entry (parallel arena, same ring
+     * slot). @p inst must be a reference into this ROB's storage. */
+    DynInstCold &cold(const DynInst &inst)
+    {
+        return colds[static_cast<std::size_t>(&inst - slots.data())];
+    }
+    const DynInstCold &cold(const DynInst &inst) const
+    {
+        return colds[static_cast<std::size_t>(&inst - slots.data())];
     }
 
     DynInst &head() { return at(0); }
@@ -173,6 +193,7 @@ class ROB
     std::uint64_t headPos = 0;  ///< monotonic; slot = pos & mask
     std::size_t count = 0;
     std::vector<DynInst> slots;
+    std::vector<DynInstCold> colds;  ///< parallel cold arena (by slot)
 };
 
 } // namespace svw

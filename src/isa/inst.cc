@@ -118,6 +118,33 @@ StaticInst::readsRs2() const
     }
 }
 
+std::uint16_t
+StaticInst::predecode() const
+{
+    std::uint16_t f = 0;
+    if (isLoad())
+        f |= PfLoad;
+    if (isStore())
+        f |= PfStore;
+    if (isCondBranch())
+        f |= PfCondBranch;
+    if (isDirectCtrl())
+        f |= PfDirectCtrl;
+    if (isIndirectCtrl())
+        f |= PfIndirectCtrl;
+    if (isCall())
+        f |= PfCall;
+    if (isHalt())
+        f |= PfHalt;
+    if (writesReg())
+        f |= PfWritesReg;
+    if (readsRs1())
+        f |= PfReadsRs1;
+    if (readsRs2())
+        f |= PfReadsRs2;
+    return f;
+}
+
 unsigned
 StaticInst::execLatency() const
 {

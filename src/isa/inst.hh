@@ -70,6 +70,28 @@ enum class InstClass : std::uint8_t {
 };
 
 /**
+ * Pre-decoded predicate bits (StaticInst::predecode). The dynamic
+ * pipeline caches these per instruction at fetch so the scheduling,
+ * completion, and commit paths test a bit instead of calling the
+ * out-of-line opcode switches below.
+ */
+enum PreFlag : std::uint16_t {
+    PfLoad         = 1 << 0,
+    PfStore        = 1 << 1,
+    PfCondBranch   = 1 << 2,
+    PfDirectCtrl   = 1 << 3,
+    PfIndirectCtrl = 1 << 4,
+    PfCall         = 1 << 5,
+    PfHalt         = 1 << 6,
+    PfWritesReg    = 1 << 7,
+    PfReadsRs1     = 1 << 8,
+    PfReadsRs2     = 1 << 9,
+
+    PfMem  = PfLoad | PfStore,
+    PfCtrl = PfCondBranch | PfDirectCtrl | PfIndirectCtrl,
+};
+
+/**
  * A decoded static instruction. Program text is a vector of these; the
  * dynamic pipeline references them by PC (index).
  */
@@ -108,6 +130,9 @@ struct StaticInst
 
     /** Execution latency in cycles once issued (cache adds its own). */
     unsigned execLatency() const;
+
+    /** All predicate bits of this instruction, packed (see PreFlag). */
+    std::uint16_t predecode() const;
 };
 
 /**

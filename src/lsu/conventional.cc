@@ -38,7 +38,7 @@ LoadStoreUnit::searchSq(DynInst &load)
         }
         // Partial overlap, or matching store whose data has not been
         // captured yet: stall until it drains / the data arrives.
-        ++partialBlocks;
+        ++hot.partialBlocks;
         res.status = LoadExecResult::Status::BlockedPartial;
         return res;
     }
@@ -66,7 +66,7 @@ LoadStoreUnit::storeResolved(DynInst &store)
 
     // Associative LQ search: oldest younger load that already issued
     // with an overlapping address is a memory-ordering violation.
-    ++lqSearches;
+    ++hot.lqSearches;
     for (DynInst *ld : lq) {
         if (ld->seq <= store.seq)
             continue;
@@ -86,7 +86,7 @@ LoadStoreUnit::storeResolved(DynInst &store)
                 extractForward(store, *ld) == ld->loadValue) {
                 continue;
             }
-            ++lqViolations;
+            ++hot.lqViolations;
             return ld->seq;
         }
     }

@@ -31,6 +31,14 @@ LoadStoreUnit::LoadStoreUnit(const LsuParams &p, MemoryImage &img,
       committed(img),
       svw(svwUnit)
 {
+    forwards.bind(&hot.forwards);
+    bestEffortHits.bind(&hot.bestEffortHits);
+    partialBlocks.bind(&hot.partialBlocks);
+    lqSearches.bind(&hot.lqSearches);
+    lqViolations.bind(&hot.lqViolations);
+    fsqForwards.bind(&hot.fsqForwards);
+    steeringTrainings.bind(&hot.steeringTrainings);
+
     fwdBufs.resize(2);  // matches the 2-way interleaved L1D
     loadFsqBits.assign(prm.steeringEntries, false);
     storeFsqBits.assign(prm.steeringEntries, false);
@@ -86,7 +94,7 @@ LoadStoreUnit::executeLoad(DynInst &load, Cycle now)
         return res;
 
     if (res.forwarded) {
-        ++forwards;
+        ++hot.forwards;
         load.forwarded = true;
         load.fwdStoreSSN = res.fwdSsn;
         // +UPD: shrink the vulnerability window to the forwarding store.
@@ -163,7 +171,7 @@ LoadStoreUnit::storeSteeredToFsq(std::uint64_t pc) const
 void
 LoadStoreUnit::trainSteering(std::uint64_t loadPc, std::uint64_t storePc)
 {
-    ++steeringTrainings;
+    ++hot.steeringTrainings;
     loadFsqBits[steeringIndex(loadPc)] = true;
     if (storePc != ~std::uint64_t(0))
         storeFsqBits[steeringIndex(storePc)] = true;

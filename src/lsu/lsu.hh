@@ -156,6 +156,21 @@ class LoadStoreUnit
     stats::Scalar steeringTrainings;
 
   private:
+    /** Dense hot-loop accumulators, bound to the Scalars above (see
+     * stats::Scalar::bind). Cold-path increments (e.g. the core's
+     * ++fsqAllocStalls) may still go through the Scalars directly. */
+    struct HotCounters
+    {
+        std::uint64_t forwards = 0;
+        std::uint64_t bestEffortHits = 0;
+        std::uint64_t partialBlocks = 0;
+        std::uint64_t lqSearches = 0;
+        std::uint64_t lqViolations = 0;
+        std::uint64_t fsqForwards = 0;
+        std::uint64_t steeringTrainings = 0;
+    };
+    HotCounters hot;
+
     struct FwdBufEntry
     {
         Addr addr = 0;

@@ -51,13 +51,13 @@ LoadStoreUnit::searchSsq(DynInst &load, Cycle now)
                 continue;
             if (rangeContains(st->addr, st->size, load.addr, load.size) &&
                 st->dataResolved) {
-                ++fsqForwards;
+                ++hot.fsqForwards;
                 res.forwarded = true;
                 res.fwdSsn = st->ssn;
                 res.value = extractForward(*st, load);
                 return res;
             }
-            ++partialBlocks;
+            ++hot.partialBlocks;
             res.status = LoadExecResult::Status::BlockedPartial;
             return res;
         }
@@ -73,7 +73,7 @@ LoadStoreUnit::searchSsq(DynInst &load, Cycle now)
     const auto &buf = fwdBufs[bank];
     for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
         if (it->addr == load.addr && it->size == load.size) {
-            ++bestEffortHits;
+            ++hot.bestEffortHits;
             res.forwarded = true;
             res.bestEffort = true;
             res.value = it->value;

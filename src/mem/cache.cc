@@ -12,6 +12,8 @@ Cache::Cache(std::string name, const CacheParams &p, stats::StatRegistry &reg)
       writebacks(reg, name + ".writebacks", "dirty lines evicted"),
       invalidations(reg, name + ".invalidations", "lines invalidated")
 {
+    hits.bind(&hot.hits);
+    misses.bind(&hot.misses);
     svw_assert(isPowerOf2(p.lineBytes) && isPowerOf2(p.sizeBytes),
                "cache geometry must be powers of two");
     numSets = static_cast<unsigned>(p.sizeBytes / (p.lineBytes * p.assoc));
@@ -44,14 +46,14 @@ Cache::access(Addr addr, bool isWrite)
 {
     AccessResult res;
     if (Line *line = findLine(addr)) {
-        ++hits;
+        ++hot.hits;
         line->lruStamp = ++lruCounter;
         line->dirty |= isWrite;
         res.hit = true;
         return res;
     }
 
-    ++misses;
+    ++hot.misses;
     // Fill: choose invalid way or LRU victim.
     const Addr tag = addr >> offsetBits;
     const unsigned set = static_cast<unsigned>(tag & (numSets - 1));

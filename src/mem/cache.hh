@@ -81,6 +81,15 @@ class Cache
         std::uint64_t lruStamp = 0;
     };
 
+    /** Dense hot-loop accumulators, bound to the Scalars below (see
+     * stats::Scalar::bind). */
+    struct HotCounters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+    HotCounters hot;
+
     CacheParams params;
     unsigned numSets;
     unsigned offsetBits;

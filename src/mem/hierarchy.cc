@@ -12,12 +12,14 @@ MemHierarchy::MemHierarchy(const MemParams &p, stats::StatRegistry &reg)
       dataAccesses(reg, "mem.dataAccesses", "L1D accesses"),
       instAccesses(reg, "mem.instAccesses", "L1I line fetches")
 {
+    dataAccesses.bind(&hot.dataAccesses);
+    instAccesses.bind(&hot.instAccesses);
 }
 
 Cycle
 MemHierarchy::accessData(Addr addr, bool isWrite, Cycle cycle)
 {
-    ++dataAccesses;
+    ++hot.dataAccesses;
     Cycle done = cycle + l1d.latency();
     if (l1d.access(addr, isWrite).hit)
         return done;
@@ -36,7 +38,7 @@ MemHierarchy::accessData(Addr addr, bool isWrite, Cycle cycle)
 Cycle
 MemHierarchy::accessInst(Addr addr, Cycle cycle)
 {
-    ++instAccesses;
+    ++hot.instAccesses;
     Cycle done = cycle + l1i.latency();
     if (l1i.access(addr, false).hit)
         return done;

@@ -74,6 +74,15 @@ class MemHierarchy
   public:
     stats::Scalar dataAccesses;
     stats::Scalar instAccesses;
+
+  private:
+    /** Dense hot-loop accumulators (stats::Scalar::bind). */
+    struct HotCounters
+    {
+        std::uint64_t dataAccesses = 0;
+        std::uint64_t instAccesses = 0;
+    };
+    HotCounters hot;
 };
 
 } // namespace svw

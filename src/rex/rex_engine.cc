@@ -31,6 +31,13 @@ RexEngine::RexEngine(const RexParams &p, MemoryImage &img, SvwUnit &s,
       svw(s),
       dcachePort(port)
 {
+    loadsMarked.bind(&hot.loadsMarked);
+    loadsReExecuted.bind(&hot.loadsReExecuted);
+    loadsRexSkippedSvw.bind(&hot.loadsRexSkippedSvw);
+    loadsRexFailed.bind(&hot.loadsRexFailed);
+    portConflictStalls.bind(&hot.portConflictStalls);
+    storeBufferStalls.bind(&hot.storeBufferStalls);
+    svwReplaceFlushes.bind(&hot.svwReplaceFlushes);
 }
 
 bool
@@ -62,7 +69,7 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
             return;
         svw_assert(inst->seq >= rexNextSeq, "rex pointer corrupt");
 
-        if (!inst->si->isMem()) {
+        if (!inst->isMem()) {
             inst->rexProcessed = true;
             rexNextSeq = inst->seq + 1;
             continue;  // free transit; no rex bandwidth consumed
@@ -73,7 +80,7 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
 
         if (inst->isStore()) {
             if (storeBuffer.size() >= prm.storeBufferEntries) {
-                ++storeBufferStalls;
+                ++hot.storeBufferStalls;
                 return;
             }
             if (svw.config().speculativeSsbfUpdate)
@@ -104,7 +111,7 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
         }
 
         if (!load.rexSvwStageDone) {
-            ++loadsMarked;
+            ++hot.loadsMarked;
             --budget;
             load.rexSvwStageDone = true;
 
@@ -113,7 +120,6 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
             if (load.eliminated) {
                 load.addr = effectiveAddr(*load.si,
                                           rename.regs().value(load.prs1));
-                load.size = load.si->memSize();
                 load.addrResolved = true;
                 load.loadValue = rename.regs().value(load.prd);
             }
@@ -123,8 +129,8 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
                 const std::uint64_t v = readRexValue(load);
                 load.rexPassed = (v == load.loadValue);
                 if (!load.rexPassed)
-                    ++loadsRexFailed;
-                ++loadsReExecuted;
+                    ++hot.loadsRexFailed;
+                ++hot.loadsReExecuted;
                 load.rexProcessed = true;
                 load.rexDone = true;
                 load.rexDoneCycle = now;
@@ -139,7 +145,7 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
                     svwWindowStores.sample(retired - load.svw);
 
                 if (!svw.mustReExecute(load)) {
-                    ++loadsRexSkippedSvw;
+                    ++hot.loadsRexSkippedSvw;
                     load.rexProcessed = true;
                     load.rexDone = true;
                     load.rexPassed = true;
@@ -152,7 +158,7 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
                 if (prm.svwReplacesReExecution && !load.forceRealRex) {
                     // Section 6: no verification access at all; an SSBF
                     // hit conservatively flushes the load.
-                    ++svwReplaceFlushes;
+                    ++hot.svwReplaceFlushes;
                     load.rexProcessed = true;
                     load.rexDone = true;
                     load.rexPassed = false;  // commit flushes at the load
@@ -167,7 +173,7 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
         // Needs the cache: arbitrate for the shared port (store commit
         // claimed its slots earlier in the cycle).
         if (!dcachePort.tryClaim(now)) {
-            ++portConflictStalls;
+            ++hot.portConflictStalls;
             return;
         }
         reExecuteLoad(load, now);
@@ -178,7 +184,7 @@ RexEngine::tick(ROB &rob, RenameState &rename, Cycle now)
 void
 RexEngine::reExecuteLoad(DynInst &load, Cycle now)
 {
-    ++loadsReExecuted;
+    ++hot.loadsReExecuted;
     const std::uint64_t v = readRexValue(load);
     const unsigned extra = load.eliminated ? prm.regfileReadLatency : 0;
     load.rexProcessed = true;
@@ -186,7 +192,7 @@ RexEngine::reExecuteLoad(DynInst &load, Cycle now)
     load.rexPassed = (v == load.loadValue);
     load.rexDoneCycle = now + prm.cacheLatency + extra;
     if (!load.rexPassed)
-        ++loadsRexFailed;
+        ++hot.loadsRexFailed;
     if (load.rexDoneCycle > pendingLoadRexMax)
         pendingLoadRexMax = load.rexDoneCycle;
 }

@@ -107,6 +107,20 @@ class RexEngine
     stats::Distribution svwWindowStores;
 
   private:
+    /** Dense hot-loop accumulators, bound to the Scalars above (see
+     * stats::Scalar::bind). */
+    struct HotCounters
+    {
+        std::uint64_t loadsMarked = 0;
+        std::uint64_t loadsReExecuted = 0;
+        std::uint64_t loadsRexSkippedSvw = 0;
+        std::uint64_t loadsRexFailed = 0;
+        std::uint64_t portConflictStalls = 0;
+        std::uint64_t storeBufferStalls = 0;
+        std::uint64_t svwReplaceFlushes = 0;
+    };
+    HotCounters hot;
+
     /** Can this instruction enter the SVW stage yet? */
     bool rexReady(const DynInst &inst, const RenameState &rename,
                   Cycle now) const;

@@ -21,7 +21,7 @@ void
 Scalar::print(std::ostream &os) const
 {
     os << std::left << std::setw(40) << name() << " "
-       << std::right << std::setw(16) << _value
+       << std::right << std::setw(16) << value()
        << "  # " << desc() << "\n";
 }
 
@@ -104,6 +104,13 @@ StatRegistry::resetAll()
 {
     for (StatBase *s : _stats)
         s->reset();
+}
+
+void
+StatRegistry::flushAll()
+{
+    for (StatBase *s : _stats)
+        s->flush();
 }
 
 const StatBase *

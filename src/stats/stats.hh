@@ -9,6 +9,18 @@
  *  - Scalar: a monotonically increasing 64-bit event counter.
  *  - Average: a sum/count pair reporting a mean.
  *  - Distribution: fixed-width histogram with underflow/overflow buckets.
+ *
+ * Hot-loop batching: a Scalar may be *bound* (Scalar::bind) to a plain
+ * uint64_t accumulator field the owning module keeps in a dense
+ * per-module block. Hot paths then increment the plain field — one
+ * store into a block the loop already has in cache, instead of chasing
+ * scattered Scalar objects interleaved with their name/desc strings.
+ * value(), print(), and reset() account for the unflushed accumulator,
+ * so every observation is exact at any instant and the printed stat
+ * block is byte-identical to direct counting; flush() (or
+ * StatRegistry::flushAll at a sample boundary) folds the accumulator
+ * into the registered value. Direct increments on a bound Scalar remain
+ * legal (cold paths may keep using ++stat).
  */
 
 #ifndef SVW_STATS_STATS_HH
@@ -42,6 +54,10 @@ class StatBase
     /** Zero the stat (between warm-up and measurement). */
     virtual void reset() = 0;
 
+    /** Fold any bound hot-loop accumulator into the stored value
+     * (sample boundary). No-op for unbound stats. */
+    virtual void flush() {}
+
   private:
     std::string _name;
     std::string _desc;
@@ -53,16 +69,39 @@ class Scalar : public StatBase
   public:
     Scalar(StatRegistry &reg, std::string name, std::string desc);
 
+    /**
+     * Bind a hot-loop accumulator (a field in the owner's dense counter
+     * block; must outlive the Scalar). Unflushed accumulator contents
+     * are part of value() from then on; reset() zeroes both.
+     */
+    void bind(std::uint64_t *accum) { _accum = accum; }
+
     Scalar &operator++() { ++_value; return *this; }
     Scalar &operator+=(std::uint64_t n) { _value += n; return *this; }
 
-    std::uint64_t value() const { return _value; }
+    std::uint64_t value() const
+    {
+        return _value + (_accum ? *_accum : 0);
+    }
 
     void print(std::ostream &os) const override;
-    void reset() override { _value = 0; }
+    void reset() override
+    {
+        _value = 0;
+        if (_accum)
+            *_accum = 0;
+    }
+    void flush() override
+    {
+        if (_accum) {
+            _value += *_accum;
+            *_accum = 0;
+        }
+    }
 
   private:
     std::uint64_t _value = 0;
+    std::uint64_t *_accum = nullptr;  ///< bound hot accumulator (optional)
 };
 
 /** Mean of sampled values. */
@@ -125,6 +164,9 @@ class StatRegistry
 
     void printAll(std::ostream &os) const;
     void resetAll();
+
+    /** Sample boundary: fold every bound accumulator into its stat. */
+    void flushAll();
 
     /** Find a stat by name (nullptr if absent); used by tests/harness. */
     const StatBase *find(const std::string &name) const;

@@ -15,6 +15,11 @@ SSBF::SSBF(const SsbfParams &p, stats::StatRegistry &reg)
       positives(reg, "ssbf.positives", "positive tests (must re-execute)"),
       params(p)
 {
+    updates.bind(&hot.updates);
+    invalidationUpdates.bind(&hot.invalidationUpdates);
+    tests.bind(&hot.tests);
+    positives.bind(&hot.positives);
+
     svw_assert(p.granularityBytes == 4 || p.granularityBytes == 8,
                "SSBF granularity must be 4 or 8 bytes");
     svw_assert(isPowerOf2(p.entries), "SSBF entries must be a power of two");
@@ -63,7 +68,7 @@ SSBF::update(Addr addr, unsigned size, SSN truncSsn)
     const Addr first = addr >> granShift;
     const Addr last = (addr + size - 1) >> granShift;
     for (Addr g = first; g <= last; ++g) {
-        ++updates;
+        ++hot.updates;
         store(g, truncSsn);
     }
 }
@@ -74,7 +79,7 @@ SSBF::invalidateLine(Addr lineAddr, unsigned lineBytes, SSN truncSsn)
     const Addr first = lineAddr >> granShift;
     const Addr last = (lineAddr + lineBytes - 1) >> granShift;
     for (Addr g = first; g <= last; ++g) {
-        ++invalidationUpdates;
+        ++hot.invalidationUpdates;
         store(g, truncSsn);
     }
 }
@@ -82,13 +87,12 @@ SSBF::invalidateLine(Addr lineAddr, unsigned lineBytes, SSN truncSsn)
 bool
 SSBF::test(Addr addr, unsigned size, SSN truncSvw) const
 {
-    auto &self = const_cast<SSBF &>(*this);
-    ++self.tests;
+    ++hot.tests;
     const Addr first = addr >> granShift;
     const Addr last = (addr + size - 1) >> granShift;
     for (Addr g = first; g <= last; ++g) {
         if (lookup(g) > truncSvw) {
-            ++self.positives;
+            ++hot.positives;
             return true;
         }
     }

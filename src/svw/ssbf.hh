@@ -85,6 +85,16 @@ class SSBF
     stats::Scalar positives;
 
   private:
+    /** Dense hot-loop accumulators, bound to the Scalars above (see
+     * stats::Scalar::bind); mutable so the const filter test can count. */
+    mutable struct HotCounters
+    {
+        std::uint64_t updates = 0;
+        std::uint64_t invalidationUpdates = 0;
+        std::uint64_t tests = 0;
+        std::uint64_t positives = 0;
+    } hot;
+
     SsbfParams params;
     unsigned granShift;
     std::vector<SSN> table1;

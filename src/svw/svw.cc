@@ -14,6 +14,8 @@ SvwUnit::SvwUnit(const SvwConfig &c, stats::StatRegistry &reg)
       ssnState(c.ssnBits),
       filter(c.ssbf, reg)
 {
+    loadsFiltered.bind(&hot.loadsFiltered);
+    loadsTested.bind(&hot.loadsTested);
 }
 
 void
@@ -31,11 +33,11 @@ bool
 SvwUnit::mustReExecute(const DynInst &load)
 {
     svw_assert(cfg.enabled, "SVW test while disabled");
-    ++loadsTested;
+    ++hot.loadsTested;
     const bool rex = filter.test(load.addr, load.size,
                                  ssnState.trunc(load.svw));
     if (!rex)
-        ++loadsFiltered;
+        ++hot.loadsFiltered;
     return rex;
 }
 

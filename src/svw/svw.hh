@@ -97,6 +97,15 @@ class SvwUnit
     stats::Scalar wrapDrains;
 
   private:
+    /** Dense hot-loop accumulators, bound to the Scalars above (see
+     * stats::Scalar::bind). */
+    struct HotCounters
+    {
+        std::uint64_t loadsFiltered = 0;
+        std::uint64_t loadsTested = 0;
+    };
+    HotCounters hot;
+
     SvwConfig cfg;
     SsnState ssnState;
     SSBF filter;

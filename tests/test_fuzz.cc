@@ -320,18 +320,71 @@ TEST(FuzzCheckpointRecovery, RestoreEquivalentToWalkOnRandomSquashes)
     }
 }
 
+namespace {
+
+/**
+ * Assert two same-shaped stat registries print identically except for
+ * the recovery-mechanism counters themselves (core.ckptRestores /
+ * core.ckptWalks legitimately differ between the two recovery modes).
+ * Everything else — squash counts, RLE eliminations and squash-reuse
+ * splits, rename/IT-sensitive rex outcomes — must be bit-identical.
+ */
+void
+expectIdenticalStatsModuloRecovery(const stats::StatRegistry &a,
+                                   const stats::StatRegistry &b,
+                                   const char *name, std::uint64_t seed)
+{
+    ASSERT_EQ(a.all().size(), b.all().size());
+    for (std::size_t i = 0; i < a.all().size(); ++i) {
+        const stats::StatBase *sa = a.all()[i];
+        const stats::StatBase *sb = b.all()[i];
+        ASSERT_EQ(sa->name(), sb->name());
+        if (sa->name() == "core.ckptRestores" ||
+            sa->name() == "core.ckptWalks") {
+            continue;
+        }
+        std::ostringstream osa, osb;
+        sa->print(osa);
+        sb->print(osb);
+        ASSERT_EQ(osa.str(), osb.str())
+            << sa->name() << " diverged: " << name << " seed " << seed;
+    }
+}
+
+} // namespace
+
 TEST(FuzzCheckpointRecovery, CoreTimingIdenticalWithAndWithoutCheckpoints)
 {
     // Same random programs, same config, checkpoints on vs off: cycle
-    // counts, architectural state, and memory must match exactly. This
-    // is the bit-identical-timing invariant the recovery path must
-    // preserve (docs/ARCHITECTURE.md "Squash recovery").
+    // counts, architectural state, memory, and every stat except the
+    // recovery counters must match exactly. This is the
+    // bit-identical-timing invariant the recovery path must preserve
+    // (docs/ARCHITECTURE.md "Squash recovery"). The RLE config
+    // exercises the journaled IT squash-hygiene markers: checkpoint
+    // replay must kill exactly the same IntegrationTable entries the
+    // walk would, or eliminations (and thus rex flushes and squash
+    // reuse) diverge downstream.
     const std::pair<const char *, ExperimentConfig> configs[] = {
         {"base", {}},
         {"ssqSvw",
          [] {
              ExperimentConfig c;
              c.opt = OptMode::Ssq;
+             c.svw = SvwMode::Upd;
+             return c;
+         }()},
+        {"rleSvw",
+         [] {
+             ExperimentConfig c;
+             c.machine = Machine::FourWide;
+             c.opt = OptMode::Rle;
+             c.svw = SvwMode::Upd;
+             return c;
+         }()},
+        {"composed",
+         [] {
+             ExperimentConfig c;
+             c.opt = OptMode::Composed;
              c.svw = SvwMode::Upd;
              return c;
          }()},
@@ -365,6 +418,7 @@ TEST(FuzzCheckpointRecovery, CoreTimingIdenticalWithAndWithoutCheckpoints)
             }
             ASSERT_TRUE(coreOn.memory().identicalTo(coreOff.memory()))
                 << name << " seed " << seed;
+            expectIdenticalStatsModuloRecovery(regOn, regOff, name, seed);
         }
     }
 }

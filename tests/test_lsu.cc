@@ -30,7 +30,7 @@ struct LsuFixture : ::testing::Test
                       SSN ssn = 0)
     {
         DynInst d;
-        d.si = &st8;
+        d.setStatic(&st8);
         d.seq = seq;
         d.pc = seq;  // unique PCs
         d.addr = addr;
@@ -48,7 +48,7 @@ struct LsuFixture : ::testing::Test
     DynInst &addLoad(InstSeqNum seq, Addr addr, unsigned size)
     {
         DynInst d;
-        d.si = &ld8;
+        d.setStatic(&ld8);
         d.seq = seq;
         d.pc = seq;
         d.addr = addr;
@@ -372,7 +372,7 @@ TEST_F(LsuFixture, FsqCapacityGatesSteeredStores)
     lsu->trainSteering(7, 4);
     DynInst probe;
     StaticInst st8b{Opcode::St8, 0, 2, 3, 0};
-    probe.si = &st8b;
+    probe.setStatic(&st8b);
     probe.pc = 3;
     EXPECT_FALSE(lsu->fsqFullFor(probe));
     addStore(3, 0x100, 8, 1);

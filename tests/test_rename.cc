@@ -252,7 +252,7 @@ mkInst(InstSeqNum seq)
 {
     DynInst d;
     d.seq = seq;
-    d.si = &nopInst;
+    d.setStatic(&nopInst);
     return d;
 }
 
@@ -338,4 +338,98 @@ TEST(Iq, FullReflectsCapacity)
     EXPECT_FALSE(iq.full());
     iq.insert(&b);
     EXPECT_TRUE(iq.full());
+}
+
+// ---------------------------------------------------------------------
+// Squash-hygiene journal markers (RLE checkpoint recovery) and the ROB
+// cold-record arena.
+// ---------------------------------------------------------------------
+
+TEST(Rename, HygieneMarkersAreSkippedByWalkUndo)
+{
+    RenameState rs(64);
+    const PhysRegIndex p1 = rs.alloc();
+    rs.speculativeDef(1, p1);
+    rs.journalSquashHygiene(42);
+    const PhysRegIndex p2 = rs.alloc();
+    rs.speculativeDef(2, p2);
+    rs.journalSquashHygiene(43);
+
+    rs.undoLastDef();  // discards marker 43, undoes the r2 definition
+    EXPECT_EQ(rs.map(2), 2);
+    EXPECT_EQ(rs.regs().refCount(p2), 0u);
+    EXPECT_EQ(rs.map(1), p1) << "older definition must survive";
+
+    rs.undoLastDef();  // discards marker 42, undoes the r1 definition
+    EXPECT_EQ(rs.map(1), 1);
+    EXPECT_EQ(rs.regs().refCount(p1), 0u);
+}
+
+TEST(Rename, CheckpointReplayFiresHygieneYoungestFirstInterleaved)
+{
+    RenameState rs(64, 4);
+    const PhysRegIndex pKept = rs.alloc();
+    rs.speculativeDef(1, pKept);
+    rs.takeCheckpoint(100, BPredCheckpoint{});
+
+    const PhysRegIndex p2 = rs.alloc();
+    rs.speculativeDef(2, p2);
+    rs.journalSquashHygiene(10);
+    const PhysRegIndex p3 = rs.alloc();
+    rs.speculativeDef(3, p3);
+    rs.journalSquashHygiene(11);
+
+    rs.discardCheckpointsAfter(100);
+    const RenameCheckpoint *ck = rs.findCheckpoint(100);
+    ASSERT_NE(ck, nullptr);
+
+    std::vector<InstSeqNum> fired;
+    rs.restoreCheckpoint(*ck, [&](InstSeqNum seq) {
+        fired.push_back(seq);
+        if (seq == 11) {
+            // Marker 11 replays *before* the release of load 11's own
+            // definition — exactly the walk's hygiene-then-undo order.
+            EXPECT_EQ(rs.regs().refCount(p3), 1u);
+        } else if (seq == 10) {
+            // By marker 10, load 11's definition has been released.
+            EXPECT_EQ(rs.regs().refCount(p3), 0u);
+            EXPECT_EQ(rs.regs().refCount(p2), 1u);
+        }
+    });
+
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], 11u);
+    EXPECT_EQ(fired[1], 10u);
+    EXPECT_EQ(rs.map(1), pKept);
+    EXPECT_EQ(rs.map(2), 2);
+    EXPECT_EQ(rs.map(3), 3);
+    EXPECT_EQ(rs.regs().refCount(p2), 0u);
+    EXPECT_EQ(rs.regs().refCount(p3), 0u);
+}
+
+TEST(Rob, ColdRecordsTravelWithRingSlots)
+{
+    ROB rob(4);
+    DynInstCold c1;
+    c1.bpredSnap.ghist = 0xabcull;
+    DynInst &r1 = rob.push(mkInst(1), c1);
+    DynInstCold c2;
+    c2.bpredSnap.ghist = 0xdefull;
+    DynInst &r2 = rob.push(mkInst(2), c2);
+    EXPECT_EQ(rob.cold(r1).bpredSnap.ghist, 0xabcull);
+    EXPECT_EQ(rob.cold(r2).bpredSnap.ghist, 0xdefull);
+
+    // Wrap the ring: cold records stay glued to their entries' slots.
+    rob.popHead();
+    rob.popHead();
+    for (InstSeqNum s = 3; s <= 6; ++s) {
+        DynInstCold c;
+        c.bpredSnap.ghist = s * 100;
+        rob.push(mkInst(s), c);
+    }
+    for (InstSeqNum s = 3; s <= 6; ++s) {
+        DynInst *d = rob.findBySeq(s);
+        ASSERT_NE(d, nullptr);
+        EXPECT_EQ(rob.cold(*d).bpredSnap.ghist, s * 100);
+    }
 }

@@ -46,7 +46,7 @@ struct RexFixture : ::testing::Test
                      bool marked, SSN svw = 0)
     {
         DynInst d;
-        d.si = &ld8;
+        d.setStatic(&ld8);
         d.seq = seq;
         d.addr = addr;
         d.size = 8;
@@ -66,7 +66,7 @@ struct RexFixture : ::testing::Test
                       SSN ssn)
     {
         DynInst d;
-        d.si = &st8;
+        d.setStatic(&st8);
         d.seq = seq;
         d.addr = addr;
         d.size = 8;

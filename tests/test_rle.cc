@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "rle/integration_table.hh"
 #include "rle/rle.hh"
 
@@ -32,7 +34,7 @@ struct RleFixture : ::testing::Test
                        InstSeqNum seq)
     {
         DynInst d;
-        d.si = si;
+        d.setStatic(si);
         d.seq = seq;
         d.prs1 = base;
         d.prd = rename.alloc();
@@ -95,7 +97,7 @@ TEST_F(RleFixture, StoreCreatesBypassEntry)
     PhysRegIndex data = rename.alloc();
 
     DynInst st;
-    st.si = &st8;
+    st.setStatic(&st8);
     st.seq = 1;
     st.prs1 = base;
     st.prs2 = data;
@@ -118,7 +120,7 @@ TEST_F(RleFixture, SubQuadStoresDoNotBypass)
     PhysRegIndex base = rename.alloc();
     PhysRegIndex data = rename.alloc();
     DynInst st;
-    st.si = &st4;
+    st.setStatic(&st4);
     st.seq = 1;
     st.prs1 = base;
     st.prs2 = data;
@@ -213,7 +215,7 @@ TEST_F(RleFixture, AluIntegrationSharesResult)
     PhysRegIndex s1 = rename.alloc();
     PhysRegIndex s2 = rename.alloc();
     DynInst add;
-    add.si = &addOp;
+    add.setStatic(&addOp);
     add.seq = 1;
     add.prs1 = s1;
     add.prs2 = s2;
@@ -231,7 +233,7 @@ TEST_F(RleFixture, AluIntegrationCanBeDisabled)
     PhysRegIndex s1 = rename.alloc();
     PhysRegIndex s2 = rename.alloc();
     DynInst add;
-    add.si = &addOp;
+    add.setStatic(&addOp);
     add.seq = 1;
     add.prs1 = s1;
     add.prs2 = s2;
@@ -259,9 +261,10 @@ TEST_F(RleFixture, PinBudgetEvictsBeforeInserting)
     RleUnit rle = mkUnit(true, true, /*pins=*/4);
     PhysRegIndex base = rename.alloc();
     std::vector<DynInst> loads;
+    std::deque<StaticInst> sis;  // stable addresses for DynInst::si
     for (int i = 0; i < 8; ++i) {
-        StaticInst *si = new StaticInst{Opcode::Ld8, 3, 2, 0, 8 * i};
-        DynInst d = mkLoadInst(si, base, i + 1);
+        sis.push_back(StaticInst{Opcode::Ld8, 3, 2, 0, 8 * i});
+        DynInst d = mkLoadInst(&sis.back(), base, i + 1);
         rle.createEntry(d, rename, 5, 0);
         loads.push_back(d);
     }

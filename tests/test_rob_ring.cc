@@ -24,7 +24,7 @@ mkInst(InstSeqNum seq)
 {
     DynInst d;
     d.seq = seq;
-    d.si = &nopInst;
+    d.setStatic(&nopInst);
     return d;
 }
 

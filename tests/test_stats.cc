@@ -133,3 +133,106 @@ TEST(Stats, RegistryOrderPreserved)
     EXPECT_EQ(reg.all()[0]->name(), "first");
     EXPECT_EQ(reg.all()[1]->name(), "second");
 }
+
+// ---------------------------------------------------------------------
+// Hot-loop accumulator batching (Scalar::bind): the printed stat block
+// must be byte-identical between direct counting and batched counting,
+// through every observation path — mid-run value(), printAll with
+// unflushed accumulators, an explicit flush boundary, and a mid-run
+// reset() (the warm-up boundary).
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Two registries with the same shape: A counts directly, B through
+ * bound accumulators. Drives both with the same event sequence. */
+struct BatchingRig
+{
+    StatRegistry regA, regB;
+    Scalar a1, a2, b1, b2;
+    std::uint64_t acc1 = 0, acc2 = 0;
+
+    BatchingRig()
+        : a1(regA, "core.events", "events observed"),
+          a2(regA, "core.other", "other events"),
+          b1(regB, "core.events", "events observed"),
+          b2(regB, "core.other", "other events")
+    {
+        b1.bind(&acc1);
+        b2.bind(&acc2);
+    }
+
+    void bump1(std::uint64_t n)
+    {
+        a1 += n;
+        acc1 += n;  // hot path: plain field increment
+    }
+    void bump2(std::uint64_t n)
+    {
+        a2 += n;
+        acc2 += n;
+    }
+
+    std::string printA() const
+    {
+        std::ostringstream os;
+        regA.printAll(os);
+        return os.str();
+    }
+    std::string printB() const
+    {
+        std::ostringstream os;
+        regB.printAll(os);
+        return os.str();
+    }
+};
+
+} // namespace
+
+TEST(StatsBatching, PrintByteIdenticalWithUnflushedAccumulators)
+{
+    BatchingRig r;
+    r.bump1(37);
+    r.bump2(5);
+    EXPECT_EQ(r.b1.value(), 37u);
+    EXPECT_EQ(r.b2.value(), 5u);
+    EXPECT_EQ(r.printA(), r.printB());  // nothing flushed yet
+}
+
+TEST(StatsBatching, PrintByteIdenticalAcrossFlushBoundary)
+{
+    BatchingRig r;
+    r.bump1(11);
+    r.regB.flushAll();
+    EXPECT_EQ(r.acc1, 0u) << "flush must drain the accumulator";
+    r.bump1(4);             // post-boundary increments land on top
+    ++r.a1;
+    ++r.b1;                 // direct increment on a bound Scalar is legal
+    r.bump2(9);
+    EXPECT_EQ(r.b1.value(), 16u);
+    EXPECT_EQ(r.printA(), r.printB());
+}
+
+TEST(StatsBatching, MidRunResetMatchesDirectCounters)
+{
+    BatchingRig r;
+    // Warm-up phase.
+    r.bump1(123);
+    r.bump2(7);
+    // Warm-up boundary: both registries reset; B's accumulators carry
+    // unflushed counts that must die with the reset.
+    r.regA.resetAll();
+    r.regB.resetAll();
+    EXPECT_EQ(r.acc1, 0u);
+    EXPECT_EQ(r.b1.value(), 0u);
+    // Measurement phase.
+    r.bump1(31);
+    r.bump2(2);
+    EXPECT_EQ(r.b1.value(), 31u);
+    EXPECT_EQ(r.printA(), r.printB());
+    // Individual reset() of a bound Scalar also clears its accumulator.
+    r.a1.reset();
+    r.b1.reset();
+    EXPECT_EQ(r.b1.value(), 0u);
+    EXPECT_EQ(r.printA(), r.printB());
+}

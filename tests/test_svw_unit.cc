@@ -30,7 +30,7 @@ DynInst
 mkLoad(Addr addr, SSN svw)
 {
     DynInst d;
-    d.si = &ld8Inst;
+    d.setStatic(&ld8Inst);
     d.addr = addr;
     d.size = 8;
     d.svw = svw;
@@ -42,7 +42,7 @@ DynInst
 mkStore(Addr addr, SSN ssn)
 {
     DynInst d;
-    d.si = &st8Inst;
+    d.setStatic(&st8Inst);
     d.addr = addr;
     d.size = 8;
     d.ssn = ssn;

@@ -98,7 +98,7 @@ TEST(Tracer, TextFormat)
     Tracer tracer(os);
     StaticInst ld{Opcode::Ld8, 3, 1, 0, 16};
     DynInst d;
-    d.si = &ld;
+    d.setStatic(&ld);
     d.seq = 7;
     d.pc = 42;
     d.addr = 0x1000;
