@@ -19,28 +19,43 @@ main(int argc, char **argv)
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::suiteNames());
 
+    ExperimentConfig blind;
+    blind.machine = Machine::EightWide;
+    blind.opt = OptMode::Baseline;
+    auto aware = blind;
+    aware.lqValueCheck = true;
+
+    SweepSpec spec("abl_lq_values");
+    for (const auto &w : suite) {
+        SweepCell c;
+        c.group = w;
+        c.workload = w;
+        c.targetInsts = args.insts;
+        c.label = "blind";
+        c.config = blind;
+        c.baseline = true;
+        spec.add(c);
+        c.label = "value-aware";
+        c.config = aware;
+        c.baseline = false;
+        spec.add(c);
+    }
+    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const bool sweepFailed = reportFailures(res) != 0;
+
     FigureTable tbl("Value-aware LQ search ablation (baseline machine)",
                     {"blind-squash", "value-squash", "speedup%"});
 
-    for (const auto &w : suite) {
-        ExperimentConfig blind;
-        blind.machine = Machine::EightWide;
-        blind.opt = OptMode::Baseline;
-        auto aware = blind;
-        aware.lqValueCheck = true;
-
-        RunRequest rq;
-        rq.workload = w;
-        rq.targetInsts = args.insts;
-        rq.config = blind;
-        RunResult rb = runOne(rq);
-        rq.config = aware;
-        RunResult ra = runOne(rq);
+    for (const auto &w : res.shardGroups()) {
+        if (!res.groupOk(w))
+            continue;
+        const RunResult &rb = res.baseline(w);
+        const RunResult &ra = res.result(w, "value-aware");
         tbl.addRow(w, {double(rb.orderingSquashes),
                        double(ra.orderingSquashes),
                        speedupPercent(rb, ra)});
     }
     tbl.addAverageRow();
     tbl.print(std::cout, 2);
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

@@ -19,31 +19,43 @@ main(int argc, char **argv)
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::fig8Names());
 
+    ExperimentConfig spec8;
+    spec8.machine = Machine::EightWide;
+    spec8.opt = OptMode::Ssq;
+    spec8.svw = SvwMode::Upd;
+    spec8.speculativeSsbfUpdate = true;
+    auto atomic = spec8;
+    atomic.speculativeSsbfUpdate = false;
+
+    SweepSpec spec("abl_spec_ssbf");
+    for (const auto &w : suite) {
+        SweepCell c;
+        c.group = w;
+        c.workload = w;
+        c.targetInsts = args.insts;
+        c.label = "speculative";
+        c.config = spec8;
+        spec.add(c);
+        c.label = "atomic";
+        c.config = atomic;
+        spec.add(c);
+    }
+    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const bool sweepFailed = reportFailures(res) != 0;
+
     FigureTable tbl("Speculative vs atomic SSBF update (SSQ+SVW+UPD)",
                     {"spec-rex%", "atomic-rex%", "spec-IPC", "atomic-IPC",
                      "spec-speedup%"});
 
-    for (const auto &w : suite) {
-        ExperimentConfig spec;
-        spec.machine = Machine::EightWide;
-        spec.opt = OptMode::Ssq;
-        spec.svw = SvwMode::Upd;
-        spec.speculativeSsbfUpdate = true;
-        auto atomic = spec;
-        atomic.speculativeSsbfUpdate = false;
-
-        RunRequest rq;
-        rq.workload = w;
-        rq.targetInsts = args.insts;
-        rq.config = spec;
-        RunResult rs = runOne(rq);
-        rq.config = atomic;
-        RunResult ra = runOne(rq);
-
+    for (const auto &w : res.shardGroups()) {
+        if (!res.groupOk(w))
+            continue;
+        const RunResult &rs = res.result(w, "speculative");
+        const RunResult &ra = res.result(w, "atomic");
         tbl.addRow(w, {rs.rexRate, ra.rexRate, rs.ipc, ra.ipc,
                        speedupPercent(ra, rs)});
     }
     tbl.addAverageRow();
     tbl.print(std::cout, 2);
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

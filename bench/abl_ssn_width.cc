@@ -20,30 +20,41 @@ main(int argc, char **argv)
     const std::vector<std::string> suite =
         selectSuite(args, workloads::fig8Names());
     const unsigned widths[] = {8, 10, 12, 16, 64};
+    const std::vector<std::string> cols = {"8b", "10b", "12b", "16b",
+                                           "64b"};
+
+    SweepSpec spec("abl_ssn_width");
+    for (const auto &w : suite) {
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            SweepCell c;
+            c.group = w;
+            c.label = cols[i];
+            c.workload = w;
+            c.targetInsts = args.insts;
+            c.config.machine = Machine::EightWide;
+            c.config.opt = OptMode::Ssq;
+            c.config.svw = SvwMode::Upd;
+            c.config.ssnBits = widths[i];
+            c.baseline = widths[i] == 64;  // slowdown reference
+            spec.add(c);
+        }
+    }
+    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable slow("SSN width ablation: % slowdown vs 64-bit SSNs "
                      "(SSQ+SVW+UPD)",
-                     {"8b", "10b", "12b", "16b", "64b"});
+                     cols);
     FigureTable drains("SSN width ablation: wrap drains per run",
-                       {"8b", "10b", "12b", "16b", "64b"});
+                       cols);
 
-    for (const auto &w : suite) {
-        std::vector<RunResult> rs;
-        for (unsigned bits : widths) {
-            ExperimentConfig c;
-            c.machine = Machine::EightWide;
-            c.opt = OptMode::Ssq;
-            c.svw = SvwMode::Upd;
-            c.ssnBits = bits;
-            RunRequest req;
-            req.workload = w;
-            req.targetInsts = args.insts;
-            req.config = c;
-            rs.push_back(runOne(req));
-        }
-        const RunResult &ref = rs.back();  // 64-bit
+    for (const auto &w : res.shardGroups()) {
+        if (!res.groupOk(w))
+            continue;
+        const RunResult &ref = res.baseline(w);  // 64-bit
         std::vector<double> srow, drow;
-        for (const auto &r : rs) {
+        for (const auto &c : cols) {
+            const RunResult &r = res.result(w, c);
             srow.push_back(-speedupPercent(ref, r));  // slowdown vs ref
             drow.push_back(double(r.wrapDrains));
         }
@@ -54,5 +65,5 @@ main(int argc, char **argv)
     drains.addAverageRow();
     slow.print(std::cout, 2);
     drains.print(std::cout, 0);
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

@@ -18,34 +18,44 @@ main(int argc, char **argv)
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::suiteNames());
 
+    SweepSpec spec("abl_store_ports");
+    for (const auto &w : suite) {
+        for (OptMode opt : {OptMode::Baseline, OptMode::Ssq}) {
+            const char *tag = opt == OptMode::Baseline ? "base" : "ssq";
+            ExperimentConfig cfg;
+            cfg.machine = Machine::EightWide;
+            cfg.opt = opt;
+            cfg.svw = opt == OptMode::Baseline ? SvwMode::None
+                                               : SvwMode::Upd;
+            for (unsigned ports = 1; ports <= 2; ++ports) {
+                SweepCell c;
+                c.group = w;
+                c.label = std::string(tag) + "-" +
+                    std::to_string(ports) + "p";
+                c.workload = w;
+                c.targetInsts = args.insts;
+                cfg.dcachePorts = ports;
+                c.config = cfg;
+                spec.add(c);
+            }
+        }
+    }
+    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const bool sweepFailed = reportFailures(res) != 0;
+
     FigureTable tbl("Store retirement port ablation: % speedup of 2 ports "
                     "over 1",
                     {"BASE", "SSQ+SVW+UPD"});
 
-    for (const auto &w : suite) {
-        std::vector<double> row;
-        for (OptMode opt : {OptMode::Baseline, OptMode::Ssq}) {
-            ExperimentConfig one;
-            one.machine = Machine::EightWide;
-            one.opt = opt;
-            one.svw = opt == OptMode::Baseline ? SvwMode::None
-                                               : SvwMode::Upd;
-            one.dcachePorts = 1;
-            auto two = one;
-            two.dcachePorts = 2;
-
-            RunRequest rq;
-            rq.workload = w;
-            rq.targetInsts = args.insts;
-            rq.config = one;
-            RunResult r1 = runOne(rq);
-            rq.config = two;
-            RunResult r2 = runOne(rq);
-            row.push_back(speedupPercent(r1, r2));
-        }
-        tbl.addRow(w, row);
+    for (const auto &w : res.shardGroups()) {
+        if (!res.groupOk(w))
+            continue;
+        tbl.addRow(w, {speedupPercent(res.result(w, "base-1p"),
+                                      res.result(w, "base-2p")),
+                       speedupPercent(res.result(w, "ssq-1p"),
+                                      res.result(w, "ssq-2p"))});
     }
     tbl.addAverageRow();
     tbl.print(std::cout, 2);
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

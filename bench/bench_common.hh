@@ -1,12 +1,19 @@
 /**
  * @file
  * Shared scaffolding for the per-figure bench binaries: command-line
- * sizing, suite iteration, and figure assembly.
+ * sizing and sweep-engine plumbing. The binaries only *declare* their
+ * sweeps (harness/sweep.hh) and format tables; execution — including
+ * the --jobs worker pool and --shard splits — lives in
+ * harness/executor.hh.
  *
  * Every binary accepts:
- *   --insts=N   dynamic-instruction target per run (default 100000)
- *   --quick     reduce to 20000 instructions per run
- *   --bench=X   restrict to one workload
+ *   --insts=N    dynamic-instruction target per run (default 100000)
+ *   --quick      reduce to 20000 instructions per run
+ *   --bench=X    restrict to one workload
+ *   --jobs=N     run cells on N worker processes (default 1 =
+ *                in-process; output is byte-identical for any N)
+ *   --shard=i/n  run only shard i of n (partitioned by figure row;
+ *                the union over all shards is the full sweep)
  *
  * Unrecognized arguments (flags or positionals) are rejected with
  * exit 2 so typos fail fast.
@@ -15,7 +22,6 @@
 #ifndef SVW_BENCH_BENCH_COMMON_HH
 #define SVW_BENCH_BENCH_COMMON_HH
 
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -25,8 +31,11 @@
 #include <vector>
 
 #include "harness/config.hh"
+#include "harness/executor.hh"
+#include "harness/figures.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "prog/workloads/workloads.hh"
 
 namespace svw::bench {
@@ -35,7 +44,43 @@ struct BenchArgs
 {
     std::uint64_t insts = 100'000;
     std::string only;
+    unsigned jobs = 1;
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
 };
+
+/** Parse a decimal flag value; a malformed number is a usage error
+ * (exit 2), like any other rejected argument. */
+inline std::uint64_t
+parseFlagNumber(const std::string &text, const char *flag)
+{
+    // Digits only: stoull would silently sign-wrap "-1" to 2^64-1.
+    const bool allDigits = !text.empty() &&
+        text.find_first_not_of("0123456789") == std::string::npos;
+    if (allDigits) {
+        try {
+            return std::stoull(text);
+        } catch (const std::exception &) {  // out of range
+        }
+    }
+    std::fprintf(stderr, "error: bad number '%s' for %s\n", text.c_str(),
+                 flag);
+    std::exit(2);
+}
+
+/** parseFlagNumber for flags that must fit an unsigned (no silent
+ * truncation wrap). */
+inline unsigned
+parseFlagUnsigned(const std::string &text, const char *flag)
+{
+    const std::uint64_t v = parseFlagNumber(text, flag);
+    if (v > 0xffffffffull) {
+        std::fprintf(stderr, "error: %s value '%s' out of range\n", flag,
+                     text.c_str());
+        std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+}
 
 inline BenchArgs
 parseArgs(int argc, char **argv)
@@ -44,37 +89,52 @@ parseArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a.rfind("--insts=", 0) == 0)
-            args.insts = std::stoull(a.substr(8));
+            args.insts = parseFlagNumber(a.substr(8), "--insts");
         else if (a == "--quick")
             args.insts = 20'000;
         else if (a.rfind("--bench=", 0) == 0)
             args.only = a.substr(8);
-        else if (a.rfind("--benchmark", 0) == 0)
+        else if (a.rfind("--jobs=", 0) == 0)
+            args.jobs = parseFlagUnsigned(a.substr(7), "--jobs");
+        else if (a.rfind("--shard=", 0) == 0) {
+            const std::string spec = a.substr(8);
+            const std::size_t slash = spec.find('/');
+            if (slash != std::string::npos) {
+                args.shardIndex = parseFlagUnsigned(
+                    spec.substr(0, slash), "--shard");
+                args.shardCount = parseFlagUnsigned(
+                    spec.substr(slash + 1), "--shard");
+            } else {
+                args.shardCount = 0;  // force the validity error below
+            }
+        } else if (a.rfind("--benchmark", 0) == 0) {
             continue;  // tolerate google-benchmark flags
-        else {
+        } else {
             std::fprintf(stderr,
                          "error: unknown arg %s\n"
-                         "usage: %s [--insts=N] [--quick] [--bench=X]\n",
+                         "usage: %s [--insts=N] [--quick] [--bench=X]"
+                         " [--jobs=N] [--shard=i/n]\n",
                          a.c_str(), argv[0]);
             std::exit(2);
         }
     }
+    if (args.jobs < 1 || args.shardCount < 1 ||
+        args.shardIndex >= args.shardCount) {
+        std::fprintf(stderr,
+                     "error: need --jobs>=1 and --shard=i/n with i<n\n");
+        std::exit(2);
+    }
     return args;
 }
 
-/**
- * Monotonic host wall-clock seconds (arbitrary origin). Timing benches
- * report both a best-of-reps figure (noise-resistant throughput) and
- * the total wall time burned per cell — the difference between the two
- * is the signature of a loaded container, diagnosable straight from
- * the committed JSON.
- */
-inline double
-hostSeconds()
+inline harness::SweepOptions
+sweepOptions(const BenchArgs &args)
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
+    harness::SweepOptions opts;
+    opts.jobs = args.jobs;
+    opts.shardIndex = args.shardIndex;
+    opts.shardCount = args.shardCount;
+    return opts;
 }
 
 inline std::vector<std::string>
@@ -86,22 +146,25 @@ selectSuite(const BenchArgs &args, const std::vector<std::string> &base)
 }
 
 /**
- * Run one workload under a list of configurations (the first one is the
- * figure's baseline) and return all results, baseline first.
+ * Print every failed cell to stderr (worker crashes / golden
+ * mismatches under --jobs; sequential runs raise instead). Figure rows
+ * whose group lost a cell are skipped by the caller via groupOk().
+ * @return the number of failures.
  */
-inline std::vector<harness::RunResult>
-runConfigs(const std::string &workload, std::uint64_t insts,
-           const std::vector<harness::ExperimentConfig> &configs)
+inline std::size_t
+reportFailures(const harness::SweepResults &res)
 {
-    std::vector<harness::RunResult> out;
-    for (const auto &cfg : configs) {
-        harness::RunRequest req;
-        req.workload = workload;
-        req.targetInsts = insts;
-        req.config = cfg;
-        out.push_back(harness::runOne(req));
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < res.spec().size(); ++i) {
+        const harness::CellOutcome &o = res.outcome(i);
+        if (o.ran && !o.ok) {
+            ++n;
+            std::fprintf(stderr, "error: sweep cell %s failed: %s\n",
+                         res.spec().cell(i).name().c_str(),
+                         o.error.c_str());
+        }
     }
-    return out;
+    return n;
 }
 
 } // namespace svw::bench

@@ -10,6 +10,8 @@
  * rewriting workload lines at a configurable interval) and report how
  * many loads NLQ-SM marks versus how many SVW lets skip. Injected
  * writes are value-identical (silent) so the golden model still holds.
+ * The injector rides along as the sweep cell's per-cycle hook — worker
+ * processes inherit it through fork.
  */
 
 #include "bench_common.hh"
@@ -27,29 +29,23 @@ main(int argc, char **argv)
     const auto suite = selectSuite(args, workloads::fig8Names());
     const Cycle intervals[] = {200, 1000, 5000};
 
-    FigureTable tbl("NLQ-SM extension: marked%% / re-executed%% under an "
-                    "injected invalidation stream (NLQ+SVW+UPD)",
-                    {"mark@200", "rex@200", "mark@1k", "rex@1k",
-                     "mark@5k", "rex@5k"});
-
+    SweepSpec spec("ext_nlqsm");
     for (const auto &w : suite) {
-        std::vector<double> row;
         for (Cycle interval : intervals) {
-            ExperimentConfig c;
-            c.machine = Machine::EightWide;
-            c.opt = OptMode::Nlq;
-            c.svw = SvwMode::Upd;
-            c.nlqsm = true;
-
-            RunRequest rq;
-            rq.workload = w;
-            rq.targetInsts = args.insts;
-            rq.config = c;
+            SweepCell c;
+            c.group = w;
+            c.label = "inv@" + std::to_string(interval);
+            c.workload = w;
+            c.targetInsts = args.insts;
+            c.config.machine = Machine::EightWide;
+            c.config.opt = OptMode::Nlq;
+            c.config.svw = SvwMode::Upd;
+            c.config.nlqsm = true;
 
             // Invalidation injector: every `interval` cycles another
             // agent "writes" (silently) a pseudo-random data line.
             auto rng = std::make_shared<Random>(0x5111d + interval);
-            rq.hook = [rng, interval](Core &core) {
+            c.hook = [rng, interval](Core &core) {
                 if (core.cycle() == 0 || core.cycle() % interval != 0)
                     return;
                 const Addr addr = 0x10000 +
@@ -57,7 +53,24 @@ main(int argc, char **argv)
                 const std::uint64_t v = core.memory().read(addr, 8);
                 core.externalStore(addr, 8, v);  // silent external write
             };
-            RunResult r = runOne(rq);
+            spec.add(c);
+        }
+    }
+    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const bool sweepFailed = reportFailures(res) != 0;
+
+    FigureTable tbl("NLQ-SM extension: marked%% / re-executed%% under an "
+                    "injected invalidation stream (NLQ+SVW+UPD)",
+                    {"mark@200", "rex@200", "mark@1k", "rex@1k",
+                     "mark@5k", "rex@5k"});
+
+    for (const auto &w : res.shardGroups()) {
+        if (!res.groupOk(w))
+            continue;
+        std::vector<double> row;
+        for (Cycle interval : intervals) {
+            const RunResult &r =
+                res.result(w, "inv@" + std::to_string(interval));
             row.push_back(r.markedRate);
             row.push_back(r.rexRate);
         }
@@ -65,5 +78,5 @@ main(int argc, char **argv)
     }
     tbl.addAverageRow();
     tbl.print(std::cout);
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

@@ -23,15 +23,10 @@ main(int argc, char **argv)
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::suiteNames());
 
-    FigureTable tbl("SVW as re-execution replacement (section 6): "
-                    "% speedup vs the same optimization with filtered "
-                    "re-execution",
-                    {"NLQ-repl", "NLQ-flushes", "SSQ-repl",
-                     "SSQ-flushes"});
-
+    SweepSpec spec("ext_svw_replace");
     for (const auto &w : suite) {
-        std::vector<double> row;
         for (OptMode opt : {OptMode::Nlq, OptMode::Ssq}) {
+            const char *tag = opt == OptMode::Nlq ? "nlq" : "ssq";
             ExperimentConfig rex;
             rex.machine = Machine::EightWide;
             rex.opt = opt;
@@ -39,13 +34,36 @@ main(int argc, char **argv)
             auto repl = rex;
             repl.svwReplace = true;
 
-            RunRequest rq;
-            rq.workload = w;
-            rq.targetInsts = args.insts;
-            rq.config = rex;
-            RunResult base = runOne(rq);
-            rq.config = repl;
-            RunResult r = runOne(rq);
+            SweepCell c;
+            c.group = w;
+            c.workload = w;
+            c.targetInsts = args.insts;
+            c.label = std::string(tag) + "-rex";
+            c.config = rex;
+            spec.add(c);
+            c.label = std::string(tag) + "-repl";
+            c.config = repl;
+            spec.add(c);
+        }
+    }
+    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const bool sweepFailed = reportFailures(res) != 0;
+
+    FigureTable tbl("SVW as re-execution replacement (section 6): "
+                    "% speedup vs the same optimization with filtered "
+                    "re-execution",
+                    {"NLQ-repl", "NLQ-flushes", "SSQ-repl",
+                     "SSQ-flushes"});
+
+    for (const auto &w : res.shardGroups()) {
+        if (!res.groupOk(w))
+            continue;
+        std::vector<double> row;
+        for (const char *tag : {"nlq", "ssq"}) {
+            const RunResult &base =
+                res.result(w, std::string(tag) + "-rex");
+            const RunResult &r =
+                res.result(w, std::string(tag) + "-repl");
             row.push_back(speedupPercent(base, r));
             row.push_back(double(r.rexFlushes));
         }
@@ -53,5 +71,5 @@ main(int argc, char **argv)
     }
     tbl.addAverageRow();
     tbl.print(std::cout, 2);
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

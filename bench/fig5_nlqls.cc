@@ -24,37 +24,33 @@ main(int argc, char **argv)
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::suiteNames());
 
-    ExperimentConfig base;
-    base.machine = Machine::EightWide;
-    base.opt = OptMode::Baseline;
-
-    auto nlq = base;
-    nlq.opt = OptMode::Nlq;
-    nlq.svw = SvwMode::None;
-    auto noUpd = nlq;
-    noUpd.svw = SvwMode::NoUpd;
-    auto upd = nlq;
-    upd.svw = SvwMode::Upd;
-    auto perfect = nlq;
-    perfect.svw = SvwMode::Perfect;
+    const SweepSpec spec = fig5Spec(suite, args.insts);
+    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable rex("Figure 5 (top): NLQ-LS % loads re-executed",
                     {"NLQ", "+SVW-UPD", "+SVW+UPD", "+PERFECT"});
     FigureTable speed("Figure 5 (bottom): NLQ-LS % speedup vs baseline",
                       {"NLQ", "+SVW-UPD", "+SVW+UPD", "+PERFECT"});
 
-    for (const auto &w : suite) {
-        auto rs = runConfigs(w, args.insts, {base, nlq, noUpd, upd, perfect});
-        rex.addRow(w, {rs[1].rexRate, rs[2].rexRate, rs[3].rexRate,
-                       rs[4].rexRate});
-        speed.addRow(w, {speedupPercent(rs[0], rs[1]),
-                         speedupPercent(rs[0], rs[2]),
-                         speedupPercent(rs[0], rs[3]),
-                         speedupPercent(rs[0], rs[4])});
+    for (const auto &w : res.shardGroups()) {
+        if (!res.groupOk(w))
+            continue;
+        const RunResult &base = res.baseline(w);
+        const RunResult &nlq = res.result(w, "NLQ");
+        const RunResult &noUpd = res.result(w, "+SVW-UPD");
+        const RunResult &upd = res.result(w, "+SVW+UPD");
+        const RunResult &perfect = res.result(w, "+PERFECT");
+        rex.addRow(w, {nlq.rexRate, noUpd.rexRate, upd.rexRate,
+                       perfect.rexRate});
+        speed.addRow(w, {speedupPercent(base, nlq),
+                         speedupPercent(base, noUpd),
+                         speedupPercent(base, upd),
+                         speedupPercent(base, perfect)});
     }
     rex.addAverageRow();
     speed.addAverageRow();
     rex.print(std::cout);
     speed.print(std::cout);
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

@@ -22,19 +22,9 @@ main(int argc, char **argv)
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::suiteNames());
 
-    ExperimentConfig base;
-    base.machine = Machine::EightWide;
-    base.opt = OptMode::BaselineAssocSq;  // 4-cycle loads (assoc SQ)
-
-    ExperimentConfig ssq = base;
-    ssq.opt = OptMode::Ssq;
-    ssq.svw = SvwMode::None;
-    auto noUpd = ssq;
-    noUpd.svw = SvwMode::NoUpd;
-    auto upd = ssq;
-    upd.svw = SvwMode::Upd;
-    auto perfect = ssq;
-    perfect.svw = SvwMode::Perfect;
+    const SweepSpec spec = fig6Spec(suite, args.insts);
+    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable rex("Figure 6 (top): SSQ % loads re-executed",
                     {"SSQ", "+SVW-UPD", "+SVW+UPD", "+PERFECT",
@@ -42,19 +32,24 @@ main(int argc, char **argv)
     FigureTable speed("Figure 6 (bottom): SSQ % speedup vs assoc-SQ base",
                       {"SSQ", "+SVW-UPD", "+SVW+UPD", "+PERFECT"});
 
-    for (const auto &w : suite) {
-        auto rs = runConfigs(w, args.insts,
-                             {base, ssq, noUpd, upd, perfect});
-        rex.addRow(w, {rs[1].rexRate, rs[2].rexRate, rs[3].rexRate,
-                       rs[4].rexRate, rs[3].fsqLoadShare});
-        speed.addRow(w, {speedupPercent(rs[0], rs[1]),
-                         speedupPercent(rs[0], rs[2]),
-                         speedupPercent(rs[0], rs[3]),
-                         speedupPercent(rs[0], rs[4])});
+    for (const auto &w : res.shardGroups()) {
+        if (!res.groupOk(w))
+            continue;
+        const RunResult &base = res.baseline(w);
+        const RunResult &ssq = res.result(w, "SSQ");
+        const RunResult &noUpd = res.result(w, "+SVW-UPD");
+        const RunResult &upd = res.result(w, "+SVW+UPD");
+        const RunResult &perfect = res.result(w, "+PERFECT");
+        rex.addRow(w, {ssq.rexRate, noUpd.rexRate, upd.rexRate,
+                       perfect.rexRate, upd.fsqLoadShare});
+        speed.addRow(w, {speedupPercent(base, ssq),
+                         speedupPercent(base, noUpd),
+                         speedupPercent(base, upd),
+                         speedupPercent(base, perfect)});
     }
     rex.addAverageRow();
     speed.addAverageRow();
     rex.print(std::cout);
     speed.print(std::cout);
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

@@ -23,19 +23,9 @@ main(int argc, char **argv)
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::suiteNames());
 
-    ExperimentConfig base;
-    base.machine = Machine::FourWide;
-    base.opt = OptMode::Baseline;
-
-    ExperimentConfig rle = base;
-    rle.opt = OptMode::Rle;
-    rle.svw = SvwMode::None;
-    auto withSvw = rle;
-    withSvw.svw = SvwMode::Upd;
-    auto noSqu = withSvw;
-    noSqu.rleSquashReuse = false;
-    auto perfect = rle;
-    perfect.svw = SvwMode::Perfect;
+    const SweepSpec spec = fig7Spec(suite, args.insts);
+    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable rex("Figure 7 (top): RLE % loads re-executed",
                     {"RLE", "+SVW", "+SVW-SQU", "+PERFECT", "elim%",
@@ -43,19 +33,25 @@ main(int argc, char **argv)
     FigureTable speed("Figure 7 (bottom): RLE % speedup vs 4-wide base",
                       {"RLE", "+SVW", "+SVW-SQU", "+PERFECT"});
 
-    for (const auto &w : suite) {
-        auto rs = runConfigs(w, args.insts,
-                             {base, rle, withSvw, noSqu, perfect});
-        rex.addRow(w, {rs[1].rexRate, rs[2].rexRate, rs[3].rexRate,
-                       rs[4].rexRate, rs[2].elimRate, rs[2].bypassShare});
-        speed.addRow(w, {speedupPercent(rs[0], rs[1]),
-                         speedupPercent(rs[0], rs[2]),
-                         speedupPercent(rs[0], rs[3]),
-                         speedupPercent(rs[0], rs[4])});
+    for (const auto &w : res.shardGroups()) {
+        if (!res.groupOk(w))
+            continue;
+        const RunResult &base = res.baseline(w);
+        const RunResult &rle = res.result(w, "RLE");
+        const RunResult &withSvw = res.result(w, "+SVW");
+        const RunResult &noSqu = res.result(w, "+SVW-SQU");
+        const RunResult &perfect = res.result(w, "+PERFECT");
+        rex.addRow(w, {rle.rexRate, withSvw.rexRate, noSqu.rexRate,
+                       perfect.rexRate, withSvw.elimRate,
+                       withSvw.bypassShare});
+        speed.addRow(w, {speedupPercent(base, rle),
+                         speedupPercent(base, withSvw),
+                         speedupPercent(base, noSqu),
+                         speedupPercent(base, perfect)});
     }
     rex.addAverageRow();
     speed.addAverageRow();
     rex.print(std::cout);
     speed.print(std::cout);
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

@@ -23,43 +23,25 @@ main(int argc, char **argv)
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::fig8Names());
 
-    auto mk = [](unsigned entries, bool dual, unsigned gran, bool inf) {
-        ExperimentConfig c;
-        c.machine = Machine::EightWide;
-        c.opt = OptMode::Ssq;
-        c.svw = SvwMode::Upd;
-        c.ssbf.entries = entries;
-        c.ssbf.dualHash = dual;
-        c.ssbf.granularityBytes = gran;
-        c.ssbf.infinite = inf;
-        return c;
-    };
+    const SweepSpec spec = fig8Spec(suite, args.insts);
+    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const bool sweepFailed = reportFailures(res) != 0;
 
-    const std::vector<ExperimentConfig> configs = {
-        mk(128, false, 8, false),
-        mk(512, false, 8, false),
-        mk(2048, false, 8, false),
-        mk(512, true, 8, false),   // "Bloom" (dual hash)
-        mk(512, false, 4, false),  // 4-byte granularity
-        mk(512, false, 4, true),   // infinite
-    };
-
+    const std::vector<std::string> cols = {"128", "512", "2048", "Bloom",
+                                           "4-byte", "Infinite"};
     FigureTable rex("Figure 8: SSBF organization vs % loads re-executed "
                     "(SSQ+SVW+UPD)",
-                    {"128", "512", "2048", "Bloom", "4-byte", "Infinite"});
+                    cols);
 
-    for (const auto &w : suite) {
+    for (const auto &w : res.shardGroups()) {
+        if (!res.groupOk(w))
+            continue;
         std::vector<double> row;
-        for (const auto &cfg : configs) {
-            harness::RunRequest req;
-            req.workload = w;
-            req.targetInsts = args.insts;
-            req.config = cfg;
-            row.push_back(harness::runOne(req).rexRate);
-        }
+        for (const auto &c : cols)
+            row.push_back(res.result(w, c).rexRate);
         rex.addRow(w, row);
     }
     rex.addAverageRow();
     rex.print(std::cout);
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

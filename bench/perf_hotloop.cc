@@ -11,12 +11,25 @@
  * a small workload subset, and emits BENCH_hotloop.json so the perf
  * trajectory is machine-readable across PRs.
  *
+ * The matrix runs as a sweep (harness/sweep.hh): each (workload,
+ * config) cell is one timing cell with `reps` repetitions, the golden
+ * check off, and the workload program shared across the workload's four
+ * configs via the executor's program cache. The timed region per rep is
+ * the whole cell (runOne: params/Core construction + run + stat
+ * extraction) — slightly wider than the pre-PR4 core.run()-only clock,
+ * so cross-PR comparisons straddling PR 4 read the new numbers as
+ * conservative. `--jobs=N` times the cells
+ * on N worker processes — per-cell `seconds` then includes host
+ * contention, while the `total_wall_seconds` field records the
+ * wall-clock win of parallel sweeping; simulated `cycles` are identical
+ * for any job count.
+ *
  * Flags (in addition to the bench_common set):
  *   --out=FILE   JSON output path (default BENCH_hotloop.json)
  *   --reps=N     timing repetitions per cell; best-of-N is reported
  */
 
-#include <chrono>
+#include <algorithm>
 #include <fstream>
 
 #include "bench_common.hh"
@@ -24,52 +37,6 @@
 using namespace svw;
 using namespace svw::bench;
 using namespace svw::harness;
-
-namespace {
-
-struct Cell
-{
-    std::string workload;
-    std::string config;
-    std::uint64_t insts = 0;
-    std::uint64_t cycles = 0;
-    double seconds = 0.0;          ///< best single rep (throughput basis)
-    double hostWallSeconds = 0.0;  ///< total wall time across all reps
-    double minstsPerSec = 0.0;
-    double mcyclesPerSec = 0.0;
-};
-
-/** Time one (workload, config) run; golden check off: timing loop only. */
-Cell
-timeCell(const std::string &workload, const ExperimentConfig &cfg,
-         std::uint64_t targetInsts, unsigned reps)
-{
-    Cell cell;
-    cell.workload = workload;
-    cell.config = configLabel(cfg);
-    for (unsigned r = 0; r < reps; ++r) {
-        Program prog = workloads::make(workload, targetInsts);
-        stats::StatRegistry reg;
-        Core core(buildParams(cfg), prog, reg);
-        const double t0 = hostSeconds();
-        RunOutcome out = core.run(~std::uint64_t(0),
-                                  100 * targetInsts + 1'000'000);
-        const double secs = hostSeconds() - t0;
-        cell.hostWallSeconds += secs;
-        if (r == 0 || secs < cell.seconds) {
-            cell.seconds = secs;
-            cell.insts = out.instructions;
-            cell.cycles = out.cycles;
-        }
-    }
-    cell.minstsPerSec = cell.seconds > 0.0
-        ? double(cell.insts) / cell.seconds / 1e6 : 0.0;
-    cell.mcyclesPerSec = cell.seconds > 0.0
-        ? double(cell.cycles) / cell.seconds / 1e6 : 0.0;
-    return cell;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -85,7 +52,7 @@ main(int argc, char **argv)
         if (a.rfind("--out=", 0) == 0)
             outPath = a.substr(6);
         else if (a.rfind("--reps=", 0) == 0)
-            reps = static_cast<unsigned>(std::stoul(a.substr(7)));
+            reps = std::max(1u, parseFlagUnsigned(a.substr(7), "--reps"));
         else
             passDown.push_back(argv[i]);
     }
@@ -110,48 +77,91 @@ main(int argc, char **argv)
     configs[3].opt = OptMode::Rle;
     configs[3].svw = SvwMode::Upd;
 
-    std::vector<Cell> cells;
-    double totalInsts = 0.0, totalSecs = 0.0;
+    SweepSpec spec("perf_hotloop");
     for (const auto &w : suite) {
         for (const auto &cfg : configs) {
-            Cell c = timeCell(w, cfg, args.insts, reps);
-            std::printf("%-8s %-24s %8.3f Minsts/s (%.3fs, %llu insts)\n",
-                        c.workload.c_str(), c.config.c_str(),
-                        c.minstsPerSec, c.seconds,
-                        static_cast<unsigned long long>(c.insts));
-            std::fflush(stdout);
-            totalInsts += double(c.insts);
-            totalSecs += c.seconds;
-            cells.push_back(std::move(c));
+            SweepCell c;
+            c.group = w;
+            c.label = configLabel(cfg);
+            c.workload = w;
+            c.targetInsts = args.insts;
+            c.config = cfg;
+            c.goldenCheck = false;  // timing loop only
+            c.timingReps = reps;
+            spec.add(c);
         }
+    }
+
+    // Stream per-cell progress as outcomes arrive (spec order at
+    // --jobs=1, completion order under a pool): a multi-minute full
+    // sweep must not look hung.
+    SweepOptions opts = sweepOptions(args);
+    opts.onCellDone = [](std::size_t, const CellOutcome &o) {
+        if (!o.ok)
+            return;
+        const double minsts = o.seconds > 0.0
+            ? double(o.result.insts) / o.seconds / 1e6 : 0.0;
+        std::printf("%-8s %-24s %8.3f Minsts/s (%.3fs, %llu insts)\n",
+                    o.result.workload.c_str(), o.result.config.c_str(),
+                    minsts, o.seconds,
+                    static_cast<unsigned long long>(o.result.insts));
+        std::fflush(stdout);
+    };
+
+    const double wall0 = hostSeconds();
+    const SweepResults res = runSweep(spec, opts);
+    const double totalWall = hostSeconds() - wall0;
+    const bool sweepFailed = reportFailures(res) != 0;
+
+    double totalInsts = 0.0, totalSecs = 0.0;
+    std::size_t nCells = 0;
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        const CellOutcome &o = res.outcome(i);
+        if (!o.ran || !o.ok)
+            continue;
+        totalInsts += double(o.result.insts);
+        totalSecs += o.seconds;
+        ++nCells;
     }
     const double aggregate =
         totalSecs > 0.0 ? totalInsts / totalSecs / 1e6 : 0.0;
-    std::printf("aggregate: %.3f Minsts/s over %zu cells\n", aggregate,
-                cells.size());
+    std::printf("aggregate: %.3f Minsts/s over %zu cells "
+                "(%.3fs wall at --jobs=%u)\n",
+                aggregate, nCells, totalWall, args.jobs);
 
     std::ofstream js(outPath);
     js << "{\n  \"bench\": \"hotloop\",\n"
        << "  \"unit\": \"Minsts_per_host_second\",\n"
        << "  \"insts_per_run\": " << args.insts << ",\n"
        << "  \"reps\": " << reps << ",\n"
+       << "  \"jobs\": " << args.jobs << ",\n"
+       << "  \"total_wall_seconds\": " << totalWall << ",\n"
        << "  \"dyninst_hot_bytes\": " << sizeof(DynInst) << ",\n"
        << "  \"dyninst_cold_bytes\": " << sizeof(DynInstCold) << ",\n"
        << "  \"aggregate_minsts_per_sec\": " << aggregate << ",\n"
        << "  \"cells\": [\n";
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        const Cell &c = cells[i];
-        js << "    {\"workload\": \"" << c.workload << "\", "
-           << "\"config\": \"" << c.config << "\", "
-           << "\"insts\": " << c.insts << ", "
-           << "\"cycles\": " << c.cycles << ", "
-           << "\"seconds\": " << c.seconds << ", "
-           << "\"host_wall_seconds\": " << c.hostWallSeconds << ", "
-           << "\"minsts_per_sec\": " << c.minstsPerSec << ", "
-           << "\"mcycles_per_sec\": " << c.mcyclesPerSec << "}"
-           << (i + 1 < cells.size() ? "," : "") << "\n";
+    bool first = true;
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        const CellOutcome &o = res.outcome(i);
+        if (!o.ran || !o.ok)
+            continue;
+        const double minsts = o.seconds > 0.0
+            ? double(o.result.insts) / o.seconds / 1e6 : 0.0;
+        const double mcycles = o.seconds > 0.0
+            ? double(o.result.cycles) / o.seconds / 1e6 : 0.0;
+        if (!first)
+            js << ",\n";
+        first = false;
+        js << "    {\"workload\": \"" << o.result.workload << "\", "
+           << "\"config\": \"" << o.result.config << "\", "
+           << "\"insts\": " << o.result.insts << ", "
+           << "\"cycles\": " << o.result.cycles << ", "
+           << "\"seconds\": " << o.seconds << ", "
+           << "\"host_wall_seconds\": " << o.hostWallSeconds << ", "
+           << "\"minsts_per_sec\": " << minsts << ", "
+           << "\"mcycles_per_sec\": " << mcycles << "}";
     }
-    js << "  ]\n}\n";
+    js << "\n  ]\n}\n";
     std::printf("wrote %s\n", outPath.c_str());
-    return 0;
+    return sweepFailed ? 1 : 0;
 }

@@ -2,13 +2,15 @@
  * @file
  * Prints the section 4 machine-configuration "table": the two processor
  * shells and the per-figure overlays, as materialized by the harness.
- * Serves both as documentation and as a regression check that the
- * harness builds what the paper describes.
+ * The configurations are pulled out of the same declarative sweep specs
+ * (harness/figures.hh) the figure binaries execute, so this table is a
+ * regression check that the specs build what the paper describes.
  */
 
 #include <cstdio>
 
 #include "harness/config.hh"
+#include "harness/figures.hh"
 
 using namespace svw;
 using namespace svw::harness;
@@ -32,6 +34,12 @@ show(const char *name, const ExperimentConfig &cfg)
                 p.rle.enabled);
 }
 
+static const ExperimentConfig &
+specConfig(const SweepSpec &spec, const char *label)
+{
+    return spec.cell(spec.index(spec.groups().front(), label)).config;
+}
+
 int
 main()
 {
@@ -40,23 +48,17 @@ main()
                 "memory, 16B buses,\n8K hybrid bpred + 2K BTB, "
                 "store-sets, 15-stage base pipe, 1 store retire port.\n\n");
 
-    ExperimentConfig c;
-    c.machine = Machine::EightWide;
-    c.opt = OptMode::Baseline;
-    show("8w BASE", c);
-    c.opt = OptMode::BaselineAssocSq;
-    show("8w BASE(assocSQ)", c);
-    c.opt = OptMode::Nlq;
-    c.svw = SvwMode::Upd;
-    show("8w NLQ+SVW", c);
-    c.opt = OptMode::Ssq;
-    show("8w SSQ+SVW", c);
-    c.machine = Machine::FourWide;
-    c.opt = OptMode::Baseline;
-    c.svw = SvwMode::None;
-    show("4w BASE", c);
-    c.opt = OptMode::Rle;
-    c.svw = SvwMode::Upd;
-    show("4w RLE+SVW", c);
+    // One representative row of each figure spec carries the overlays.
+    const std::vector<std::string> probe = {"gzip"};
+    const SweepSpec f5 = fig5Spec(probe, 1);
+    const SweepSpec f6 = fig6Spec(probe, 1);
+    const SweepSpec f7 = fig7Spec(probe, 1);
+
+    show("8w BASE", specConfig(f5, "BASE"));
+    show("8w BASE(assocSQ)", specConfig(f6, "BASE"));
+    show("8w NLQ+SVW", specConfig(f5, "+SVW+UPD"));
+    show("8w SSQ+SVW", specConfig(f6, "+SVW+UPD"));
+    show("4w BASE", specConfig(f7, "BASE"));
+    show("4w RLE+SVW", specConfig(f7, "+SVW"));
     return 0;
 }

@@ -224,11 +224,34 @@ Core::issueStage()
     bool allAsleep = true;       ///< every live entry provably sleeping
     Cycle nextWake = ~Cycle(0);  ///< earliest recorded sleep expiry
 
+    // On an unready gating source, record what the entry waits for in
+    // its own slot — the cycle the value arrives (producer issued,
+    // readyAt known) or the blocking register itself (producer not
+    // issued yet; wakes exactly at that producer's issue). The failed
+    // wakeup check reads and writes only the IQ entry, never the
+    // DynInst.
+    auto entryBlocked = [&](IssueQueue::Entry &e, PhysRegIndex p) {
+        if (rename.regs().isReady(p, now))
+            return false;
+        const Cycle r = rename.regs().readyAt(p);
+        if (r == notReady) {
+            e.sleepReg = p;
+            e.sleepRetry = 0;
+        } else {
+            e.sleepRetry = r;
+            e.sleepReg = invalidPhysReg;
+            if (r < nextWake)
+                nextWake = r;
+        }
+        return true;
+    };
+
     // In-place oldest-first scan: issue tombstones the slot under the
     // scan (indices never shift mid-cycle; squash only pops the young
-    // suffix, and the scan breaks right after any squash). Sleep state
-    // and issue class are read from the compact IQ entry mirror; the
-    // DynInst itself is touched only when the entry might really issue.
+    // suffix, and the scan breaks right after any squash). Sleep state,
+    // issue class, and the gating renamed sources are read from the
+    // compact IQ entry mirror; the DynInst itself is touched only when
+    // every register gate passes and the entry might really issue.
     const std::size_t nSlots = iq.slotCount();
     for (std::size_t idx = 0; idx < nSlots; ++idx) {
         if (globalUsed >= prm.issueWidth)
@@ -273,6 +296,13 @@ Core::issueStage()
                 continue;
             break;
         }
+        // Source-readiness gates, evaluated on the entry's prs1/prs2
+        // mirrors: a blocked source records its sleep state above and
+        // skips the slot with the DynInst untouched.
+        if ((e.gates & IssueQueue::GateRs1) && entryBlocked(e, e.prs1))
+            continue;
+        if ((e.gates & IssueQueue::GateRs2) && entryBlocked(e, e.prs2))
+            continue;
         DynInst *inst = e.inst;
         if (inst->issued)
             continue;
@@ -284,23 +314,10 @@ Core::issueStage()
             if (tracer)
                 tracer->event(now, TraceEvent::Issue, *inst);
         } else {
-            // Refresh the sleep mirror from whatever the failed attempt
-            // learned (srcBlocked writes the DynInst fields). Failures
-            // that bypass srcBlocked (port conflicts, store-set waits)
-            // copy already-expired values, leaving the entry awake.
-            e.sleepRetry = inst->issueRetryCycle;
-            e.sleepReg = inst->issueWaitReg;
-            if (e.sleepRetry > now) {
-                if (e.sleepRetry < nextWake)
-                    nextWake = e.sleepRetry;
-            } else if (!(e.sleepReg != invalidPhysReg &&
-                         rename.regs().readyAt(e.sleepReg) ==
-                             notReady)) {
-                // Failed for a reason with no recorded wake (port
-                // conflict, store-set wait, partial overlap): the
-                // entry must be re-polled every cycle.
-                allAsleep = false;
-            }
+            // Every register gate passed, so the failure has no
+            // recorded wake (port conflict, store-set wait, partial
+            // overlap): the entry must be re-polled every cycle.
+            allAsleep = false;
         }
         // A store issue may have triggered an ordering squash that
         // invalidated the scan; stop for this cycle.
@@ -329,12 +346,13 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
       case InstClass::IntMul: {
         if (intUsed >= prm.intIssue)
             return false;
-        if (inst.readsRs1() && srcBlocked(inst, inst.prs1))
+        if (inst.readsRs1() && !srcReady(inst.prs1))
             return false;
-        if (inst.readsRs2() && srcBlocked(inst, inst.prs2))
+        if (inst.readsRs2() && !srcReady(inst.prs2))
             return false;
-        const std::uint64_t r = evalAlu(si, srcVal(inst.prs1),
-                                        srcVal(inst.prs2), inst.pc);
+        const std::uint64_t r = evalAluOp(inst.opc(), si.imm,
+                                          srcVal(inst.prs1),
+                                          srcVal(inst.prs2), inst.pc);
         const Cycle done = now + inst.execLatency();
         if (inst.writesReg()) {
             rename.regs().setValue(inst.prd, r);
@@ -352,13 +370,14 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
       case InstClass::JumpReg: {
         if (branchUsed >= prm.branchIssue)
             return false;
-        if (inst.readsRs1() && srcBlocked(inst, inst.prs1))
+        if (inst.readsRs1() && !srcReady(inst.prs1))
             return false;
-        if (inst.readsRs2() && srcBlocked(inst, inst.prs2))
+        if (inst.readsRs2() && !srcReady(inst.prs2))
             return false;
         if (inst.isCondBranch()) {
-            inst.actualTaken = evalBranchTaken(si, srcVal(inst.prs1),
-                                               srcVal(inst.prs2));
+            inst.actualTaken = evalBranchTakenOp(inst.opc(),
+                                                 srcVal(inst.prs1),
+                                                 srcVal(inst.prs2));
             inst.actualNextPc = inst.actualTaken
                 ? static_cast<std::uint32_t>(si.imm) : inst.pc + 1;
         } else if (inst.isDirectCtrl()) {
@@ -381,7 +400,7 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
       case InstClass::Load: {
         if (loadUsed >= prm.loadIssue)
             return false;
-        if (srcBlocked(inst, inst.prs1))
+        if (!srcReady(inst.prs1))
             return false;
         // Store-sets: wait for the predicted-conflicting store.
         if (inst.storeSetDep != 0) {
@@ -408,7 +427,7 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
         // ambiguous-store windows short.
         if (storeUsed >= prm.lsu.storeIssueWidth)
             return false;
-        if (srcBlocked(inst, inst.prs1))
+        if (!srcReady(inst.prs1))
             return false;
         if (inst.storeSetDep != 0) {
             DynInst *dep = rob.findBySeq(inst.storeSetDep);

@@ -216,28 +216,6 @@ class Core
         return rename.regs().isReady(p, now);
     }
 
-    /**
-     * srcReady complement for the issue scan: on an unready source,
-     * record what the entry is waiting for — the cycle the value
-     * arrives (producer issued, readyAt known) or the blocking register
-     * itself (producer not issued yet). Both fields are written so a
-     * later mirror copy into the IQ entry is exact.
-     */
-    bool srcBlocked(DynInst &inst, PhysRegIndex p)
-    {
-        if (srcReady(p))
-            return false;
-        const Cycle r = rename.regs().readyAt(p);
-        if (r == notReady) {
-            inst.issueWaitReg = p;
-            inst.issueRetryCycle = 0;
-        } else {
-            inst.issueRetryCycle = r;
-            inst.issueWaitReg = invalidPhysReg;
-        }
-        return true;
-    }
-
     /** A register became schedulable (its waiters' readyAt check now
      * passes on the next scan). */
     void noteReadyAt(PhysRegIndex p, Cycle c)

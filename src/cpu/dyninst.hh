@@ -13,11 +13,16 @@
  *  - The ~20 status booleans are 1-bit bitfields sharing one 32-bit
  *    cluster.
  *  - The StaticInst predicate answers (isLoad, writesReg, ...) plus the
- *    instruction class, access size, and destination register are
- *    pre-decoded into the record at fetch (setStatic), so the
- *    scheduling/completion/commit paths never dereference `si`. `si`
- *    itself remains for execution semantics (imm, register indices,
- *    evalAlu).
+ *    instruction class, access size, destination register, and opcode
+ *    are pre-decoded into the record at fetch (setStatic), so the
+ *    scheduling/completion/commit paths never dereference `si` and the
+ *    execute step dispatches through the header-inlined
+ *    evalAluOp/evalBranchTakenOp switches on the cached opcode. `si`
+ *    itself remains for the immediate and register indices.
+ *  - Issue-scan sleep state (retry cycle / blocking register) lives in
+ *    the IssueQueue entry mirror, not here: a failed wakeup check is
+ *    recorded and re-tested entirely inside the IQ's compact slot
+ *    array without touching the DynInst.
  *  - PCs are 32-bit: a "PC" is an index into the program text, which is
  *    nowhere near 4G instructions.
  *  - Load-only and store-only fields overlay each other (anonymous
@@ -71,15 +76,6 @@ struct DynInst
     // --- cycle fields -------------------------------------------------
     Cycle fetchReadyCycle = 0;   ///< when it exits the front end
     Cycle completeCycle = 0;     ///< result available
-    /**
-     * Issue-scan sleep: earliest cycle this entry could possibly issue,
-     * learned from a failed wakeup check (a source register's readyAt).
-     * Purely an iteration-skipping bound — readyAt is written exactly
-     * once per producer (at issue) and a waiting consumer's source
-     * register cannot be freed or reallocated under it, so sleeping to
-     * this cycle never changes which cycle the entry issues.
-     */
-    Cycle issueRetryCycle = 0;
     Cycle rexDoneCycle = 0;      ///< re-execution / store rex-stage done
 
     // --- memory -------------------------------------------------------
@@ -110,16 +106,6 @@ struct DynInst
     PhysRegIndex prd = invalidPhysReg;
     PhysRegIndex prevPrd = invalidPhysReg;  ///< old mapping of arch rd
     /**
-     * Issue-scan sleep for a source whose producer has not even issued
-     * (readyAt == notReady): the blocking physical register. The scan
-     * re-polls only once that register's readyAt leaves notReady —
-     * which is exactly its producer's issue (readyAt is written once
-     * per allocation, and a squash that kills the producer kills this
-     * consumer too) — so the per-register wait skips no issue
-     * opportunity and never wakes spuriously.
-     */
-    PhysRegIndex issueWaitReg = invalidPhysReg;
-    /**
      * Rename-checkpoint tag: pool slot + 1 of the checkpoint taken when
      * this branch dispatched, 0 if none. A mispredicting branch resolves
      * its checkpoint through this tag (RenameState::checkpointByTag),
@@ -134,6 +120,10 @@ struct DynInst
     std::uint8_t size = 0;            ///< access size in bytes (mem ops)
     std::uint8_t archRd = 0;          ///< cached si->rd (commit arch map)
     std::uint8_t execLat = 1;         ///< cached si->execLatency()
+    std::uint8_t opByte =
+        static_cast<std::uint8_t>(Opcode::Nop);  ///< cached si->op: keys
+                                     ///< the inlined evalAluOp /
+                                     ///< evalBranchTakenOp switches
     std::uint8_t rexReasons = RexNone;
 
     // --- status flags (one packed 32-bit cluster) ----------------------
@@ -184,9 +174,11 @@ struct DynInst
         size = static_cast<std::uint8_t>(s->memSize());
         archRd = static_cast<std::uint8_t>(s->rd);
         execLat = static_cast<std::uint8_t>(s->execLatency());
+        opByte = static_cast<std::uint8_t>(s->op);
     }
 
     InstClass cls() const { return static_cast<InstClass>(iclass); }
+    Opcode opc() const { return static_cast<Opcode>(opByte); }
     bool isLoad() const { return preFlags & PfLoad; }
     bool isStore() const { return preFlags & PfStore; }
     bool isMem() const { return preFlags & PfMem; }

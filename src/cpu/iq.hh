@@ -38,19 +38,36 @@ class IssueQueue
     };
 
     /**
-     * One slot. Besides the instruction pointer the entry mirrors the
-     * scan-relevant DynInst state (class group at insert; sleep state
-     * after every failed issue attempt) so the per-cycle scan can skip
-     * blocked entries from this compact sequential array without
-     * touching the ~4-cache-line DynInst at all.
+     * Gate bits: which renamed sources an entry must see ready before
+     * it can issue. Stores and loads gate only on rs1 (the address
+     * base; store data is captured after issue), ALU ops and branches
+     * on whichever of rs1/rs2 the opcode really reads.
+     */
+    enum GateBit : std::uint8_t
+    {
+        GateRs1 = 1 << 0,
+        GateRs2 = 1 << 1,
+    };
+
+    /**
+     * One slot. Besides the instruction pointer the entry mirrors every
+     * scan-relevant DynInst fact (class group, issue-gating renamed
+     * sources at insert; sleep state after every failed wakeup check)
+     * so the per-cycle scan — including the failed-issue path — runs
+     * entirely over this compact sequential array and touches the
+     * two-cache-line DynInst only when an entry actually issues (or
+     * fails for a non-register reason: port conflict, store-set wait).
      */
     struct Entry
     {
         InstSeqNum seq;
         DynInst *inst;  ///< nullptr = tombstone (already issued)
-        Cycle sleepRetry;        ///< mirror of DynInst::issueRetryCycle
-        PhysRegIndex sleepReg;   ///< mirror of DynInst::issueWaitReg
+        Cycle sleepRetry;        ///< earliest possible issue cycle
+        PhysRegIndex sleepReg;   ///< unissued-producer blocking register
+        PhysRegIndex prs1;       ///< mirror of DynInst::prs1
+        PhysRegIndex prs2;       ///< mirror of DynInst::prs2
         std::uint8_t clsGroup;   ///< issue-resource class
+        std::uint8_t gates;      ///< GateBit mask of issue-gating sources
     };
 
     explicit IssueQueue(unsigned capacity) : cap(capacity) {}
@@ -75,15 +92,28 @@ class IssueQueue
         }
     }
 
+    /** Issue-gating source mask (see GateBit). */
+    static std::uint8_t gateMask(const DynInst &inst)
+    {
+        std::uint8_t g = 0;
+        if (inst.readsRs1())
+            g |= GateRs1;
+        // Memory ops issue on the address base alone: a store's rs2 is
+        // data, captured whenever it arrives after issue.
+        if (inst.readsRs2() && !inst.isMem())
+            g |= GateRs2;
+        return g;
+    }
+
     void insert(DynInst *inst)
     {
         // Deferred compaction: reclaim tombstones outside the issue
         // scan (dispatch never runs mid-scan).
         if (entries_.size() - live > compactThreshold)
             compact();
-        entries_.push_back(Entry{inst->seq, inst, inst->issueRetryCycle,
-                                 inst->issueWaitReg,
-                                 classGroup(*inst)});
+        entries_.push_back(Entry{inst->seq, inst, 0, invalidPhysReg,
+                                 inst->prs1, inst->prs2,
+                                 classGroup(*inst), gateMask(*inst)});
         ++live;
     }
 

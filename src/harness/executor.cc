@@ -1,0 +1,516 @@
+#include "harness/executor.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <vector>
+
+#include "base/logging.hh"
+#include "harness/serialize.hh"
+#include "prog/workloads/workloads.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SVW_HAVE_FORK_POOL 1
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace svw::harness {
+
+double
+hostSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+const Program &
+ProgramCache::get(const std::string &workload, std::uint64_t targetInsts)
+{
+    const auto key = std::make_pair(workload, targetInsts);
+    auto it = programs_.find(key);
+    if (it == programs_.end()) {
+        ++builds_;
+        it = programs_
+                 .emplace(key, workloads::make(workload, targetInsts))
+                 .first;
+    }
+    return it->second;
+}
+
+CellOutcome
+runCell(const SweepCell &cell, ProgramCache &cache)
+{
+    CellOutcome o;
+    o.ran = true;
+    const Program &prog = cache.get(cell.workload, cell.targetInsts);
+
+    RunRequest req;
+    req.workload = cell.workload;
+    req.targetInsts = cell.targetInsts;
+    req.config = cell.config;
+    req.goldenCheck = cell.goldenCheck;
+    req.hook = cell.hook;
+
+    const unsigned reps = std::max(1u, cell.timingReps);
+    // A stateful hook would make reps non-equivalent simulations (the
+    // "metrics identical across reps" assumption below breaks).
+    svw_assert(!cell.hook || reps == 1,
+               "timingReps > 1 with a per-cycle hook: ", cell.name());
+    for (unsigned r = 0; r < reps; ++r) {
+        const double t0 = hostSeconds();
+        RunResult res = runOne(req, prog);
+        const double secs = hostSeconds() - t0;
+        o.hostWallSeconds += secs;
+        if (r == 0 || secs < o.seconds)
+            o.seconds = secs;
+        // Cells are deterministic, so metrics are identical across
+        // timing reps; keep the last.
+        if (r + 1 == reps)
+            o.result = std::move(res);
+    }
+    o.ok = true;
+    return o;
+}
+
+namespace {
+
+/** Cell indices selected by the shard, in spec order. */
+std::deque<std::size_t>
+selectCells(const SweepSpec &spec, const SweepOptions &opts)
+{
+    svw_assert(opts.jobs >= 1, "sweep --jobs must be >= 1");
+    svw_assert(opts.shardCount >= 1, "sweep shard count must be >= 1");
+    svw_assert(opts.shardIndex < opts.shardCount,
+               "sweep shard index ", opts.shardIndex,
+               " out of range for /", opts.shardCount);
+    std::deque<std::size_t> sel;
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        const std::size_t g = spec.groupIndex(spec.cell(i).group);
+        if (g % opts.shardCount == opts.shardIndex)
+            sel.push_back(i);
+    }
+    return sel;
+}
+
+std::vector<CellOutcome>
+runSequential(const SweepSpec &spec, std::deque<std::size_t> pending,
+              const SweepOptions &opts)
+{
+    std::vector<CellOutcome> outcomes(spec.size());
+    ProgramCache cache;
+    for (std::size_t idx : pending) {
+        outcomes[idx] = runCell(spec.cell(idx), cache);
+        if (opts.onCellDone)
+            opts.onCellDone(idx, outcomes[idx]);
+    }
+    return outcomes;
+}
+
+#ifdef SVW_HAVE_FORK_POOL
+
+constexpr std::uint64_t quitSentinel = ~std::uint64_t(0);
+
+bool
+readFull(int fd, void *buf, std::size_t n)
+{
+    auto *p = static_cast<char *>(buf);
+    while (n > 0) {
+        const ssize_t r = ::read(fd, p, n);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0)
+            return false;
+        p += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+bool
+writeFull(int fd, const void *buf, std::size_t n)
+{
+    const auto *p = static_cast<const char *>(buf);
+    while (n > 0) {
+        const ssize_t r = ::write(fd, p, n);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+/** Worker main loop: pull cell indices, push result lines. */
+[[noreturn]] void
+workerLoop(const SweepSpec &spec, int cmdFd, int resFd)
+{
+    ProgramCache cache;
+    for (;;) {
+        std::uint64_t idx = 0;
+        if (!readFull(cmdFd, &idx, sizeof(idx)) || idx == quitSentinel)
+            break;
+        CellRecord rec;
+        rec.cellIndex = static_cast<std::size_t>(idx);
+        try {
+            CellOutcome o = runCell(spec.cell(rec.cellIndex), cache);
+            rec.ok = o.ok;
+            rec.seconds = o.seconds;
+            rec.hostWallSeconds = o.hostWallSeconds;
+            rec.result = std::move(o.result);
+        } catch (const std::exception &e) {
+            rec.ok = false;
+            rec.error = e.what();
+        } catch (...) {
+            rec.ok = false;
+            rec.error = "unknown exception";
+        }
+        const std::string line = cellRecordToLine(rec);
+        if (!writeFull(resFd, line.data(), line.size()))
+            break;
+    }
+    // _exit: skip the parent's flushed-but-inherited stdio buffers and
+    // static destructors; the worker must never emit parent output.
+    ::_exit(0);
+}
+
+struct Worker
+{
+    pid_t pid = -1;
+    int cmdFd = -1;       ///< parent -> worker cell indices
+    int resFd = -1;       ///< worker -> parent result lines
+    long inflight = -1;   ///< cell index being executed (-1 = idle)
+    bool alive = false;
+    std::string buf;      ///< partial result-line accumulator
+};
+
+class ForkPool
+{
+  public:
+    ForkPool(const SweepSpec &spec, std::deque<std::size_t> pending,
+             const SweepOptions &opts)
+        : spec_(spec), opts_(opts), pending_(std::move(pending)),
+          outcomes_(spec.size()), remaining_(pending_.size())
+    {
+        const unsigned jobs = opts.jobs;
+        // One worker per job slot, capped by the work available.
+        const std::size_t n =
+            std::min<std::size_t>(jobs, pending_.size());
+        for (std::size_t i = 0; i < n; ++i)
+            spawn();
+        for (Worker &w : workers_) {
+            if (w.alive)
+                deal(w);
+        }
+    }
+
+    std::vector<CellOutcome> run()
+    {
+        while (remaining_ > 0) {
+            if (!pollOnce()) {
+                // No live workers left but cells still pending: the
+                // respawn path is exhausted (fork failure). Fail the
+                // rest explicitly rather than hang.
+                for (std::size_t idx : pending_) {
+                    failCell(idx, "no live workers left");
+                }
+                pending_.clear();
+                for (Worker &w : workers_) {
+                    if (w.alive && w.inflight >= 0) {
+                        failCell(static_cast<std::size_t>(w.inflight),
+                                 "sweep pool aborted");
+                        w.inflight = -1;
+                    }
+                }
+                break;
+            }
+        }
+        shutdown();
+        return std::move(outcomes_);
+    }
+
+  private:
+    /** @return true when a new worker was actually added. */
+    bool spawn()
+    {
+        int cmd[2], res[2];
+        if (::pipe(cmd) != 0)
+            return false;
+        if (::pipe(res) != 0) {
+            ::close(cmd[0]);
+            ::close(cmd[1]);
+            return false;
+        }
+        // Flush before forking so buffered output is not emitted twice.
+        std::fflush(stdout);
+        std::fflush(stderr);
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(cmd[0]);
+            ::close(cmd[1]);
+            ::close(res[0]);
+            ::close(res[1]);
+            return false;
+        }
+        if (pid == 0) {
+            // Child: keep only this worker's pipe ends. Closing the
+            // siblings' ends is what makes the parent see EOF promptly
+            // when a sibling dies.
+            ::close(cmd[1]);
+            ::close(res[0]);
+            for (const Worker &w : workers_) {
+                if (w.cmdFd >= 0)
+                    ::close(w.cmdFd);
+                if (w.resFd >= 0)
+                    ::close(w.resFd);
+            }
+            workerLoop(spec_, cmd[0], res[1]);
+        }
+        ::close(cmd[0]);
+        ::close(res[1]);
+        Worker w;
+        w.pid = pid;
+        w.cmdFd = cmd[1];
+        w.resFd = res[0];
+        w.alive = true;
+        workers_.push_back(std::move(w));
+        return true;
+    }
+
+    /** Hand the next pending cell to @p w (or quit it when drained). */
+    void deal(Worker &w)
+    {
+        while (!pending_.empty()) {
+            const std::uint64_t idx = pending_.front();
+            pending_.pop_front();
+            if (writeFull(w.cmdFd, &idx, sizeof(idx))) {
+                w.inflight = static_cast<long>(idx);
+                return;
+            }
+            // Write side already broken: requeue and let the resFd EOF
+            // path reap the worker.
+            pending_.push_front(static_cast<std::size_t>(idx));
+            return;
+        }
+        const std::uint64_t q = quitSentinel;
+        writeFull(w.cmdFd, &q, sizeof(q));
+        ::close(w.cmdFd);
+        w.cmdFd = -1;
+    }
+
+    void failCell(std::size_t idx, std::string error)
+    {
+        CellOutcome &o = outcomes_[idx];
+        o.ran = true;
+        o.ok = false;
+        o.error = std::move(error);
+        --remaining_;
+        if (opts_.onCellDone)
+            opts_.onCellDone(idx, o);
+    }
+
+    void recordLine(Worker &w, const std::string &line)
+    {
+        CellRecord rec;
+        if (!cellRecordFromLine(line, rec) ||
+            rec.cellIndex >= outcomes_.size() ||
+            static_cast<long>(rec.cellIndex) != w.inflight) {
+            // Protocol corruption: fail the in-flight cell and retire
+            // the worker for real — kill it, reap it (which respawns a
+            // replacement if work remains), and let the caller stop
+            // reading its now-closed pipe.
+            if (w.inflight >= 0) {
+                failCell(static_cast<std::size_t>(w.inflight),
+                         "malformed worker record");
+                w.inflight = -1;
+            }
+            ::kill(w.pid, SIGKILL);
+            reap(w);
+            return;
+        }
+        CellOutcome &o = outcomes_[rec.cellIndex];
+        o.ran = true;
+        o.ok = rec.ok;
+        o.error = std::move(rec.error);
+        o.seconds = rec.seconds;
+        o.hostWallSeconds = rec.hostWallSeconds;
+        o.result = std::move(rec.result);
+        --remaining_;
+        w.inflight = -1;
+        if (opts_.onCellDone)
+            opts_.onCellDone(rec.cellIndex, o);
+        deal(w);
+    }
+
+    /** Reap a worker whose result pipe hit EOF. */
+    void reap(Worker &w)
+    {
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        if (w.inflight >= 0) {
+            std::string why = "worker ";
+            why += std::to_string(w.pid);
+            if (WIFSIGNALED(status)) {
+                why += " killed by signal ";
+                why += std::to_string(WTERMSIG(status));
+            } else {
+                why += " exited with status ";
+                why += std::to_string(WIFEXITED(status)
+                                          ? WEXITSTATUS(status)
+                                          : -1);
+            }
+            why += " while running cell ";
+            why += spec_.cell(static_cast<std::size_t>(w.inflight))
+                       .name();
+            failCell(static_cast<std::size_t>(w.inflight),
+                     std::move(why));
+            w.inflight = -1;
+        }
+        if (w.cmdFd >= 0) {
+            ::close(w.cmdFd);
+            w.cmdFd = -1;
+        }
+        ::close(w.resFd);
+        w.resFd = -1;
+        w.alive = false;
+        // Keep the pool at strength while work remains. A failed spawn
+        // (fork/pipe error) must not deal to workers_.back() — that is
+        // some existing, possibly busy worker.
+        if (!pending_.empty() && spawn())
+            deal(workers_.back());
+    }
+
+    /** @return false when no live worker remains to wait on. */
+    bool pollOnce()
+    {
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> who;
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            if (workers_[i].alive) {
+                fds.push_back(pollfd{workers_[i].resFd, POLLIN, 0});
+                who.push_back(i);
+            }
+        }
+        if (fds.empty())
+            return false;
+        int n = ::poll(fds.data(), fds.size(), -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                return true;
+            return false;
+        }
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Worker &w = workers_[who[k]];
+            char chunk[4096];
+            const ssize_t r = ::read(w.resFd, chunk, sizeof(chunk));
+            if (r > 0) {
+                w.buf.append(chunk, static_cast<std::size_t>(r));
+                std::size_t nl;
+                while ((nl = w.buf.find('\n')) != std::string::npos) {
+                    const std::string line = w.buf.substr(0, nl);
+                    w.buf.erase(0, nl + 1);
+                    recordLine(w, line);
+                    if (!w.alive)
+                        break;  // retired by recordLine
+                }
+            } else if (r == 0 || (r < 0 && errno != EINTR)) {
+                reap(w);
+            }
+        }
+        return true;
+    }
+
+    void shutdown()
+    {
+        for (Worker &w : workers_) {
+            if (!w.alive)
+                continue;
+            if (w.cmdFd >= 0)
+                deal(w);  // pending_ is empty: sends quit
+            // Drain any trailing output until EOF, then reap.
+            char chunk[4096];
+            for (;;) {
+                const ssize_t r = ::read(w.resFd, chunk, sizeof(chunk));
+                if (r <= 0)
+                    break;
+            }
+            reapQuietly(w);
+        }
+    }
+
+    void reapQuietly(Worker &w)
+    {
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        if (w.cmdFd >= 0) {
+            ::close(w.cmdFd);
+            w.cmdFd = -1;
+        }
+        ::close(w.resFd);
+        w.resFd = -1;
+        w.alive = false;
+    }
+
+    const SweepSpec &spec_;
+    const SweepOptions &opts_;
+    std::deque<std::size_t> pending_;
+    std::vector<CellOutcome> outcomes_;
+    std::size_t remaining_;
+    // deque: spawn() during iteration must not invalidate references.
+    std::deque<Worker> workers_;
+};
+
+std::vector<CellOutcome>
+runPool(const SweepSpec &spec, std::deque<std::size_t> pending,
+        const SweepOptions &opts)
+{
+    // A dead worker's command pipe must raise EPIPE, not kill the pool.
+    struct sigaction ign{}, old{};
+    ign.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ign, &old);
+    ForkPool pool(spec, std::move(pending), opts);
+    std::vector<CellOutcome> out = pool.run();
+    ::sigaction(SIGPIPE, &old, nullptr);
+    return out;
+}
+
+#endif // SVW_HAVE_FORK_POOL
+
+} // namespace
+
+SweepResults
+runSweep(const SweepSpec &spec, const SweepOptions &opts)
+{
+    std::deque<std::size_t> pending = selectCells(spec, opts);
+#ifdef SVW_HAVE_FORK_POOL
+    // Any --jobs>1 request takes the pool — even for a single selected
+    // cell — so the advertised crash/exception containment does not
+    // silently depend on the cell count.
+    if (opts.jobs > 1 && !pending.empty()) {
+        return SweepResults(spec,
+                            runPool(spec, std::move(pending), opts));
+    }
+#else
+    if (opts.jobs > 1)
+        svw_warn("--jobs requires fork(); running sequentially");
+#endif
+    return SweepResults(spec,
+                        runSequential(spec, std::move(pending), opts));
+}
+
+} // namespace svw::harness

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Sweep executor: runs a SweepSpec's cells in-process (--jobs=1) or
+ * across a pool of forked worker processes (--jobs=N), with optional
+ * cross-machine sharding (--shard=i/n), and merges per-cell results in
+ * spec order.
+ *
+ * Worker protocol (docs/ARCHITECTURE.md "Sweep engine"): the parent
+ * forks N workers after the spec is built (so cells' hooks and configs
+ * are inherited), then dynamically deals cell indices to idle workers
+ * over per-worker command pipes (8-byte little-endian index; ~0 =
+ * quit). A worker executes each cell in isolation and streams back one
+ * JSON line per cell (harness/serialize.hh) on its result pipe. The
+ * parent polls result pipes, stores outcomes by cell index, and deals
+ * the next pending cell. A crashed worker fails only its in-flight
+ * cell; the parent reaps it, records the failure, respawns a
+ * replacement, and the merged report stays intact.
+ *
+ * Sharding partitions by *group* (figure row), not by cell, so every
+ * row's baseline and variants land in the same shard and speedup
+ * columns stay computable; the union of all shards is exactly the full
+ * cell set.
+ */
+
+#ifndef SVW_HARNESS_EXECUTOR_HH
+#define SVW_HARNESS_EXECUTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "harness/sweep.hh"
+#include "prog/program.hh"
+
+namespace svw::harness {
+
+/** How to execute a sweep. */
+struct SweepOptions
+{
+    /** Worker processes; 1 = in-process (debug/tracing-friendly,
+     * failures propagate as exceptions like a plain runOne loop). */
+    unsigned jobs = 1;
+    /** Cross-machine split: this invocation runs the groups whose
+     * first-appearance index i satisfies i % shardCount == shardIndex. */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    /**
+     * Progress callback, invoked in the parent as each cell outcome is
+     * recorded (completion order under a worker pool; spec order
+     * in-process). Long sweeps stream per-cell status through this.
+     */
+    std::function<void(std::size_t cellIndex, const CellOutcome &)>
+        onCellDone;
+};
+
+/** Monotonic host wall-clock seconds (arbitrary origin). */
+double hostSeconds();
+
+/**
+ * Per-process cache of built workload programs: each (workload,
+ * targetInsts) program is constructed once and shared by reference
+ * across every config cell that uses it ("batch configs per workload").
+ */
+class ProgramCache
+{
+  public:
+    /** Build-or-fetch; the reference stays valid for the cache's
+     * lifetime. */
+    const Program &get(const std::string &workload,
+                       std::uint64_t targetInsts);
+
+    std::size_t size() const { return programs_.size(); }
+    std::uint64_t builds() const { return builds_; }
+
+  private:
+    std::map<std::pair<std::string, std::uint64_t>, Program> programs_;
+    std::uint64_t builds_ = 0;
+};
+
+/**
+ * Execute one cell in the calling process (shared by the in-process
+ * path and the workers). Does not catch: a golden-model mismatch or
+ * other fatal propagates to the caller.
+ */
+CellOutcome runCell(const SweepCell &cell, ProgramCache &cache);
+
+/** Execute the sweep per @p opts; outcomes merged in spec order. */
+SweepResults runSweep(const SweepSpec &spec, const SweepOptions &opts = {});
+
+} // namespace svw::harness
+
+#endif // SVW_HARNESS_EXECUTOR_HH

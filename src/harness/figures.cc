@@ -1,0 +1,136 @@
+#include "harness/figures.hh"
+
+namespace svw::harness {
+
+namespace {
+
+SweepCell
+cell(const std::string &w, std::uint64_t insts, const std::string &label,
+     const ExperimentConfig &cfg, bool baseline = false)
+{
+    SweepCell c;
+    c.group = w;
+    c.label = label;
+    c.workload = w;
+    c.targetInsts = insts;
+    c.config = cfg;
+    c.baseline = baseline;
+    return c;
+}
+
+} // namespace
+
+SweepSpec
+fig5Spec(const std::vector<std::string> &suite, std::uint64_t insts)
+{
+    ExperimentConfig base;
+    base.machine = Machine::EightWide;
+    base.opt = OptMode::Baseline;
+
+    auto nlq = base;
+    nlq.opt = OptMode::Nlq;
+    nlq.svw = SvwMode::None;
+    auto noUpd = nlq;
+    noUpd.svw = SvwMode::NoUpd;
+    auto upd = nlq;
+    upd.svw = SvwMode::Upd;
+    auto perfect = nlq;
+    perfect.svw = SvwMode::Perfect;
+
+    SweepSpec spec("fig5");
+    for (const auto &w : suite) {
+        spec.add(cell(w, insts, "BASE", base, true));
+        spec.add(cell(w, insts, "NLQ", nlq));
+        spec.add(cell(w, insts, "+SVW-UPD", noUpd));
+        spec.add(cell(w, insts, "+SVW+UPD", upd));
+        spec.add(cell(w, insts, "+PERFECT", perfect));
+    }
+    return spec;
+}
+
+SweepSpec
+fig6Spec(const std::vector<std::string> &suite, std::uint64_t insts)
+{
+    ExperimentConfig base;
+    base.machine = Machine::EightWide;
+    base.opt = OptMode::BaselineAssocSq;  // 4-cycle loads (assoc SQ)
+
+    ExperimentConfig ssq = base;
+    ssq.opt = OptMode::Ssq;
+    ssq.svw = SvwMode::None;
+    auto noUpd = ssq;
+    noUpd.svw = SvwMode::NoUpd;
+    auto upd = ssq;
+    upd.svw = SvwMode::Upd;
+    auto perfect = ssq;
+    perfect.svw = SvwMode::Perfect;
+
+    SweepSpec spec("fig6");
+    for (const auto &w : suite) {
+        spec.add(cell(w, insts, "BASE", base, true));
+        spec.add(cell(w, insts, "SSQ", ssq));
+        spec.add(cell(w, insts, "+SVW-UPD", noUpd));
+        spec.add(cell(w, insts, "+SVW+UPD", upd));
+        spec.add(cell(w, insts, "+PERFECT", perfect));
+    }
+    return spec;
+}
+
+SweepSpec
+fig7Spec(const std::vector<std::string> &suite, std::uint64_t insts)
+{
+    ExperimentConfig base;
+    base.machine = Machine::FourWide;
+    base.opt = OptMode::Baseline;
+    // Inert while rex is off (buildParams disables SVW on baselines);
+    // cleared so the machine-config table prints +upd=0 for 4w BASE.
+    base.svw = SvwMode::None;
+
+    ExperimentConfig rle = base;
+    rle.opt = OptMode::Rle;
+    auto withSvw = rle;
+    withSvw.svw = SvwMode::Upd;
+    auto noSqu = withSvw;
+    noSqu.rleSquashReuse = false;
+    auto perfect = rle;
+    perfect.svw = SvwMode::Perfect;
+
+    SweepSpec spec("fig7");
+    for (const auto &w : suite) {
+        spec.add(cell(w, insts, "BASE", base, true));
+        spec.add(cell(w, insts, "RLE", rle));
+        spec.add(cell(w, insts, "+SVW", withSvw));
+        spec.add(cell(w, insts, "+SVW-SQU", noSqu));
+        spec.add(cell(w, insts, "+PERFECT", perfect));
+    }
+    return spec;
+}
+
+SweepSpec
+fig8Spec(const std::vector<std::string> &suite, std::uint64_t insts)
+{
+    auto mk = [](unsigned entries, bool dual, unsigned gran, bool inf) {
+        ExperimentConfig c;
+        c.machine = Machine::EightWide;
+        c.opt = OptMode::Ssq;
+        c.svw = SvwMode::Upd;
+        c.ssbf.entries = entries;
+        c.ssbf.dualHash = dual;
+        c.ssbf.granularityBytes = gran;
+        c.ssbf.infinite = inf;
+        return c;
+    };
+
+    SweepSpec spec("fig8");
+    for (const auto &w : suite) {
+        spec.add(cell(w, insts, "128", mk(128, false, 8, false)));
+        spec.add(cell(w, insts, "512", mk(512, false, 8, false)));
+        spec.add(cell(w, insts, "2048", mk(2048, false, 8, false)));
+        spec.add(cell(w, insts, "Bloom", mk(512, true, 8, false)));
+        spec.add(cell(w, insts, "4-byte", mk(512, false, 4, false)));
+        spec.add(cell(w, insts, "Infinite", mk(512, false, 4, true)));
+    }
+    return spec;
+}
+
+} // namespace svw::harness

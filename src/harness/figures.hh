@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Declarative sweep specs for the paper's figures (5-8). One builder
+ * per figure, shared by the bench binary that formats the figure, by
+ * table_machine_config (which prints the configurations these specs
+ * materialize), and by the sweep-engine tests (which assert that
+ * parallel execution reproduces the sequential figure byte for byte).
+ *
+ * Cell labels are stable API: "BASE" is always the figure's baseline
+ * column (marked baseline in the spec); optimization columns carry the
+ * paper's names ("+SVW-UPD", "+PERFECT", ...).
+ */
+
+#ifndef SVW_HARNESS_FIGURES_HH
+#define SVW_HARNESS_FIGURES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace svw::harness {
+
+/** Figure 5: NLQ-LS re-execution rate and speedup vs 8-wide baseline.
+ * Labels: BASE, NLQ, +SVW-UPD, +SVW+UPD, +PERFECT. */
+SweepSpec fig5Spec(const std::vector<std::string> &suite,
+                   std::uint64_t insts);
+
+/** Figure 6: SSQ vs the associative-SQ baseline.
+ * Labels: BASE, SSQ, +SVW-UPD, +SVW+UPD, +PERFECT. */
+SweepSpec fig6Spec(const std::vector<std::string> &suite,
+                   std::uint64_t insts);
+
+/** Figure 7: RLE on the 4-wide machine.
+ * Labels: BASE, RLE, +SVW, +SVW-SQU, +PERFECT. */
+SweepSpec fig7Spec(const std::vector<std::string> &suite,
+                   std::uint64_t insts);
+
+/** Figure 8: SSBF organization sensitivity under SSQ+SVW+UPD.
+ * Labels: 128, 512, 2048, Bloom, 4-byte, Infinite. */
+SweepSpec fig8Spec(const std::vector<std::string> &suite,
+                   std::uint64_t insts);
+
+} // namespace svw::harness
+
+#endif // SVW_HARNESS_FIGURES_HH

@@ -22,8 +22,13 @@ scalarValue(const stats::StatRegistry &reg, const std::string &name)
 RunResult
 runOne(const RunRequest &req)
 {
-    Program prog = workloads::make(req.workload, req.targetInsts);
+    const Program prog = workloads::make(req.workload, req.targetInsts);
+    return runOne(req, prog);
+}
 
+RunResult
+runOne(const RunRequest &req, const Program &prog)
+{
     stats::StatRegistry reg;
     CoreParams params = buildParams(req.config);
     Core core(params, prog, reg);

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "harness/config.hh"
+#include "prog/program.hh"
 
 namespace svw::harness {
 
@@ -60,8 +61,16 @@ struct RunRequest
     std::function<void(Core &)> hook;
 };
 
-/** Execute one cell. Throws (via svw_fatal) on golden-model mismatch
- * when goldenCheck is set. */
+/**
+ * Execute one cell against an already-built program (the sweep
+ * engine's workload cache shares one `Program` across every config of
+ * a workload). @p prog must be the program `workloads::make` would
+ * build for (req.workload, req.targetInsts). Throws (via svw_fatal) on
+ * golden-model mismatch when goldenCheck is set.
+ */
+RunResult runOne(const RunRequest &req, const Program &prog);
+
+/** Convenience overload: builds the workload program, then runs. */
 RunResult runOne(const RunRequest &req);
 
 /** Paper-style percent speedup of @p test over @p base (same program). */

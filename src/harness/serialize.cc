@@ -1,0 +1,354 @@
+#include "harness/serialize.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace svw::harness {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+runResultToJson(const RunResult &r)
+{
+    std::ostringstream os;
+    os << "{\"workload\":\"" << jsonEscape(r.workload) << "\""
+       << ",\"config\":\"" << jsonEscape(r.config) << "\""
+       << ",\"halted\":" << (r.halted ? "true" : "false")
+       << ",\"golden_ok\":" << (r.goldenOk ? "true" : "false")
+       << ",\"cycles\":" << r.cycles
+       << ",\"insts\":" << r.insts
+       << ",\"loads\":" << r.loads
+       << ",\"stores\":" << r.stores
+       << ",\"ipc\":" << jsonDouble(r.ipc)
+       << ",\"loads_marked\":" << r.loadsMarked
+       << ",\"loads_reexecuted\":" << r.loadsReExecuted
+       << ",\"loads_filtered_by_svw\":" << r.loadsFilteredBySvw
+       << ",\"rex_flushes\":" << r.rexFlushes
+       << ",\"rex_rate\":" << jsonDouble(r.rexRate)
+       << ",\"marked_rate\":" << jsonDouble(r.markedRate)
+       << ",\"elim_rate\":" << jsonDouble(r.elimRate)
+       << ",\"bypass_share\":" << jsonDouble(r.bypassShare)
+       << ",\"fsq_load_share\":" << jsonDouble(r.fsqLoadShare)
+       << ",\"branch_squashes\":" << r.branchSquashes
+       << ",\"ordering_squashes\":" << r.orderingSquashes
+       << ",\"wrap_drains\":" << r.wrapDrains
+       << "}";
+    return os.str();
+}
+
+namespace {
+
+/**
+ * Cursor over the wire format. Values are strings, numbers, booleans,
+ * or one level of nested object; that is everything the writers above
+ * produce.
+ */
+struct Cursor
+{
+    const char *p;
+    const char *end;
+
+    bool atEnd() const { return p >= end; }
+    void skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r')) {
+            ++p;
+        }
+    }
+    bool consume(char c)
+    {
+        skipWs();
+        if (atEnd() || *p != c)
+            return false;
+        ++p;
+        return true;
+    }
+    bool peek(char c)
+    {
+        skipWs();
+        return !atEnd() && *p == c;
+    }
+};
+
+bool
+parseString(Cursor &c, std::string &out)
+{
+    if (!c.consume('"'))
+        return false;
+    out.clear();
+    while (!c.atEnd() && *c.p != '"') {
+        char ch = *c.p++;
+        if (ch == '\\') {
+            if (c.atEnd())
+                return false;
+            char esc = *c.p++;
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'n':  out += '\n'; break;
+              case 't':  out += '\t'; break;
+              case 'r':  out += '\r'; break;
+              case 'u': {
+                if (c.end - c.p < 4)
+                    return false;
+                char hex[5] = {c.p[0], c.p[1], c.p[2], c.p[3], 0};
+                out += static_cast<char>(std::strtoul(hex, nullptr, 16));
+                c.p += 4;
+                break;
+              }
+              default:
+                return false;
+            }
+        } else {
+            out += ch;
+        }
+    }
+    return c.consume('"');
+}
+
+bool
+parseNumberToken(Cursor &c, std::string &tok)
+{
+    c.skipWs();
+    tok.clear();
+    while (!c.atEnd() &&
+           (std::strchr("+-.0123456789eE", *c.p) != nullptr ||
+            std::isalpha(static_cast<unsigned char>(*c.p)))) {
+        // isalpha admits inf/nan tokens from %.17g.
+        tok += *c.p++;
+    }
+    return !tok.empty();
+}
+
+bool parseValueInto(Cursor &c, const std::string &key, RunResult &r);
+
+/** Skip any scalar or (one-level) object value we don't recognize. */
+bool
+skipValue(Cursor &c)
+{
+    c.skipWs();
+    if (c.peek('"')) {
+        std::string s;
+        return parseString(c, s);
+    }
+    if (c.peek('{')) {
+        c.consume('{');
+        if (c.consume('}'))
+            return true;
+        do {
+            std::string k;
+            if (!parseString(c, k) || !c.consume(':') || !skipValue(c))
+                return false;
+        } while (c.consume(','));
+        return c.consume('}');
+    }
+    std::string tok;
+    return parseNumberToken(c, tok);
+}
+
+bool
+parseU64(Cursor &c, std::uint64_t &v)
+{
+    std::string tok;
+    if (!parseNumberToken(c, tok))
+        return false;
+    v = std::strtoull(tok.c_str(), nullptr, 10);
+    return true;
+}
+
+bool
+parseDouble(Cursor &c, double &v)
+{
+    std::string tok;
+    if (!parseNumberToken(c, tok))
+        return false;
+    v = std::strtod(tok.c_str(), nullptr);
+    return true;
+}
+
+bool
+parseBool(Cursor &c, bool &v)
+{
+    std::string tok;
+    if (!parseNumberToken(c, tok))
+        return false;
+    if (tok == "true") {
+        v = true;
+        return true;
+    }
+    if (tok == "false") {
+        v = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseValueInto(Cursor &c, const std::string &key, RunResult &r)
+{
+    if (key == "workload")
+        return parseString(c, r.workload);
+    if (key == "config")
+        return parseString(c, r.config);
+    if (key == "halted")
+        return parseBool(c, r.halted);
+    if (key == "golden_ok")
+        return parseBool(c, r.goldenOk);
+    if (key == "cycles")
+        return parseU64(c, r.cycles);
+    if (key == "insts")
+        return parseU64(c, r.insts);
+    if (key == "loads")
+        return parseU64(c, r.loads);
+    if (key == "stores")
+        return parseU64(c, r.stores);
+    if (key == "ipc")
+        return parseDouble(c, r.ipc);
+    if (key == "loads_marked")
+        return parseU64(c, r.loadsMarked);
+    if (key == "loads_reexecuted")
+        return parseU64(c, r.loadsReExecuted);
+    if (key == "loads_filtered_by_svw")
+        return parseU64(c, r.loadsFilteredBySvw);
+    if (key == "rex_flushes")
+        return parseU64(c, r.rexFlushes);
+    if (key == "rex_rate")
+        return parseDouble(c, r.rexRate);
+    if (key == "marked_rate")
+        return parseDouble(c, r.markedRate);
+    if (key == "elim_rate")
+        return parseDouble(c, r.elimRate);
+    if (key == "bypass_share")
+        return parseDouble(c, r.bypassShare);
+    if (key == "fsq_load_share")
+        return parseDouble(c, r.fsqLoadShare);
+    if (key == "branch_squashes")
+        return parseU64(c, r.branchSquashes);
+    if (key == "ordering_squashes")
+        return parseU64(c, r.orderingSquashes);
+    if (key == "wrap_drains")
+        return parseU64(c, r.wrapDrains);
+    return skipValue(c);  // unknown key: tolerate (forward compat)
+}
+
+bool
+parseRunResultObject(Cursor &c, RunResult &r)
+{
+    if (!c.consume('{'))
+        return false;
+    if (c.consume('}'))
+        return true;
+    do {
+        std::string key;
+        if (!parseString(c, key) || !c.consume(':'))
+            return false;
+        if (!parseValueInto(c, key, r))
+            return false;
+    } while (c.consume(','));
+    return c.consume('}');
+}
+
+} // namespace
+
+bool
+runResultFromJson(const std::string &json, RunResult &out)
+{
+    Cursor c{json.data(), json.data() + json.size()};
+    RunResult r;
+    if (!parseRunResultObject(c, r))
+        return false;
+    out = r;
+    return true;
+}
+
+std::string
+cellRecordToLine(const CellRecord &rec)
+{
+    std::ostringstream os;
+    os << "{\"cell\":" << rec.cellIndex
+       << ",\"ok\":" << (rec.ok ? "true" : "false")
+       << ",\"error\":\"" << jsonEscape(rec.error) << "\""
+       << ",\"seconds\":" << jsonDouble(rec.seconds)
+       << ",\"host_wall_seconds\":" << jsonDouble(rec.hostWallSeconds)
+       << ",\"result\":" << runResultToJson(rec.result)
+       << "}\n";
+    return os.str();
+}
+
+bool
+cellRecordFromLine(const std::string &line, CellRecord &out)
+{
+    Cursor c{line.data(), line.data() + line.size()};
+    CellRecord rec;
+    if (!c.consume('{'))
+        return false;
+    if (!c.consume('}')) {
+        do {
+            std::string key;
+            if (!parseString(c, key) || !c.consume(':'))
+                return false;
+            bool good;
+            if (key == "cell") {
+                std::uint64_t v;
+                good = parseU64(c, v);
+                rec.cellIndex = static_cast<std::size_t>(v);
+            } else if (key == "ok") {
+                good = parseBool(c, rec.ok);
+            } else if (key == "error") {
+                good = parseString(c, rec.error);
+            } else if (key == "seconds") {
+                good = parseDouble(c, rec.seconds);
+            } else if (key == "host_wall_seconds") {
+                good = parseDouble(c, rec.hostWallSeconds);
+            } else if (key == "result") {
+                good = parseRunResultObject(c, rec.result);
+            } else {
+                good = skipValue(c);
+            }
+            if (!good)
+                return false;
+        } while (c.consume(','));
+        if (!c.consume('}'))
+            return false;
+    }
+    out = std::move(rec);
+    return true;
+}
+
+} // namespace svw::harness

@@ -1,0 +1,124 @@
+#include "harness/sweep.hh"
+
+#include "base/logging.hh"
+
+namespace svw::harness {
+
+std::size_t
+SweepSpec::add(SweepCell cell)
+{
+    // Validate before any mutation: the panics throw, and a caught
+    // rejection must leave the spec usable.
+    const std::string n = cell.name();
+    svw_assert(!byName_.count(n), "duplicate sweep cell ", n);
+    if (cell.baseline) {
+        svw_assert(!baselineByGroup_.count(cell.group),
+                   "two baselines in group ", cell.group);
+    }
+
+    const std::size_t idx = cells_.size();
+    byName_[n] = idx;
+    if (!groupIndex_.count(cell.group)) {
+        groupIndex_[cell.group] = groups_.size();
+        groups_.push_back(cell.group);
+    }
+    if (cell.baseline)
+        baselineByGroup_[cell.group] = idx;
+    cells_.push_back(std::move(cell));
+    return idx;
+}
+
+std::size_t
+SweepSpec::groupIndex(const std::string &group) const
+{
+    auto it = groupIndex_.find(group);
+    svw_assert(it != groupIndex_.end(), "unknown sweep group ", group);
+    return it->second;
+}
+
+std::size_t
+SweepSpec::index(const std::string &group, const std::string &label) const
+{
+    auto it = byName_.find(group + "/" + label);
+    svw_assert(it != byName_.end(), "unknown sweep cell ", group, "/",
+               label);
+    return it->second;
+}
+
+std::size_t
+SweepSpec::baselineIndex(const std::string &group) const
+{
+    auto it = baselineByGroup_.find(group);
+    svw_assert(it != baselineByGroup_.end(), "group ", group,
+               " has no baseline cell");
+    return it->second;
+}
+
+SweepResults::SweepResults(SweepSpec spec, std::vector<CellOutcome> outcomes)
+    : spec_(std::move(spec)), outcomes_(std::move(outcomes))
+{
+    svw_assert(outcomes_.size() == spec_.size(),
+               "outcome count does not match spec ", spec_.name());
+}
+
+const RunResult &
+SweepResults::result(const std::string &group, const std::string &label) const
+{
+    const CellOutcome &o = outcomes_.at(spec_.index(group, label));
+    svw_assert(o.ran, "cell ", group, "/", label,
+               " was not selected by this shard");
+    svw_assert(o.ok, "cell ", group, "/", label, " failed: ", o.error);
+    return o.result;
+}
+
+const RunResult &
+SweepResults::baseline(const std::string &group) const
+{
+    const std::size_t idx = spec_.baselineIndex(group);
+    const CellOutcome &o = outcomes_.at(idx);
+    svw_assert(o.ran && o.ok, "baseline of group ", group,
+               " unavailable: ", o.error);
+    return o.result;
+}
+
+std::vector<std::string>
+SweepResults::shardGroups() const
+{
+    std::vector<std::string> out;
+    for (const std::string &g : spec_.groups()) {
+        for (std::size_t i = 0; i < spec_.size(); ++i) {
+            if (spec_.cell(i).group == g && outcomes_[i].ran) {
+                out.push_back(g);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+SweepResults::groupOk(const std::string &group) const
+{
+    bool any = false;
+    for (std::size_t i = 0; i < spec_.size(); ++i) {
+        if (spec_.cell(i).group != group)
+            continue;
+        any = true;
+        if (!outcomes_[i].ran || !outcomes_[i].ok)
+            return false;
+    }
+    return any;
+}
+
+std::size_t
+SweepResults::failures() const
+{
+    std::size_t n = 0;
+    for (const CellOutcome &o : outcomes_) {
+        if (o.ran && !o.ok)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace svw::harness

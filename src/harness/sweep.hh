@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Declarative figure sweeps.
+ *
+ * Every paper figure (and ablation, and the perf tracker) is a
+ * (workload x configuration) grid of independent cells. A SweepSpec
+ * names each cell up front — its group (figure row, usually the
+ * workload), column label, workload, instruction budget, configuration,
+ * and whether it is the row's speedup baseline — and the executor
+ * (harness/executor.hh) runs the cells in-process or across a worker
+ * pool and hands back a SweepResults merged in spec order. The bench
+ * binaries only declare cells and format tables; iteration, sharding,
+ * parallelism, and workload-program caching all live behind runSweep.
+ *
+ * Determinism invariant: cell outcomes depend only on the cell (runs
+ * are single-threaded and seeded), so the merged results — and any
+ * report formatted from them — are byte-identical for every --jobs
+ * value and equal to the sequential in-process run.
+ */
+
+#ifndef SVW_HARNESS_SWEEP_HH
+#define SVW_HARNESS_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/config.hh"
+#include "harness/runner.hh"
+
+namespace svw::harness {
+
+/** One named (workload, configuration) cell of a sweep. */
+struct SweepCell
+{
+    std::string group;    ///< figure row key (usually the workload)
+    std::string label;    ///< column label, unique within the group
+    std::string workload; ///< workloads::make name
+    std::uint64_t targetInsts = 100'000;
+    ExperimentConfig config{};
+    bool baseline = false;    ///< the group's speedup reference
+    bool goldenCheck = true;  ///< cross-check against the interpreter
+    /** Timing repetitions (perf tracking); metrics are identical across
+     * reps, the executor reports the best rep's wall time. */
+    unsigned timingReps = 1;
+    /** Optional per-cycle hook (invalidation injectors). Runs in the
+     * executing process — workers inherit it through fork. */
+    std::function<void(Core &)> hook;
+
+    /** Unique cell name: "group/label". */
+    std::string name() const { return group + "/" + label; }
+};
+
+/** An ordered, named collection of sweep cells. */
+class SweepSpec
+{
+  public:
+    explicit SweepSpec(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Append a cell; names must be unique (panics otherwise).
+     * @return the cell's index. */
+    std::size_t add(SweepCell cell);
+
+    std::size_t size() const { return cells_.size(); }
+    const SweepCell &cell(std::size_t i) const { return cells_.at(i); }
+    const std::vector<SweepCell> &cells() const { return cells_; }
+
+    /** Group keys in first-appearance order. */
+    const std::vector<std::string> &groups() const { return groups_; }
+
+    /** Zero-based first-appearance index of @p group (panics if
+     * unknown); the shard selector partitions on this. */
+    std::size_t groupIndex(const std::string &group) const;
+
+    /** Cell index by (group, label); panics if unknown. */
+    std::size_t index(const std::string &group,
+                      const std::string &label) const;
+
+    /** Index of @p group's baseline cell; panics if none was marked. */
+    std::size_t baselineIndex(const std::string &group) const;
+
+  private:
+    std::string name_;
+    std::vector<SweepCell> cells_;
+    std::vector<std::string> groups_;
+    std::map<std::string, std::size_t> byName_;
+    std::map<std::string, std::size_t> groupIndex_;
+    std::map<std::string, std::size_t> baselineByGroup_;
+};
+
+/** Execution outcome of one cell. */
+struct CellOutcome
+{
+    bool ran = false;  ///< selected by the shard and attempted
+    bool ok = false;   ///< completed; result is valid
+    std::string error; ///< failure description when !ok
+    double seconds = 0.0;          ///< best timing rep (host wall)
+    double hostWallSeconds = 0.0;  ///< total host wall across reps
+    RunResult result{};
+};
+
+/** Merged, spec-ordered results of a sweep. */
+class SweepResults
+{
+  public:
+    SweepResults(SweepSpec spec, std::vector<CellOutcome> outcomes);
+
+    const SweepSpec &spec() const { return spec_; }
+
+    const CellOutcome &outcome(std::size_t i) const
+    {
+        return outcomes_.at(i);
+    }
+    const CellOutcome &outcome(const std::string &group,
+                               const std::string &label) const
+    {
+        return outcomes_.at(spec_.index(group, label));
+    }
+
+    /** Result of a completed cell; panics if the cell did not run or
+     * failed (callers gate rows on groupOk first). */
+    const RunResult &result(const std::string &group,
+                            const std::string &label) const;
+
+    /** The group's baseline-cell result (same gating as result()). */
+    const RunResult &baseline(const std::string &group) const;
+
+    /** Groups selected by this run's shard, in spec order. */
+    std::vector<std::string> shardGroups() const;
+
+    /** True if every cell of @p group ran and succeeded. */
+    bool groupOk(const std::string &group) const;
+
+    /** Number of cells that ran and failed. */
+    std::size_t failures() const;
+
+  private:
+    SweepSpec spec_;
+    std::vector<CellOutcome> outcomes_;
+};
+
+} // namespace svw::harness
+
+#endif // SVW_HARNESS_SWEEP_HH

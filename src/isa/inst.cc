@@ -156,60 +156,6 @@ StaticInst::execLatency() const
     }
 }
 
-std::uint64_t
-evalAlu(const StaticInst &inst, std::uint64_t a, std::uint64_t b,
-        std::uint64_t pc)
-{
-    const auto sa = static_cast<std::int64_t>(a);
-    const auto sb = static_cast<std::int64_t>(b);
-    const std::uint64_t imm = static_cast<std::uint64_t>(inst.imm);
-    const auto simm = inst.imm;
-
-    switch (inst.op) {
-      case Opcode::Add:  return a + b;
-      case Opcode::Sub:  return a - b;
-      case Opcode::And:  return a & b;
-      case Opcode::Or:   return a | b;
-      case Opcode::Xor:  return a ^ b;
-      case Opcode::Sll:  return a << (b & 63);
-      case Opcode::Srl:  return a >> (b & 63);
-      case Opcode::Sra:  return static_cast<std::uint64_t>(sa >> (b & 63));
-      case Opcode::Mul:  return a * b;
-      case Opcode::Slt:  return sa < sb ? 1 : 0;
-      case Opcode::Sltu: return a < b ? 1 : 0;
-
-      case Opcode::AddI: return a + imm;
-      case Opcode::AndI: return a & imm;
-      case Opcode::OrI:  return a | imm;
-      case Opcode::XorI: return a ^ imm;
-      case Opcode::SllI: return a << (imm & 63);
-      case Opcode::SrlI: return a >> (imm & 63);
-      case Opcode::SraI: return static_cast<std::uint64_t>(sa >> (imm & 63));
-      case Opcode::SltI: return sa < simm ? 1 : 0;
-      case Opcode::MovI: return imm;
-
-      case Opcode::Jal:  return pc + 1;
-
-      default:
-        return 0;
-    }
-}
-
-bool
-evalBranchTaken(const StaticInst &inst, std::uint64_t a, std::uint64_t b)
-{
-    const auto sa = static_cast<std::int64_t>(a);
-    const auto sb = static_cast<std::int64_t>(b);
-    switch (inst.op) {
-      case Opcode::Beq: return a == b;
-      case Opcode::Bne: return a != b;
-      case Opcode::Blt: return sa < sb;
-      case Opcode::Bge: return sa >= sb;
-      default:
-        svw_panic("evalBranchTaken on non-branch ", opcodeName(inst.op));
-    }
-}
-
 const char *
 opcodeName(Opcode op)
 {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 
 namespace svw {
@@ -136,20 +137,89 @@ struct StaticInst
 };
 
 /**
- * Evaluate the ALU/branch semantics of @p inst over operand values.
- * For loads/stores this computes nothing (address math is separate).
+ * Evaluate ALU semantics over a pre-decoded opcode and operand values.
+ * Header-inlined: the issue loop executes one of these per issued
+ * instruction, and the pipeline caches the opcode in the DynInst hot
+ * record (DynInst::opc()) at fetch, so the common ALU ops compile to a
+ * flat in-line switch with no out-of-line call and no StaticInst
+ * predicate walk.
  *
- * @param inst the static instruction
+ * @param op the (pre-decoded) opcode
+ * @param imm the instruction's immediate
  * @param a value of rs1
  * @param b value of rs2
  * @param pc the instruction's own PC (for Jal link values)
  * @return value to write to rd (0 if none)
  */
-std::uint64_t evalAlu(const StaticInst &inst, std::uint64_t a,
-                      std::uint64_t b, std::uint64_t pc);
+inline std::uint64_t
+evalAluOp(Opcode op, std::int64_t simm, std::uint64_t a, std::uint64_t b,
+          std::uint64_t pc)
+{
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    const std::uint64_t imm = static_cast<std::uint64_t>(simm);
 
-/** Evaluate a conditional branch's taken/not-taken outcome. */
-bool evalBranchTaken(const StaticInst &inst, std::uint64_t a, std::uint64_t b);
+    switch (op) {
+      case Opcode::Add:  return a + b;
+      case Opcode::Sub:  return a - b;
+      case Opcode::And:  return a & b;
+      case Opcode::Or:   return a | b;
+      case Opcode::Xor:  return a ^ b;
+      case Opcode::Sll:  return a << (b & 63);
+      case Opcode::Srl:  return a >> (b & 63);
+      case Opcode::Sra:  return static_cast<std::uint64_t>(sa >> (b & 63));
+      case Opcode::Mul:  return a * b;
+      case Opcode::Slt:  return sa < sb ? 1 : 0;
+      case Opcode::Sltu: return a < b ? 1 : 0;
+
+      case Opcode::AddI: return a + imm;
+      case Opcode::AndI: return a & imm;
+      case Opcode::OrI:  return a | imm;
+      case Opcode::XorI: return a ^ imm;
+      case Opcode::SllI: return a << (imm & 63);
+      case Opcode::SrlI: return a >> (imm & 63);
+      case Opcode::SraI: return static_cast<std::uint64_t>(sa >> (imm & 63));
+      case Opcode::SltI: return sa < simm ? 1 : 0;
+      case Opcode::MovI: return imm;
+
+      case Opcode::Jal:  return pc + 1;
+
+      default:
+        return 0;
+    }
+}
+
+/** Evaluate a conditional branch's outcome over a pre-decoded opcode
+ * (header-inlined like evalAluOp). */
+inline bool
+evalBranchTakenOp(Opcode op, std::uint64_t a, std::uint64_t b)
+{
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    switch (op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt: return sa < sb;
+      case Opcode::Bge: return sa >= sb;
+      default:
+        svw_panic("evalBranchTaken on non-branch opcode ",
+                  static_cast<unsigned>(op));
+    }
+}
+
+/** StaticInst conveniences over the opcode-keyed evaluators above. */
+inline std::uint64_t
+evalAlu(const StaticInst &inst, std::uint64_t a, std::uint64_t b,
+        std::uint64_t pc)
+{
+    return evalAluOp(inst.op, inst.imm, a, b, pc);
+}
+
+inline bool
+evalBranchTaken(const StaticInst &inst, std::uint64_t a, std::uint64_t b)
+{
+    return evalBranchTakenOp(inst.op, a, b);
+}
 
 /** Effective address of a memory instruction. */
 inline Addr
