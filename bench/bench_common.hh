@@ -14,6 +14,14 @@
  *                in-process; output is byte-identical for any N)
  *   --shard=i/n  run only shard i of n (partitioned by figure row;
  *                the union over all shards is the full sweep)
+ *   --cache-dir=D  persistent result cache: cells whose key
+ *                (workload, insts, full machine config, code-version
+ *                stamp) is already stored are served from D without
+ *                simulating; new results are stored atomically.
+ *                Output stays byte-identical to an uncached run.
+ *   --no-cache   ignore --cache-dir (debugging escape hatch; useful
+ *                when a sweep_driver-style wrapper always passes
+ *                --cache-dir)
  *
  * Unrecognized arguments (flags or positionals) are rejected with
  * exit 2 so typos fail fast.
@@ -47,6 +55,8 @@ struct BenchArgs
     unsigned jobs = 1;
     unsigned shardIndex = 0;
     unsigned shardCount = 1;
+    std::string cacheDir;   ///< empty = result caching off
+    bool noCache = false;   ///< --no-cache: override --cache-dir
 };
 
 /** Parse a decimal flag value; a malformed number is a usage error
@@ -107,13 +117,18 @@ parseArgs(int argc, char **argv)
             } else {
                 args.shardCount = 0;  // force the validity error below
             }
+        } else if (a.rfind("--cache-dir=", 0) == 0) {
+            args.cacheDir = a.substr(12);
+        } else if (a == "--no-cache") {
+            args.noCache = true;
         } else if (a.rfind("--benchmark", 0) == 0) {
             continue;  // tolerate google-benchmark flags
         } else {
             std::fprintf(stderr,
                          "error: unknown arg %s\n"
                          "usage: %s [--insts=N] [--quick] [--bench=X]"
-                         " [--jobs=N] [--shard=i/n]\n",
+                         " [--jobs=N] [--shard=i/n] [--cache-dir=D]"
+                         " [--no-cache]\n",
                          a.c_str(), argv[0]);
             std::exit(2);
         }
@@ -134,6 +149,8 @@ sweepOptions(const BenchArgs &args)
     opts.jobs = args.jobs;
     opts.shardIndex = args.shardIndex;
     opts.shardCount = args.shardCount;
+    if (!args.noCache)
+        opts.cacheDir = args.cacheDir;
     return opts;
 }
 

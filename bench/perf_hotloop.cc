@@ -88,6 +88,11 @@ main(int argc, char **argv)
             c.config = cfg;
             c.goldenCheck = false;  // timing loop only
             c.timingReps = reps;
+            // Wall time is this bench's product: a cached cell would
+            // report zero seconds and poison the trajectory. The
+            // engine refuses timingReps>1 cells anyway; this covers
+            // --reps=1.
+            c.neverCache = true;
             spec.add(c);
         }
     }
@@ -96,6 +101,14 @@ main(int argc, char **argv)
     // --jobs=1, completion order under a pool): a multi-minute full
     // sweep must not look hung.
     SweepOptions opts = sweepOptions(args);
+    // Every cell above is neverCache, so a --cache-dir would have no
+    // effect; say so rather than silently idling an advertised flag.
+    if (!opts.cacheDir.empty()) {
+        std::fprintf(stderr,
+                     "warning: perf_hotloop ignores --cache-dir:"
+                     " throughput cells are always simulated fresh\n");
+        opts.cacheDir.clear();
+    }
     opts.onCellDone = [](std::size_t, const CellOutcome &o) {
         if (!o.ok)
             return;

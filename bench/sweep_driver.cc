@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Multi-shard sweep driver: runs any bench binary's sweep as N
+ * concurrent `--shard=i/n` invocations and produces the merged full
+ * report.
+ *
+ * The merge medium is the persistent result cache (harness/sweep.hh
+ * ResultCache): every shard is launched with a shared `--cache-dir`,
+ * so each populates the store with its groups' results; the driver
+ * then re-invokes the binary once, unsharded, against the same cache.
+ * That merge pass formats the full figure from pure cache reads —
+ * zero simulations — and its output is byte-identical to a
+ * single-process `--jobs=1` run by construction (the cache stores the
+ * engine's lossless wire format). If a shard died, the merge pass
+ * transparently re-simulates the missing cells in-process, so the
+ * report is still correct; the driver's exit status flags the failure.
+ *
+ * Shards are local subprocesses by default. `--launch` is a command
+ * template for wrapped or remote execution: `{cmd}` expands to the
+ * shard command (word-quoted for the *local* shell — right for local
+ * wrappers like `nice -n19 {cmd}`), `{qcmd}` to the same command
+ * quoted once more into a single word (right for remote shells that
+ * re-split, e.g. `--launch='ssh build{i} {qcmd}'`), and `{i}`/`{n}`
+ * to the shard index/count. A remote cache dir must be a shared
+ * filesystem. ssh is a template, not a dependency: nothing here
+ * links or shells to it unless the template says so.
+ *
+ * usage: sweep_driver --bin=PATH [--shards=N] [--jobs=M]
+ *                     [--cache-dir=D] [--launch=TEMPLATE]
+ *                     [-- BENCH_ARGS...]
+ *
+ *   --bin=PATH      bench binary to drive (any of the 13)
+ *   --shards=N      number of shard invocations (default 2)
+ *   --jobs=M        worker processes per shard (default 1)
+ *   --cache-dir=D   shared result cache (default: a private temp
+ *                   directory, removed after a fully successful run)
+ *   --launch=T      shard command template (default "{cmd}" = local)
+ *   -- ARGS         everything after "--" is passed to every bench
+ *                   invocation (e.g. --quick, --insts=N, --bench=X)
+ *
+ * Per-shard stdout/stderr go to <cache-dir>/shard-<i>.log; only the
+ * merge pass writes to the driver's stdout.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench_common.hh"
+
+using svw::bench::parseFlagUnsigned;
+
+namespace {
+
+/** Single-quote @p s for /bin/sh. */
+std::string
+shQuote(const std::string &s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+/** Replace every occurrence of @p what in @p s with @p with. */
+std::string
+replaceAll(std::string s, const std::string &what, const std::string &with)
+{
+    std::size_t pos = 0;
+    while ((pos = s.find(what, pos)) != std::string::npos) {
+        s.replace(pos, what.size(), with);
+        pos += with.size();
+    }
+    return s;
+}
+
+/** Fork and run @p cmd via /bin/sh; stdout+stderr to @p logPath
+ * (empty = inherit). @return child pid, or -1. */
+pid_t
+launch(const std::string &cmd, const std::string &logPath)
+{
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    if (!logPath.empty()) {
+        const int fd = ::open(logPath.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd < 0) {
+            // Never fall through to the driver's stdout: a shard's
+            // figure output interleaving ahead of the merge pass
+            // would break the byte-identity contract. Fail the shard;
+            // the merge pass re-simulates its cells.
+            std::fprintf(stderr,
+                         "error: cannot open shard log %s: %s\n",
+                         logPath.c_str(), std::strerror(errno));
+            ::_exit(126);
+        }
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        ::close(fd);
+    }
+    ::execl("/bin/sh", "sh", "-c", cmd.c_str(),
+            static_cast<char *>(nullptr));
+    ::_exit(127);
+}
+
+/** Wait for @p pid; @return its exit status (or 128+signal). */
+int
+waitStatus(pid_t pid)
+{
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0)
+        return -1;
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return -1;
+}
+
+/** Forward a shard log's "warning:" lines to the driver's stderr so
+ * misconfigured splits (e.g. more shards than figure groups) are
+ * visible even when every shard exits cleanly. */
+void
+forwardWarnings(const std::string &path, unsigned shard)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return;
+    char line[512];
+    while (std::fgets(line, sizeof(line), f)) {
+        // Both diagnostic prefixes in use: the executor's plain
+        // "warning:" lines and the svw_warn macro's "warn:" lines
+        // (e.g. a shard whose cache writes are failing).
+        if (std::strncmp(line, "warning:", 8) == 0 ||
+            std::strncmp(line, "warn:", 5) == 0) {
+            std::fprintf(stderr, "shard %u: %s", shard, line);
+        }
+    }
+    std::fclose(f);
+}
+
+/** Copy the tail of @p path to stderr (shard post-mortem). */
+void
+dumpLogTail(const std::string &path, std::size_t maxBytes = 2048)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    const long start = size > static_cast<long>(maxBytes)
+                           ? size - static_cast<long>(maxBytes)
+                           : 0;
+    std::fseek(f, start, SEEK_SET);
+    std::vector<char> buf(maxBytes);
+    const std::size_t n = std::fread(buf.data(), 1, buf.size(), f);
+    std::fclose(f);
+    std::fwrite(buf.data(), 1, n, stderr);
+    if (n > 0 && buf[n - 1] != '\n')
+        std::fputc('\n', stderr);
+}
+
+[[noreturn]] void
+usage(const char *argv0, const char *complaint)
+{
+    std::fprintf(stderr,
+                 "error: %s\n"
+                 "usage: %s --bin=PATH [--shards=N] [--jobs=M]"
+                 " [--cache-dir=D] [--launch=TEMPLATE]"
+                 " [-- BENCH_ARGS...]\n",
+                 complaint, argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bin;
+    unsigned shards = 2;
+    unsigned jobs = 1;
+    std::string cacheDir;
+    std::string launchTemplate = "{cmd}";
+    std::vector<std::string> benchArgs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--") {
+            for (int j = i + 1; j < argc; ++j) {
+                const std::string b = argv[j];
+                // The driver owns sharding, job count, and the cache;
+                // letting these through would poison the merge pass
+                // (a user --shard would make the "full" report
+                // partial, --no-cache would discard all shard work).
+                if (b.rfind("--shard=", 0) == 0 ||
+                    b.rfind("--jobs=", 0) == 0 ||
+                    b.rfind("--cache-dir=", 0) == 0 ||
+                    b == "--no-cache") {
+                    usage(argv[0],
+                          (b + " is managed by the driver; use its"
+                               " --shards=N/--jobs=M/--cache-dir=D"
+                               " flags (to bypass the cache, run the"
+                               " bench binary directly)")
+                              .c_str());
+                }
+                benchArgs.push_back(b);
+            }
+            break;
+        } else if (a.rfind("--bin=", 0) == 0) {
+            bin = a.substr(6);
+        } else if (a.rfind("--shards=", 0) == 0) {
+            shards = parseFlagUnsigned(a.substr(9), "--shards");
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            jobs = parseFlagUnsigned(a.substr(7), "--jobs");
+        } else if (a.rfind("--cache-dir=", 0) == 0) {
+            cacheDir = a.substr(12);
+        } else if (a.rfind("--launch=", 0) == 0) {
+            launchTemplate = a.substr(9);
+        } else {
+            usage(argv[0], ("unknown arg " + a).c_str());
+        }
+    }
+    if (bin.empty())
+        usage(argv[0], "--bin is required");
+    if (shards < 1 || jobs < 1)
+        usage(argv[0], "need --shards>=1 and --jobs>=1");
+    if (launchTemplate.find("{cmd}") == std::string::npos &&
+        launchTemplate.find("{qcmd}") == std::string::npos) {
+        usage(argv[0],
+              "--launch template must contain {cmd} (local wrapper)"
+              " or {qcmd} (re-quoted for a remote shell)");
+    }
+    // A remote template with the default private temp cache would
+    // scatter each shard's results across machine-local /tmp dirs and
+    // leave the local merge pass an empty cache — every cell silently
+    // re-simulated. Remote launches must name the shared cache.
+    if (launchTemplate != "{cmd}" && cacheDir.empty()) {
+        usage(argv[0],
+              "--launch requires an explicit --cache-dir on a"
+              " filesystem shared with the launched hosts");
+    }
+
+    // The cache is the merge medium, so a directory is always needed;
+    // without --cache-dir use a private temp store, removed only after
+    // a fully clean run (kept for post-mortem otherwise).
+    bool tempCache = false;
+    if (cacheDir.empty()) {
+        char tmpl[] = "/tmp/svw-sweep-cache-XXXXXX";
+        const char *dir = ::mkdtemp(tmpl);
+        if (!dir) {
+            std::perror("mkdtemp");
+            return 1;
+        }
+        cacheDir = dir;
+        tempCache = true;
+    } else {
+        std::error_code ec;
+        std::filesystem::create_directories(cacheDir, ec);
+        if (ec && !std::filesystem::is_directory(cacheDir)) {
+            std::fprintf(stderr,
+                         "error: cannot create cache dir %s: %s\n",
+                         cacheDir.c_str(), ec.message().c_str());
+            return 1;
+        }
+    }
+
+    // Common (quoted) command prefix: binary + user args + cache dir.
+    std::string base = shQuote(bin);
+    for (const std::string &a : benchArgs)
+        base += " " + shQuote(a);
+    base += " --cache-dir=" + shQuote(cacheDir);
+
+    // Launch all shards, then wait for all of them.
+    std::vector<pid_t> pids(shards, -1);
+    std::vector<std::string> logs(shards);
+    for (unsigned i = 0; i < shards; ++i) {
+        const std::string shardCmd =
+            base + " --jobs=" + std::to_string(jobs) + " --shard=" +
+            std::to_string(i) + "/" + std::to_string(shards);
+        // Expand {i}/{n} on the template BEFORE inserting the quoted
+        // command, so the placeholders stay confined to the template
+        // and never rewrite literal braces in user args or paths.
+        // {qcmd} goes first for the same reason: it must not re-quote
+        // an already-inserted {cmd}.
+        std::string cmd = replaceAll(launchTemplate, "{i}",
+                                     std::to_string(i));
+        cmd = replaceAll(cmd, "{n}", std::to_string(shards));
+        cmd = replaceAll(cmd, "{qcmd}", shQuote(shardCmd));
+        cmd = replaceAll(cmd, "{cmd}", shardCmd);
+        logs[i] = cacheDir + "/shard-" + std::to_string(i) + ".log";
+        pids[i] = launch(cmd, logs[i]);
+        if (pids[i] < 0)
+            std::fprintf(stderr, "error: fork failed for shard %u\n", i);
+    }
+
+    unsigned failedShards = 0;
+    for (unsigned i = 0; i < shards; ++i) {
+        const int st = pids[i] >= 0 ? waitStatus(pids[i]) : -1;
+        forwardWarnings(logs[i], i);
+        if (st != 0) {
+            ++failedShards;
+            std::fprintf(stderr,
+                         "error: shard %u/%u exited with status %d;"
+                         " log tail (%s):\n",
+                         i, shards, st, logs[i].c_str());
+            dumpLogTail(logs[i]);
+        }
+    }
+    if (failedShards > 0) {
+        std::fprintf(stderr,
+                     "warning: %u shard(s) failed; the merge pass will"
+                     " re-simulate their cells in-process\n",
+                     failedShards);
+    }
+
+    // Merge pass: unsharded replay against the populated cache,
+    // inheriting the driver's stdout — this is the full report.
+    const pid_t mergePid = launch(base, "");
+    const int mergeStatus = mergePid >= 0 ? waitStatus(mergePid) : 1;
+    if (mergePid < 0) {
+        std::fprintf(stderr, "error: fork failed for merge pass\n");
+    } else if (mergeStatus != 0) {
+        std::fprintf(stderr, "error: merge pass exited with status %d\n",
+                     mergeStatus);
+    }
+
+    if (tempCache) {
+        if (mergeStatus == 0 && failedShards == 0) {
+            std::error_code ec;
+            std::filesystem::remove_all(cacheDir, ec);
+        } else {
+            std::fprintf(stderr, "note: keeping cache/logs in %s\n",
+                         cacheDir.c_str());
+        }
+    }
+    if (mergeStatus != 0)
+        return mergeStatus > 0 && mergeStatus < 256 ? mergeStatus : 1;
+    return failedShards > 0 ? 1 : 0;
+}

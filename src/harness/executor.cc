@@ -7,6 +7,8 @@
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
@@ -45,9 +47,27 @@ ProgramCache::get(const std::string &workload, std::uint64_t targetInsts)
     return it->second;
 }
 
+namespace {
+std::uint64_t gRunCellCalls = 0;
+int gWorkerResultFd = -1;
+} // namespace
+
+std::uint64_t
+runCellCalls()
+{
+    return gRunCellCalls;
+}
+
+int
+workerResultFd()
+{
+    return gWorkerResultFd;
+}
+
 CellOutcome
 runCell(const SweepCell &cell, ProgramCache &cache)
 {
+    ++gRunCellCalls;
     CellOutcome o;
     o.ran = true;
     const Program &prog = cache.get(cell.workload, cell.targetInsts);
@@ -96,6 +116,17 @@ selectCells(const SweepSpec &spec, const SweepOptions &opts)
         const std::size_t g = spec.groupIndex(spec.cell(i).group);
         if (g % opts.shardCount == opts.shardIndex)
             sel.push_back(i);
+    }
+    // A split wider than the group count leaves trailing shards empty;
+    // a silent empty report reads like success, so tell driver users
+    // their split is misconfigured.
+    if (sel.empty() && opts.shardCount > 1 && spec.size() > 0) {
+        std::fprintf(stderr,
+                     "warning: --shard=%u/%u selects no groups of sweep"
+                     " '%s' (%zu groups; shards beyond the group count"
+                     " are empty)\n",
+                     opts.shardIndex, opts.shardCount,
+                     spec.name().c_str(), spec.groups().size());
     }
     return sel;
 }
@@ -158,6 +189,7 @@ writeFull(int fd, const void *buf, std::size_t n)
 [[noreturn]] void
 workerLoop(const SweepSpec &spec, int cmdFd, int resFd)
 {
+    gWorkerResultFd = resFd;  // crash-injection test hooks write here
     ProgramCache cache;
     for (;;) {
         std::uint64_t idx = 0;
@@ -214,6 +246,25 @@ class ForkPool
         for (Worker &w : workers_) {
             if (w.alive)
                 deal(w);
+        }
+    }
+
+    /** Exception backstop: a throw escaping run() (e.g. from an
+     * onCellDone callback) must not leak live workers blocked on
+     * their command pipes for the life of the parent. The normal path
+     * reaps everything in shutdown(), leaving this a no-op. */
+    ~ForkPool()
+    {
+        for (Worker &w : workers_) {
+            if (!w.alive)
+                continue;
+            if (w.cmdFd >= 0)
+                ::close(w.cmdFd);
+            ::close(w.resFd);
+            ::kill(w.pid, SIGKILL);
+            int status = 0;
+            ::waitpid(w.pid, &status, 0);
+            w.alive = false;
         }
     }
 
@@ -293,16 +344,16 @@ class ForkPool
     /** Hand the next pending cell to @p w (or quit it when drained). */
     void deal(Worker &w)
     {
-        while (!pending_.empty()) {
+        if (!pending_.empty()) {
             const std::uint64_t idx = pending_.front();
             pending_.pop_front();
             if (writeFull(w.cmdFd, &idx, sizeof(idx))) {
                 w.inflight = static_cast<long>(idx);
-                return;
+            } else {
+                // Write side already broken: requeue and let the
+                // resFd EOF path reap the worker.
+                pending_.push_front(static_cast<std::size_t>(idx));
             }
-            // Write side already broken: requeue and let the resFd EOF
-            // path reap the worker.
-            pending_.push_front(static_cast<std::size_t>(idx));
             return;
         }
         const std::uint64_t q = quitSentinel;
@@ -386,6 +437,11 @@ class ForkPool
         ::close(w.resFd);
         w.resFd = -1;
         w.alive = false;
+        // A worker that died mid-write leaves a truncated trailing
+        // line (no '\n') in w.buf. Drop it: only complete lines ever
+        // reach the deserializer; the in-flight cell already failed
+        // with the exit/signal diagnosis above.
+        w.buf.clear();
         // Keep the pool at strength while work remains. A failed spawn
         // (fork/pipe error) must not deal to workers_.back() — that is
         // some existing, possibly busy worker.
@@ -475,18 +531,28 @@ class ForkPool
     std::deque<Worker> workers_;
 };
 
+/** Scope guard: a dead worker's command pipe must raise EPIPE, not
+ * kill the pool — and the old disposition must come back even when an
+ * exception unwinds past the pool. */
+struct SigpipeIgnored
+{
+    struct sigaction old{};
+    SigpipeIgnored()
+    {
+        struct sigaction ign{};
+        ign.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ign, &old);
+    }
+    ~SigpipeIgnored() { ::sigaction(SIGPIPE, &old, nullptr); }
+};
+
 std::vector<CellOutcome>
 runPool(const SweepSpec &spec, std::deque<std::size_t> pending,
         const SweepOptions &opts)
 {
-    // A dead worker's command pipe must raise EPIPE, not kill the pool.
-    struct sigaction ign{}, old{};
-    ign.sa_handler = SIG_IGN;
-    ::sigaction(SIGPIPE, &ign, &old);
+    SigpipeIgnored guard;
     ForkPool pool(spec, std::move(pending), opts);
-    std::vector<CellOutcome> out = pool.run();
-    ::sigaction(SIGPIPE, &old, nullptr);
-    return out;
+    return pool.run();
 }
 
 #endif // SVW_HAVE_FORK_POOL
@@ -497,20 +563,60 @@ SweepResults
 runSweep(const SweepSpec &spec, const SweepOptions &opts)
 {
     std::deque<std::size_t> pending = selectCells(spec, opts);
+
+    // Serve cache hits before any cell is dealt to a worker; remember
+    // the probed keys so successful misses can be stored without
+    // re-deriving them.
+    std::optional<ResultCache> cache;
+    std::vector<std::pair<std::size_t, CellOutcome>> hits;
+    std::vector<std::pair<std::size_t, CellKey>> probed;
+    if (!opts.cacheDir.empty()) {
+        cache.emplace(opts.cacheDir);
+        std::deque<std::size_t> misses;
+        for (std::size_t idx : pending) {
+            const SweepCell &cell = spec.cell(idx);
+            if (!cellCacheable(cell)) {
+                misses.push_back(idx);
+                continue;
+            }
+            CellKey key = cellKey(cell);
+            CellOutcome o;
+            if (cache->get(key, o.result)) {
+                o.ran = o.ok = o.cached = true;
+                if (opts.onCellDone)
+                    opts.onCellDone(idx, o);
+                hits.emplace_back(idx, std::move(o));
+            } else {
+                probed.emplace_back(idx, std::move(key));
+                misses.push_back(idx);
+            }
+        }
+        pending = std::move(misses);
+    }
+
+    std::vector<CellOutcome> outcomes;
 #ifdef SVW_HAVE_FORK_POOL
     // Any --jobs>1 request takes the pool — even for a single selected
     // cell — so the advertised crash/exception containment does not
     // silently depend on the cell count.
-    if (opts.jobs > 1 && !pending.empty()) {
-        return SweepResults(spec,
-                            runPool(spec, std::move(pending), opts));
-    }
+    if (opts.jobs > 1 && !pending.empty())
+        outcomes = runPool(spec, std::move(pending), opts);
+    else
+        outcomes = runSequential(spec, std::move(pending), opts);
 #else
     if (opts.jobs > 1)
         svw_warn("--jobs requires fork(); running sequentially");
+    outcomes = runSequential(spec, std::move(pending), opts);
 #endif
-    return SweepResults(spec,
-                        runSequential(spec, std::move(pending), opts));
+
+    for (auto &[idx, o] : hits)
+        outcomes[idx] = std::move(o);
+    for (const auto &[idx, key] : probed) {
+        const CellOutcome &o = outcomes[idx];
+        if (o.ran && o.ok)
+            cache->put(key, o.result);
+    }
+    return SweepResults(spec, std::move(outcomes));
 }
 
 } // namespace svw::harness

@@ -47,6 +47,15 @@ struct SweepOptions
     unsigned shardIndex = 0;
     unsigned shardCount = 1;
     /**
+     * Persistent result-cache directory (harness/sweep.hh ResultCache);
+     * empty disables caching. Cacheable cells are looked up *before*
+     * any cell is dealt to a worker — a hit is recorded as a completed
+     * outcome (cached=true, zero timing) without running anything —
+     * and successful misses are stored after the sweep, so a repeated
+     * sweep only simulates changed cells.
+     */
+    std::string cacheDir;
+    /**
      * Progress callback, invoked in the parent as each cell outcome is
      * recorded (completion order under a worker pool; spec order
      * in-process). Long sweeps stream per-cell status through this.
@@ -57,6 +66,20 @@ struct SweepOptions
 
 /** Monotonic host wall-clock seconds (arbitrary origin). */
 double hostSeconds();
+
+/** Count of runCell invocations in the *calling* process (a pool
+ * worker's executions land in the worker's own copy, not the
+ * parent's). Test instrumentation: a fully warm-cache sweep serves
+ * hits in the parent, so it must leave the parent's count unchanged. */
+std::uint64_t runCellCalls();
+
+/**
+ * Inside a pool worker: the fd of the worker's result pipe; -1 in the
+ * parent / in-process path. Crash-injection tests use it to die
+ * mid-protocol-line and assert the parent discards the truncated
+ * record.
+ */
+int workerResultFd();
 
 /**
  * Per-process cache of built workload programs: each (workload,

@@ -21,7 +21,11 @@ FigureTable::addRow(const std::string &name, const std::vector<double> &vals)
 void
 FigureTable::addAverageRow()
 {
-    svw_assert(!rows.empty(), "average of empty table");
+    // An empty table is legitimate: a --shard=i/n invocation beyond
+    // the group count selects no rows (the executor warns) and must
+    // print an empty table, not abort.
+    if (rows.empty())
+        return;
     std::vector<double> avg(cols.size(), 0.0);
     for (const Row &r : rows)
         for (std::size_t c = 0; c < cols.size(); ++c)

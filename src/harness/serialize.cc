@@ -1,9 +1,11 @@
 #include "harness/serialize.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 namespace svw::harness {
@@ -36,6 +38,13 @@ jsonEscape(const std::string &s)
 std::string
 jsonDouble(double v)
 {
+    // Non-finite doubles as distinguished strings: %.17g would emit
+    // bare nan/inf tokens, which are not JSON, and the result cache
+    // persists these lines for external tools to read.
+    if (std::isnan(v))
+        return "\"NaN\"";
+    if (std::isinf(v))
+        return v > 0 ? "\"Infinity\"" : "\"-Infinity\"";
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
@@ -150,7 +159,8 @@ parseNumberToken(Cursor &c, std::string &tok)
     while (!c.atEnd() &&
            (std::strchr("+-.0123456789eE", *c.p) != nullptr ||
             std::isalpha(static_cast<unsigned char>(*c.p)))) {
-        // isalpha admits inf/nan tokens from %.17g.
+        // isalpha admits true/false (and legacy bare inf/nan tokens;
+        // the writer now encodes non-finite doubles as strings).
         tok += *c.p++;
     }
     return !tok.empty();
@@ -195,6 +205,26 @@ parseU64(Cursor &c, std::uint64_t &v)
 bool
 parseDouble(Cursor &c, double &v)
 {
+    c.skipWs();
+    if (c.peek('"')) {
+        // jsonDouble's non-finite encoding.
+        std::string s;
+        if (!parseString(c, s))
+            return false;
+        if (s == "NaN") {
+            v = std::numeric_limits<double>::quiet_NaN();
+            return true;
+        }
+        if (s == "Infinity") {
+            v = std::numeric_limits<double>::infinity();
+            return true;
+        }
+        if (s == "-Infinity") {
+            v = -std::numeric_limits<double>::infinity();
+            return true;
+        }
+        return false;
+    }
     std::string tok;
     if (!parseNumberToken(c, tok))
         return false;
@@ -309,6 +339,144 @@ cellRecordToLine(const CellRecord &rec)
        << ",\"result\":" << runResultToJson(rec.result)
        << "}\n";
     return os.str();
+}
+
+// Key material must enumerate EVERY field: a knob missing from this
+// list would let two different machines share one cache entry. The
+// size checks cannot prove the lists are complete, but they force a
+// human through this file whenever either struct changes shape —
+// update coreParamsKeyText (and, for RunResult, the JSON
+// writer/parser: parseValueInto tolerates missing keys, so an
+// unlisted new metric would re-parse from old cache entries as its
+// default) AND bump resultCacheCodeVersion (harness/sweep.hh) if the
+// change alters results. The sizes are ABI-specific, so the tripwire
+// is pinned to the toolchain CI enforces rather than breaking other
+// builds over std::string layout.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(CoreParams) == 280,
+              "CoreParams changed: revisit coreParamsKeyText and the "
+              "result-cache code version");
+static_assert(sizeof(RunResult) == 208,
+              "RunResult changed: update the JSON writer/parser and "
+              "bump the result-cache code version");
+#endif
+
+std::string
+coreParamsKeyText(const CoreParams &p)
+{
+    std::ostringstream os;
+    auto cache = [&os](const char *name, const CacheParams &c) {
+        os << '|' << name << '=' << c.sizeBytes << '/' << c.assoc << '/'
+           << c.lineBytes << '/' << c.latency;
+    };
+    os << "fetchWidth=" << p.fetchWidth
+       << "|dispatchWidth=" << p.dispatchWidth
+       << "|issueWidth=" << p.issueWidth
+       << "|commitWidth=" << p.commitWidth
+       << "|intIssue=" << p.intIssue
+       << "|loadIssue=" << p.loadIssue
+       << "|branchIssue=" << p.branchIssue
+       << "|robEntries=" << p.robEntries
+       << "|iqEntries=" << p.iqEntries
+       << "|numPhysRegs=" << p.numPhysRegs
+       << "|renameCheckpoints=" << p.renameCheckpoints
+       << "|frontendDepth=" << p.frontendDepth
+       << "|mispredictRedirect=" << p.mispredictRedirect
+       << "|rexTransit=" << p.rexTransit
+       << "|dcachePorts=" << p.dcachePorts
+       << "|bpred.hybridEntries=" << p.bpred.hybridEntries
+       << "|bpred.btbEntries=" << p.bpred.btbEntries
+       << "|bpred.btbAssoc=" << p.bpred.btbAssoc
+       << "|bpred.rasEntries=" << p.bpred.rasEntries;
+    cache("mem.l1i", p.mem.l1i);
+    cache("mem.l1d", p.mem.l1d);
+    cache("mem.l2", p.mem.l2);
+    os << "|mem.memLatency=" << p.mem.memLatency
+       << "|mem.l2BusCyclesPerLine=" << p.mem.l2BusCyclesPerLine
+       << "|mem.memBusCyclesPerLine=" << p.mem.memBusCyclesPerLine
+       << "|mem.l1dBanks=" << p.mem.l1dBanks
+       << "|lsu.lqEntries=" << p.lsu.lqEntries
+       << "|lsu.sqEntries=" << p.lsu.sqEntries
+       << "|lsu.nlq=" << p.lsu.nlq
+       << "|lsu.ssq=" << p.lsu.ssq
+       << "|lsu.fsqEntries=" << p.lsu.fsqEntries
+       << "|lsu.fsqPorts=" << p.lsu.fsqPorts
+       << "|lsu.fwdBufEntriesPerBank=" << p.lsu.fwdBufEntriesPerBank
+       << "|lsu.loadExtraLatency=" << p.lsu.loadExtraLatency
+       << "|lsu.lqValueCheck=" << p.lsu.lqValueCheck
+       << "|lsu.storeIssueWidth=" << p.lsu.storeIssueWidth
+       << "|lsu.steeringEntries=" << p.lsu.steeringEntries
+       << "|svw.enabled=" << p.svw.enabled
+       << "|svw.updateOnForward=" << p.svw.updateOnForward
+       << "|svw.ssnBits=" << p.svw.ssnBits
+       << "|svw.ssbf.entries=" << p.svw.ssbf.entries
+       << "|svw.ssbf.granularityBytes=" << p.svw.ssbf.granularityBytes
+       << "|svw.ssbf.dualHash=" << p.svw.ssbf.dualHash
+       << "|svw.ssbf.infinite=" << p.svw.ssbf.infinite
+       << "|svw.speculativeSsbfUpdate=" << p.svw.speculativeSsbfUpdate
+       << "|rex.enabled=" << p.rex.enabled
+       << "|rex.perfect=" << p.rex.perfect
+       << "|rex.width=" << p.rex.width
+       << "|rex.storeBufferEntries=" << p.rex.storeBufferEntries
+       << "|rex.cacheLatency=" << p.rex.cacheLatency
+       << "|rex.regfileReadLatency=" << p.rex.regfileReadLatency
+       << "|rex.svwReplacesReExecution=" << p.rex.svwReplacesReExecution
+       << "|rle.enabled=" << p.rle.enabled
+       << "|rle.itEntries=" << p.rle.itEntries
+       << "|rle.itAssoc=" << p.rle.itAssoc
+       << "|rle.squashReuse=" << p.rle.squashReuse
+       << "|rle.integrateAlu=" << p.rle.integrateAlu
+       << "|rle.maxPinnedRegs=" << p.rle.maxPinnedRegs
+       << "|nlqsm=" << p.nlqsm;
+    return os.str();
+}
+
+std::string
+cacheEntryToLine(const std::string &material, const RunResult &r)
+{
+    std::ostringstream os;
+    os << "{\"v\":1"
+       << ",\"material\":\"" << jsonEscape(material) << "\""
+       << ",\"result\":" << runResultToJson(r)
+       << "}\n";
+    return os.str();
+}
+
+bool
+cacheEntryFromLine(const std::string &line, std::string &material,
+                   RunResult &r)
+{
+    Cursor c{line.data(), line.data() + line.size()};
+    std::uint64_t version = 0;
+    std::string mat;
+    RunResult res;
+    bool sawMaterial = false, sawResult = false;
+    if (!c.consume('{'))
+        return false;
+    do {
+        std::string key;
+        if (!parseString(c, key) || !c.consume(':'))
+            return false;
+        bool good;
+        if (key == "v") {
+            good = parseU64(c, version);
+        } else if (key == "material") {
+            good = parseString(c, mat);
+            sawMaterial = good;
+        } else if (key == "result") {
+            good = parseRunResultObject(c, res);
+            sawResult = good;
+        } else {
+            good = skipValue(c);
+        }
+        if (!good)
+            return false;
+    } while (c.consume(','));
+    if (!c.consume('}') || version != 1 || !sawMaterial || !sawResult)
+        return false;
+    material = std::move(mat);
+    r = res;
+    return true;
 }
 
 bool

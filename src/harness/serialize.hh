@@ -32,8 +32,39 @@ bool runResultFromJson(const std::string &json, RunResult &out);
 /** Escape a string for embedding in a JSON literal (quotes excluded). */
 std::string jsonEscape(const std::string &s);
 
-/** Lossless double literal (%.17g). */
+/**
+ * Lossless double literal (%.17g). Non-finite values are encoded as
+ * the distinguished strings "NaN"/"Infinity"/"-Infinity" — %.17g's
+ * bare `nan`/`inf` tokens are not JSON, and a cached stat file must
+ * stay parseable by any JSON reader. The parser maps them back, so
+ * the round trip is exact for every double.
+ */
 std::string jsonDouble(double v);
+
+/**
+ * Deterministic flat rendering of every CoreParams field (nested
+ * param structs included), `name=value` joined with `|`. This is the
+ * result cache's key material (harness/sweep.hh cellKey): any
+ * configuration difference — including a newly added knob, once it is
+ * listed here — changes the text and therefore the key. A
+ * static_assert on sizeof(CoreParams) in serialize.cc forces this
+ * list to be revisited whenever the struct changes shape.
+ */
+std::string coreParamsKeyText(const CoreParams &p);
+
+/**
+ * Result-cache entry: one JSON line holding the schema version, the
+ * full key material (so a reader can verify the hash-named file
+ * really belongs to its key — a collision or corruption degrades to a
+ * cache miss, never a wrong result), and the RunResult.
+ */
+std::string cacheEntryToLine(const std::string &material,
+                             const RunResult &r);
+
+/** Parse cacheEntryToLine output (with or without the trailing
+ * newline). @return false on malformed input or schema mismatch. */
+bool cacheEntryFromLine(const std::string &line, std::string &material,
+                        RunResult &r);
 
 /**
  * Worker-protocol record: the per-cell execution envelope around the

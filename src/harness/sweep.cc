@@ -1,6 +1,15 @@
 #include "harness/sweep.hh"
 
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
 #include "base/logging.hh"
+#include "harness/serialize.hh"
 
 namespace svw::harness {
 
@@ -119,6 +128,154 @@ SweepResults::failures() const
             ++n;
     }
     return n;
+}
+
+// ---------------------------------------------------------------------------
+// Persistent result cache
+// ---------------------------------------------------------------------------
+
+std::string
+CellKey::fileName() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx.json",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+CellKey
+cellKey(const SweepCell &cell)
+{
+    std::ostringstream os;
+    // The config *label* is keyed alongside the expanded CoreParams:
+    // the cached RunResult embeds it, and two ExperimentConfigs can
+    // normalize to identical machine knobs while labeling differently
+    // (e.g. svwReplace with SVW disabled) — sharing their entry would
+    // serve a result stamped with the other experiment's name.
+    // Intentional cross-figure sharing is unaffected: identical
+    // ExperimentConfigs have identical labels.
+    os << "version=" << resultCacheCodeVersion
+       << "|workload=" << cell.workload
+       << "|insts=" << cell.targetInsts
+       << "|golden=" << (cell.goldenCheck ? 1 : 0)
+       << "|label=" << configLabel(cell.config)
+       << '|' << coreParamsKeyText(buildParams(cell.config));
+
+    CellKey key;
+    key.material = os.str();
+    // FNV-1a 64.
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char ch : key.material) {
+        h ^= ch;
+        h *= 1099511628211ull;
+    }
+    key.hash = h;
+    return key;
+}
+
+bool
+cellCacheable(const SweepCell &cell)
+{
+    return !cell.hook && cell.timingReps <= 1 && !cell.neverCache;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec && !std::filesystem::is_directory(dir_)) {
+        svw_fatal("cannot create result-cache directory ", dir_, ": ",
+                  ec.message());
+    }
+}
+
+void
+ResultCache::collectTempLitter() const
+{
+    // GC temp droppings from writers that died between open and
+    // rename (e.g. an OOM-killed driver shard). An hour of age is far
+    // beyond any live put(), so this never races a healthy writer;
+    // all errors are ignored — litter is cosmetic, not correctness.
+    // Only temp-named files are ever stat'ed, and the walk runs once
+    // per process from the first put(), so fully warm (read-only)
+    // runs never pay the directory scan.
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const auto now = fs::file_time_type::clock::now();
+    for (fs::directory_iterator it(dir_, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->path().filename().string().find(".tmp.") ==
+            std::string::npos) {
+            continue;
+        }
+        std::error_code fec;
+        const auto mtime = fs::last_write_time(it->path(), fec);
+        if (!fec && now - mtime > std::chrono::hours(1))
+            fs::remove(it->path(), fec);
+    }
+}
+
+bool
+ResultCache::get(const CellKey &key, RunResult &out) const
+{
+    std::ifstream in(dir_ + "/" + key.fileName());
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    std::string material;
+    RunResult r;
+    if (!cacheEntryFromLine(line, material, r))
+        return false;  // corruption / foreign file: treat as a miss
+    if (material != key.material)
+        return false;  // hash collision: never serve a wrong result
+    out = std::move(r);
+    return true;
+}
+
+void
+ResultCache::put(const CellKey &key, const RunResult &r) const
+{
+    namespace fs = std::filesystem;
+    if (!gcDone_) {
+        gcDone_ = true;
+        collectTempLitter();
+    }
+    const std::string target = dir_ + "/" + key.fileName();
+    // Same-directory temp + rename: rename(2) is atomic, so a
+    // concurrent reader (or a sibling sweep_driver shard writing the
+    // same key) sees a complete entry or none. The hostname+pid
+    // suffix keeps concurrent writers off each other's temp files —
+    // pid alone is not unique across the hosts of an ssh-launched
+    // shard set sharing one cache dir.
+    char host[64] = "localhost";
+    (void)::gethostname(host, sizeof(host) - 1);
+    host[sizeof(host) - 1] = '\0';
+    const std::string tmp = target + ".tmp." + host + "." +
+                            std::to_string(::getpid());
+    {
+        std::ofstream outf(tmp, std::ios::trunc);
+        if (!outf) {
+            svw_warn("result cache: cannot write ", tmp);
+            return;
+        }
+        outf << cacheEntryToLine(key.material, r);
+        outf.flush();
+        if (!outf) {
+            svw_warn("result cache: short write to ", tmp);
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        svw_warn("result cache: rename to ", target, " failed: ",
+                 ec.message());
+        fs::remove(tmp, ec);
+    }
 }
 
 } // namespace svw::harness

@@ -45,6 +45,14 @@ struct SweepCell
     /** Timing repetitions (perf tracking); metrics are identical across
      * reps, the executor reports the best rep's wall time. */
     unsigned timingReps = 1;
+    /**
+     * Opt out of the persistent result cache even when the sweep runs
+     * with one. Spec builders set this on cells whose *wall time* is
+     * the product (perf tracking): a cached cell reports zero seconds,
+     * which would silently poison a throughput trajectory. timingReps
+     * > 1 implies the same exclusion; this flag covers --reps=1.
+     */
+    bool neverCache = false;
     /** Optional per-cycle hook (invalidation injectors). Runs in the
      * executing process — workers inherit it through fork. */
     std::function<void(Core &)> hook;
@@ -97,10 +105,93 @@ struct CellOutcome
 {
     bool ran = false;  ///< selected by the shard and attempted
     bool ok = false;   ///< completed; result is valid
+    /** Served from the persistent ResultCache: no simulation ran and
+     * the timing fields are zero. */
+    bool cached = false;
     std::string error; ///< failure description when !ok
     double seconds = 0.0;          ///< best timing rep (host wall)
     double hostWallSeconds = 0.0;  ///< total host wall across reps
     RunResult result{};
+};
+
+// ---------------------------------------------------------------------------
+// Persistent result cache
+// ---------------------------------------------------------------------------
+
+/**
+ * Code-version stamp baked into every cache key. The key material
+ * already covers every CoreParams knob (serialize.hh
+ * coreParamsKeyText), so parameter changes self-invalidate; bump this
+ * stamp for changes that alter simulated timing or metrics *without*
+ * touching any parameter — a new scheduling rule, a bug fix in the
+ * core, a workload-generator change. Stale entries are never deleted,
+ * just never matched again.
+ */
+inline constexpr const char *resultCacheCodeVersion = "svw-sim-1";
+
+/**
+ * Content-addressed identity of a cell's RunResult: a 64-bit FNV-1a
+ * hash over the human-readable key material
+ * (version | workload | insts | goldenCheck | full CoreParams text).
+ * The material rides along so stores can embed it and lookups can
+ * verify it — a hash collision degrades to a miss, never a wrong hit.
+ * Group/label/baseline naming is deliberately NOT part of the key:
+ * identical (workload, insts, config) cells share one entry across
+ * figures.
+ */
+struct CellKey
+{
+    std::uint64_t hash = 0;
+    std::string material;
+
+    /** Cache file name: 16 hex digits + ".json". */
+    std::string fileName() const;
+};
+
+/** Derive the cache key for @p cell (expands the cell's
+ * ExperimentConfig through buildParams so every machine knob counts). */
+CellKey cellKey(const SweepCell &cell);
+
+/**
+ * True when the cell's outcome is a pure function of its key: no
+ * injected per-cycle hook (hooks perturb the simulation and cannot be
+ * serialized) and no timing repetitions (perf cells exist to measure
+ * *this* host run's wall time). Non-cacheable cells always execute.
+ */
+bool cellCacheable(const SweepCell &cell);
+
+/**
+ * On-disk store: one JSON-line file per key under a directory
+ * (serialize.hh cacheEntryToLine — the sweep engine's lossless wire
+ * format, so a warm read is bit-exact). Writes go to a temp file in
+ * the same directory and are renamed into place, so concurrent
+ * writers (sweep_driver shards sharing one --cache-dir) and crashed
+ * writers can never leave a reader a partial entry: a reader sees the
+ * old entry, a complete new entry, or a miss.
+ */
+class ResultCache
+{
+  public:
+    /** Creates @p dir (and parents) if missing; fatal if impossible. */
+    explicit ResultCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** @return true and fill @p out on a verified hit. */
+    bool get(const CellKey &key, RunResult &out) const;
+
+    /** Best-effort atomic store; I/O failures warn and drop the entry
+     * (the cache is an accelerator, never a correctness dependency).
+     * The first store also garbage-collects orphaned temp files from
+     * writers killed mid-store (age > 1 h) — put-side so fully warm
+     * runs never pay the directory walk. */
+    void put(const CellKey &key, const RunResult &r) const;
+
+  private:
+    void collectTempLitter() const;
+
+    std::string dir_;
+    mutable bool gcDone_ = false;
 };
 
 /** Merged, spec-ordered results of a sweep. */

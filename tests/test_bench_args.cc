@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bench command-line parsing tests (bench/bench_common.hh). Death
+ * tests pin the exit-2 rejection contract: malformed numbers —
+ * including trailing garbage like `--jobs=4x`, which a raw strtoull
+ * would silently truncate to 4 — out-of-range values, and invalid
+ * shard splits must all fail fast, never run a wrong sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../bench/bench_common.hh"
+
+using namespace svw::bench;
+
+namespace {
+
+/** Run parseArgs over a writable argv copy. */
+BenchArgs
+parse(std::vector<std::string> args)
+{
+    std::vector<std::string> storage;
+    storage.push_back("bench_test");
+    for (auto &a : args)
+        storage.push_back(std::move(a));
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    return parseArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(BenchArgs, ParsesWellFormedFlags)
+{
+    const BenchArgs a = parse({"--insts=50000", "--bench=mcf", "--jobs=4",
+                               "--shard=1/3", "--cache-dir=/tmp/c"});
+    EXPECT_EQ(a.insts, 50'000u);
+    EXPECT_EQ(a.only, "mcf");
+    EXPECT_EQ(a.jobs, 4u);
+    EXPECT_EQ(a.shardIndex, 1u);
+    EXPECT_EQ(a.shardCount, 3u);
+    EXPECT_EQ(a.cacheDir, "/tmp/c");
+    EXPECT_FALSE(a.noCache);
+    EXPECT_EQ(sweepOptions(a).cacheDir, "/tmp/c");
+
+    EXPECT_EQ(parse({}).jobs, 1u);
+    EXPECT_EQ(parse({"--quick"}).insts, 20'000u);
+    EXPECT_EQ(parseFlagNumber("007", "--x"), 7u);
+}
+
+TEST(BenchArgs, NoCacheOverridesCacheDir)
+{
+    const BenchArgs a = parse({"--cache-dir=/tmp/c", "--no-cache"});
+    EXPECT_TRUE(a.noCache);
+    EXPECT_EQ(sweepOptions(a).cacheDir, "");
+}
+
+using BenchArgsDeath = ::testing::Test;
+
+TEST(BenchArgsDeath, TrailingGarbageIsRejectedNotTruncated)
+{
+    // The regression this file exists for: "--jobs=4x" must exit 2,
+    // not silently run with jobs=4.
+    EXPECT_EXIT(parse({"--jobs=4x"}), ::testing::ExitedWithCode(2),
+                "bad number '4x' for --jobs");
+    EXPECT_EXIT(parse({"--insts=100k"}), ::testing::ExitedWithCode(2),
+                "bad number '100k' for --insts");
+    EXPECT_EXIT(parse({"--shard=1x/2"}), ::testing::ExitedWithCode(2),
+                "bad number '1x' for --shard");
+    EXPECT_EXIT(parse({"--shard=0/2x"}), ::testing::ExitedWithCode(2),
+                "bad number '2x' for --shard");
+    EXPECT_EXIT(parse({"--jobs= 4"}), ::testing::ExitedWithCode(2),
+                "bad number");
+    EXPECT_EXIT(parse({"--jobs=0x10"}), ::testing::ExitedWithCode(2),
+                "bad number");
+    EXPECT_EXIT(parse({"--insts=1e6"}), ::testing::ExitedWithCode(2),
+                "bad number");
+}
+
+TEST(BenchArgsDeath, SignsEmptiesAndOverflowAreRejected)
+{
+    EXPECT_EXIT(parse({"--jobs=-1"}), ::testing::ExitedWithCode(2),
+                "bad number");
+    EXPECT_EXIT(parse({"--jobs="}), ::testing::ExitedWithCode(2),
+                "bad number");
+    // Beyond uint64.
+    EXPECT_EXIT(parse({"--insts=18446744073709551616"}),
+                ::testing::ExitedWithCode(2), "bad number");
+    // Fits uint64 but not unsigned: no silent truncation wrap.
+    EXPECT_EXIT(parse({"--jobs=4294967296"}),
+                ::testing::ExitedWithCode(2), "out of range");
+}
+
+TEST(BenchArgsDeath, InvalidCombinationsAndUnknownFlagsExit2)
+{
+    EXPECT_EXIT(parse({"--jobs=0"}), ::testing::ExitedWithCode(2),
+                "need --jobs>=1");
+    EXPECT_EXIT(parse({"--shard=2/2"}), ::testing::ExitedWithCode(2),
+                "--shard=i/n with i<n");
+    EXPECT_EXIT(parse({"--shard=3"}), ::testing::ExitedWithCode(2),
+                "--shard=i/n with i<n");
+    EXPECT_EXIT(parse({"--frobnicate"}), ::testing::ExitedWithCode(2),
+                "unknown arg --frobnicate");
+    EXPECT_EXIT(parse({"positional"}), ::testing::ExitedWithCode(2),
+                "unknown arg positional");
+}

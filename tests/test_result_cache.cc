@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Persistent result-cache tests: key derivation and sensitivity, the
+ * cold-populate / warm-serve cycle (warm must be byte-identical with
+ * zero simulations), invalidation on any configuration or budget
+ * change, atomic concurrent writers, corruption tolerance, and the
+ * cache-off path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "harness/executor.hh"
+#include "harness/serialize.hh"
+#include "harness/sweep.hh"
+
+using namespace svw;
+using namespace svw::harness;
+
+namespace {
+
+SweepCell
+makeCell(const std::string &group, const std::string &label,
+         const std::string &workload, std::uint64_t insts,
+         bool baseline = false)
+{
+    SweepCell c;
+    c.group = group;
+    c.label = label;
+    c.workload = workload;
+    c.targetInsts = insts;
+    c.baseline = baseline;
+    return c;
+}
+
+/** Two-group, four-cell spec, small enough for unit-test budgets. */
+SweepSpec
+smallSpec(std::uint64_t insts = 3'000)
+{
+    SweepSpec spec("cache-test");
+    for (const std::string w : {"gzip", "crafty"}) {
+        SweepCell base = makeCell(w, "BASE", w, insts, true);
+        SweepCell nlq = makeCell(w, "NLQ", w, insts);
+        nlq.config.opt = OptMode::Nlq;
+        nlq.config.svw = SvwMode::Upd;
+        spec.add(base);
+        spec.add(nlq);
+    }
+    return spec;
+}
+
+/** Fresh private temp directory. */
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/svw-result-cache-test-XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir ? dir : "";
+}
+
+struct TempDir
+{
+    std::string path = makeTempDir();
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+std::vector<std::string>
+resultsJson(const SweepResults &res)
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < res.spec().size(); ++i)
+        out.push_back(runResultToJson(res.outcome(i).result));
+    return out;
+}
+
+} // namespace
+
+TEST(CellKey, StableAndNameIndependent)
+{
+    SweepCell a = makeCell("g", "l", "gzip", 5'000);
+    const CellKey k = cellKey(a);
+    EXPECT_EQ(cellKey(a).hash, k.hash);
+    EXPECT_EQ(cellKey(a).material, k.material);
+    EXPECT_EQ(k.fileName().size(), 16u + 5u);
+
+    // Naming and presentation fields are not identity: the same
+    // (workload, insts, config) in another figure shares the entry.
+    SweepCell renamed = a;
+    renamed.group = "other";
+    renamed.label = "column";
+    renamed.baseline = true;
+    EXPECT_EQ(cellKey(renamed).hash, k.hash);
+    EXPECT_EQ(cellKey(renamed).material, k.material);
+
+    // The material embeds the code-version stamp and every knob.
+    EXPECT_NE(k.material.find(resultCacheCodeVersion), std::string::npos);
+    EXPECT_NE(k.material.find("workload=gzip"), std::string::npos);
+    EXPECT_NE(k.material.find("rle.maxPinnedRegs="), std::string::npos);
+}
+
+TEST(CellKey, EverySimulationInputChangesTheKey)
+{
+    SweepCell base = makeCell("g", "l", "gzip", 5'000);
+    base.config.opt = OptMode::Nlq;
+    base.config.svw = SvwMode::Upd;
+    const CellKey k0 = cellKey(base);
+
+    auto differs = [&k0](SweepCell c, const char *what) {
+        const CellKey k = cellKey(c);
+        EXPECT_NE(k.material, k0.material) << what;
+        EXPECT_NE(k.hash, k0.hash) << what;
+    };
+
+    {
+        SweepCell c = base;
+        c.workload = "mcf";
+        differs(c, "workload");
+    }
+    {
+        SweepCell c = base;
+        c.targetInsts = 5'001;
+        differs(c, "insts");
+    }
+    {
+        SweepCell c = base;
+        c.goldenCheck = false;
+        differs(c, "goldenCheck");
+    }
+    {
+        SweepCell c = base;
+        c.config.machine = Machine::FourWide;
+        differs(c, "machine");
+    }
+    {
+        SweepCell c = base;
+        c.config.opt = OptMode::Ssq;
+        differs(c, "opt");
+    }
+    {
+        SweepCell c = base;
+        c.config.svw = SvwMode::NoUpd;
+        differs(c, "svw mode");
+    }
+    {
+        SweepCell c = base;
+        c.config.ssnBits = 12;
+        differs(c, "ssnBits");
+    }
+    {
+        SweepCell c = base;
+        c.config.ssbf.entries = 128;
+        differs(c, "ssbf.entries");
+    }
+    {
+        SweepCell c = base;
+        c.config.ssbf.dualHash = true;
+        differs(c, "ssbf.dualHash");
+    }
+    {
+        SweepCell c = base;
+        c.config.dcachePorts = 2;
+        differs(c, "dcachePorts");
+    }
+    {
+        SweepCell c = base;
+        c.config.rleSquashReuse = false;
+        differs(c, "rleSquashReuse");
+    }
+    {
+        SweepCell c = base;
+        c.config.nlqsm = true;
+        differs(c, "nlqsm");
+    }
+    {
+        SweepCell c = base;
+        c.config.svwReplace = true;
+        differs(c, "svwReplace");
+    }
+    {
+        SweepCell c = base;
+        c.config.lqValueCheck = true;
+        differs(c, "lqValueCheck");
+    }
+    {
+        SweepCell c = base;
+        c.config.speculativeSsbfUpdate = false;
+        differs(c, "speculativeSsbfUpdate");
+    }
+}
+
+TEST(CellKey, Cacheability)
+{
+    SweepCell plain = makeCell("g", "l", "gzip", 2'000);
+    EXPECT_TRUE(cellCacheable(plain));
+
+    SweepCell hooked = plain;
+    hooked.hook = [](Core &) {};
+    EXPECT_FALSE(cellCacheable(hooked));
+
+    SweepCell timed = plain;
+    timed.timingReps = 3;
+    EXPECT_FALSE(cellCacheable(timed));
+
+    // A spec builder can opt out explicitly (perf cells at --reps=1).
+    SweepCell optOut = plain;
+    optOut.neverCache = true;
+    EXPECT_FALSE(cellCacheable(optOut));
+}
+
+TEST(ResultCache, ColdPopulatesWarmServesByteIdenticalWithZeroRuns)
+{
+    TempDir dir;
+    const SweepSpec spec = smallSpec();
+
+    SweepOptions opts;
+    opts.cacheDir = dir.path;
+
+    const std::uint64_t calls0 = runCellCalls();
+    const SweepResults cold = runSweep(spec, opts);
+    EXPECT_EQ(runCellCalls() - calls0, spec.size());
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        EXPECT_TRUE(cold.outcome(i).ok);
+        EXPECT_FALSE(cold.outcome(i).cached);
+    }
+    // One entry file per cell, named by the key hash.
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        EXPECT_TRUE(std::filesystem::exists(
+            dir.path + "/" + cellKey(spec.cell(i)).fileName()));
+    }
+
+    const std::uint64_t calls1 = runCellCalls();
+    const SweepResults warm = runSweep(spec, opts);
+    EXPECT_EQ(runCellCalls() - calls1, 0u) << "warm run simulated";
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        EXPECT_TRUE(warm.outcome(i).ok);
+        EXPECT_TRUE(warm.outcome(i).cached);
+    }
+    EXPECT_EQ(resultsJson(cold), resultsJson(warm));
+
+    // The pool path serves hits identically (nothing left to deal).
+    SweepOptions par = opts;
+    par.jobs = 4;
+    const std::uint64_t calls2 = runCellCalls();
+    const SweepResults warmPar = runSweep(spec, par);
+    EXPECT_EQ(runCellCalls() - calls2, 0u);
+    EXPECT_EQ(resultsJson(cold), resultsJson(warmPar));
+}
+
+TEST(ResultCache, AnyInputChangeMissesOnlyThatCell)
+{
+    TempDir dir;
+    SweepOptions opts;
+    opts.cacheDir = dir.path;
+    runSweep(smallSpec(), opts);  // populate
+
+    // Same spec, one cell's config nudged: only that cell re-runs.
+    SweepSpec changed("cache-test");
+    for (const std::string w : {"gzip", "crafty"}) {
+        SweepCell base = makeCell(w, "BASE", w, 3'000, true);
+        SweepCell nlq = makeCell(w, "NLQ", w, 3'000);
+        nlq.config.opt = OptMode::Nlq;
+        nlq.config.svw = SvwMode::Upd;
+        if (w == "crafty")
+            nlq.config.ssnBits = 12;
+        changed.add(base);
+        changed.add(nlq);
+    }
+    const std::uint64_t calls0 = runCellCalls();
+    const SweepResults res = runSweep(changed, opts);
+    EXPECT_EQ(runCellCalls() - calls0, 1u);
+    EXPECT_FALSE(res.outcome(changed.index("crafty", "NLQ")).cached);
+    EXPECT_TRUE(res.outcome(changed.index("gzip", "NLQ")).cached);
+
+    // An insts change misses every cell.
+    const std::uint64_t calls1 = runCellCalls();
+    runSweep(smallSpec(2'000), opts);
+    EXPECT_EQ(runCellCalls() - calls1, smallSpec(2'000).size());
+}
+
+TEST(ResultCache, DisabledAndNonCacheableCellsAlwaysRun)
+{
+    TempDir dir;
+    SweepOptions cached;
+    cached.cacheDir = dir.path;
+    runSweep(smallSpec(), cached);  // populate
+
+    // Empty cacheDir (the --no-cache mapping) bypasses a warm store.
+    SweepOptions off;
+    const std::uint64_t calls0 = runCellCalls();
+    const SweepResults res = runSweep(smallSpec(), off);
+    EXPECT_EQ(runCellCalls() - calls0, smallSpec().size());
+    for (std::size_t i = 0; i < res.spec().size(); ++i)
+        EXPECT_FALSE(res.outcome(i).cached);
+
+    // Hooked / timing cells run even with a warm cache directory.
+    SweepSpec hooked("hooked");
+    SweepCell h = makeCell("g", "h", "gzip", 3'000, true);
+    h.hook = [](Core &) {};
+    hooked.add(h);
+    SweepCell t = makeCell("g", "t", "gzip", 3'000);
+    t.timingReps = 2;
+    hooked.add(t);
+    for (int round = 0; round < 2; ++round) {
+        const std::uint64_t c0 = runCellCalls();
+        const SweepResults r = runSweep(hooked, cached);
+        EXPECT_EQ(runCellCalls() - c0, 2u) << "round " << round;
+        EXPECT_FALSE(r.outcome(0).cached);
+        EXPECT_FALSE(r.outcome(1).cached);
+    }
+}
+
+TEST(ResultCache, CorruptOrMismatchedEntriesDegradeToMisses)
+{
+    TempDir dir;
+    const SweepSpec spec = smallSpec();
+    SweepOptions opts;
+    opts.cacheDir = dir.path;
+    const SweepResults cold = runSweep(spec, opts);
+
+    const CellKey key = cellKey(spec.cell(0));
+    const std::string file = dir.path + "/" + key.fileName();
+
+    // Truncated/garbage file: miss, re-run, and the entry heals.
+    {
+        std::ofstream out(file, std::ios::trunc);
+        out << "{\"v\":1,\"material\":\"trunc";
+    }
+    RunResult ignored;
+    EXPECT_FALSE(ResultCache(dir.path).get(key, ignored));
+    const std::uint64_t c0 = runCellCalls();
+    const SweepResults healed = runSweep(spec, opts);
+    EXPECT_EQ(runCellCalls() - c0, 1u);
+    EXPECT_EQ(resultsJson(cold), resultsJson(healed));
+    EXPECT_TRUE(ResultCache(dir.path).get(key, ignored));
+
+    // A well-formed entry whose material does not match the key (hash
+    // collision stand-in) is rejected, not served.
+    {
+        std::ofstream out(file, std::ios::trunc);
+        out << cacheEntryToLine("not the right material",
+                                cold.outcome(0).result);
+    }
+    EXPECT_FALSE(ResultCache(dir.path).get(key, ignored));
+}
+
+TEST(ResultCache, ConcurrentWritersNeverExposeAPartialEntry)
+{
+    TempDir dir;
+    SweepCell cell = makeCell("g", "l", "gzip", 4'000);
+    const CellKey key = cellKey(cell);
+    const std::string file = dir.path + "/" + key.fileName();
+
+    RunResult payload;
+    payload.workload = "gzip";
+    payload.config = "BASE";
+    payload.ipc = 1.0 / 3.0;
+    // Long error-free filler so a torn write would be observable.
+    payload.cycles = 0x0123456789abcdefull;
+
+    // Four writer processes hammer the same key...
+    constexpr int kWriters = 4, kRounds = 200;
+    std::vector<pid_t> pids;
+    for (int w = 0; w < kWriters; ++w) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            ResultCache cache(dir.path);
+            RunResult mine = payload;
+            mine.insts = static_cast<std::uint64_t>(w);
+            for (int r = 0; r < kRounds; ++r)
+                cache.put(key, mine);
+            ::_exit(0);
+        }
+        pids.push_back(pid);
+    }
+
+    // ...while the parent reads: every observed file content must be a
+    // complete, parseable entry with the right material (rename(2)
+    // atomicity), and every successful get() a valid payload.
+    ResultCache cache(dir.path);
+    int observed = 0;
+    for (int r = 0; r < 2'000; ++r) {
+        std::ifstream in(file);
+        if (!in) {
+            ::usleep(50);  // writers may not have renamed yet
+            continue;
+        }
+        std::string line;
+        if (!std::getline(in, line) || line.empty())
+            continue;
+        std::string material;
+        RunResult got;
+        ASSERT_TRUE(cacheEntryFromLine(line, material, got))
+            << "torn cache entry: " << line;
+        EXPECT_EQ(material, key.material);
+        EXPECT_LT(got.insts, static_cast<std::uint64_t>(kWriters));
+        EXPECT_EQ(got.cycles, payload.cycles);
+        ++observed;
+        RunResult viaGet;
+        ASSERT_TRUE(cache.get(key, viaGet));
+        EXPECT_EQ(viaGet.cycles, payload.cycles);
+    }
+    EXPECT_GT(observed, 0);
+
+    for (pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+
+    // No temp droppings: every writer renamed its file into place.
+    int tmpFiles = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir.path)) {
+        if (e.path().filename().string().find(".tmp.") !=
+            std::string::npos) {
+            ++tmpFiles;
+        }
+    }
+    EXPECT_EQ(tmpFiles, 0);
+}
+
+TEST(ResultCache, CacheEntryLineRoundTripsMaterialAndResult)
+{
+    RunResult r;
+    r.workload = "perl.d";
+    r.config = "RLE+SVW+UPD";
+    r.cycles = 987654321;
+    r.ipc = 2.0 / 7.0;
+    const std::string material = "version=x|workload=perl.d|quote\"\\|";
+
+    std::string backMaterial;
+    RunResult back;
+    ASSERT_TRUE(cacheEntryFromLine(cacheEntryToLine(material, r),
+                                   backMaterial, back));
+    EXPECT_EQ(backMaterial, material);
+    EXPECT_EQ(back.cycles, r.cycles);
+    EXPECT_EQ(back.ipc, r.ipc);
+    EXPECT_EQ(back.workload, r.workload);
+
+    std::string m;
+    RunResult rr;
+    EXPECT_FALSE(cacheEntryFromLine("", m, rr));
+    EXPECT_FALSE(cacheEntryFromLine("{\"v\":2,\"material\":\"a\","
+                                    "\"result\":{}}",
+                                    m, rr));
+    EXPECT_FALSE(cacheEntryFromLine("{\"v\":1}", m, rr));
+}

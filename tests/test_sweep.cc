@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <unistd.h>
 
@@ -109,6 +111,41 @@ TEST(SweepSerialize, RunResultRoundTripsExactly)
     EXPECT_EQ(back.branchSquashes, r.branchSquashes);
     EXPECT_EQ(back.orderingSquashes, r.orderingSquashes);
     EXPECT_EQ(back.wrapDrains, r.wrapDrains);
+}
+
+TEST(SweepSerialize, NonFiniteDoublesAreValidJsonAndRoundTrip)
+{
+    // %.17g would print bare nan/inf tokens — not JSON, so a cached
+    // entry would not re-parse in an external reader. They are encoded
+    // as distinguished strings instead, and the round trip is exact.
+    RunResult r;
+    r.ipc = std::numeric_limits<double>::quiet_NaN();
+    r.rexRate = std::numeric_limits<double>::infinity();
+    r.markedRate = -std::numeric_limits<double>::infinity();
+
+    const std::string json = runResultToJson(r);
+    EXPECT_EQ(json.find(":nan"), std::string::npos) << json;
+    EXPECT_EQ(json.find(":inf"), std::string::npos) << json;
+    EXPECT_EQ(json.find(":-inf"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ipc\":\"NaN\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"rex_rate\":\"Infinity\""), std::string::npos);
+    EXPECT_NE(json.find("\"marked_rate\":\"-Infinity\""),
+              std::string::npos);
+
+    RunResult back;
+    ASSERT_TRUE(runResultFromJson(json, back));
+    EXPECT_TRUE(std::isnan(back.ipc));
+    EXPECT_EQ(back.rexRate, std::numeric_limits<double>::infinity());
+    EXPECT_EQ(back.markedRate, -std::numeric_limits<double>::infinity());
+
+    // Finite values keep the plain %.17g path.
+    EXPECT_EQ(jsonDouble(0.5), "0.5");
+    EXPECT_EQ(jsonDouble(std::numeric_limits<double>::quiet_NaN()),
+              "\"NaN\"");
+
+    RunResult junk;
+    EXPECT_FALSE(
+        runResultFromJson("{\"ipc\":\"NotANumberSpelledWrong\"}", junk));
 }
 
 TEST(SweepSerialize, CellRecordRoundTripsWithEscapes)
@@ -292,6 +329,114 @@ TEST(SweepExecutor, WorkerCrashFailsOnlyItsCell)
             EXPECT_GT(o.result.cycles, 0u);
         }
     }
+}
+
+TEST(SweepExecutor, WorkerDeathMidLineDiscardsTruncatedRecord)
+{
+    // Regression: a worker that dies halfway through writing its
+    // result line leaves a truncated trailing line (no '\n') in the
+    // parent's drain buffer. The merge path must discard it and fail
+    // the cell with the death diagnosis — never feed the fragment to
+    // the deserializer or let it corrupt another cell's outcome.
+    SweepSpec spec("truncated");
+    for (const std::string w : {"gzip", "crafty"}) {
+        spec.add(makeCell(w, "ok1", w, 3'000, true));
+        spec.add(makeCell(w, "ok2", w, 3'000));
+    }
+    SweepCell boom = makeCell("boom", "midwrite", "gzip", 3'000, true);
+    boom.hook = [](Core &core) {
+        if (core.cycle() == 40) {
+            // A plausible record prefix — cut off mid-field, no
+            // newline — straight onto the worker's result pipe, then
+            // a hard death.
+            static const char partial[] =
+                "{\"cell\":0,\"ok\":true,\"seconds\":0.25";
+            (void)!::write(workerResultFd(), partial,
+                           sizeof(partial) - 1);
+            ::_exit(3);
+        }
+    };
+    const std::size_t boomIdx = spec.add(boom);
+
+    SweepOptions opts;
+    opts.jobs = 2;
+    const SweepResults res = runSweep(spec, opts);
+
+    EXPECT_EQ(res.failures(), 1u);
+    const CellOutcome &dead = res.outcome(boomIdx);
+    EXPECT_TRUE(dead.ran);
+    EXPECT_FALSE(dead.ok);
+    EXPECT_NE(dead.error.find("exited with status 3"),
+              std::string::npos)
+        << dead.error;
+    EXPECT_NE(dead.error.find("boom/midwrite"), std::string::npos);
+    // The fragment's values never reached the outcome.
+    EXPECT_EQ(dead.result.cycles, 0u);
+    EXPECT_EQ(dead.seconds, 0.0);
+    for (const std::string w : {"gzip", "crafty"}) {
+        EXPECT_TRUE(res.groupOk(w));
+        for (const char *l : {"ok1", "ok2"}) {
+            const CellOutcome &o = res.outcome(w, l);
+            ASSERT_TRUE(o.ran && o.ok);
+            EXPECT_TRUE(o.result.goldenOk);
+            EXPECT_GT(o.result.cycles, 0u);
+        }
+    }
+}
+
+TEST(SweepExecutor, CompleteLineForWrongCellIsProtocolCorruption)
+{
+    // A complete line with a bogus cell index (a worker gone insane)
+    // must be treated as protocol corruption: the in-flight cell
+    // fails, the worker is retired, and the rest of the sweep merges.
+    SweepSpec spec("corrupt");
+    spec.add(makeCell("gzip", "ok1", "gzip", 3'000, true));
+    spec.add(makeCell("gzip", "ok2", "gzip", 3'000));
+    SweepCell liar = makeCell("liar", "wrongidx", "gzip", 3'000, true);
+    liar.hook = [](Core &core) {
+        if (core.cycle() == 40) {
+            static const char bogus[] =
+                "{\"cell\":999,\"ok\":true,\"error\":\"\","
+                "\"seconds\":0.1,\"host_wall_seconds\":0.1,"
+                "\"result\":{}}\n";
+            (void)!::write(workerResultFd(), bogus, sizeof(bogus) - 1);
+            ::_exit(0);
+        }
+    };
+    const std::size_t liarIdx = spec.add(liar);
+
+    SweepOptions opts;
+    opts.jobs = 2;
+    const SweepResults res = runSweep(spec, opts);
+
+    EXPECT_EQ(res.failures(), 1u);
+    const CellOutcome &bad = res.outcome(liarIdx);
+    EXPECT_TRUE(bad.ran);
+    EXPECT_FALSE(bad.ok);
+    EXPECT_NE(bad.error.find("malformed worker record"),
+              std::string::npos)
+        << bad.error;
+    EXPECT_TRUE(res.groupOk("gzip"));
+}
+
+TEST(SweepExecutor, OversplitShardWarnsAndRunsNothing)
+{
+    const SweepSpec spec = fig5Spec({"gzip"}, 2'000);  // one group
+    SweepOptions opts;
+    opts.shardIndex = 3;
+    opts.shardCount = 5;
+
+    ::testing::internal::CaptureStderr();
+    const SweepResults res = runSweep(spec, opts);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+
+    EXPECT_NE(err.find("--shard=3/5 selects no groups"),
+              std::string::npos)
+        << err;
+    for (std::size_t i = 0; i < spec.size(); ++i)
+        EXPECT_FALSE(res.outcome(i).ran);
+    EXPECT_EQ(res.failures(), 0u);
+    EXPECT_TRUE(res.shardGroups().empty());
 }
 
 TEST(SweepExecutor, MoreJobsThanCellsAndGoldenFailureIsReported)
