@@ -12,6 +12,10 @@
  *   --bench=X    restrict to one workload
  *   --jobs=N     run cells on N worker processes (default 1 =
  *                in-process; output is byte-identical for any N)
+ *   --batch=K    co-simulate up to K compatible cells of one workload
+ *                in lockstep (harness/batch.hh), sharing the program,
+ *                base memory image and golden-model pass. Default 0 =
+ *                auto; 1 disables. Output is byte-identical for any K.
  *   --shard=i/n  run only shard i of n (partitioned by figure row;
  *                the union over all shards is the full sweep)
  *   --cache-dir=D  persistent result cache: cells whose key
@@ -22,6 +26,12 @@
  *   --no-cache   ignore --cache-dir (debugging escape hatch; useful
  *                when a sweep_driver-style wrapper always passes
  *                --cache-dir)
+ *   --cache-max-mb=N  after the sweep, LRU-trim the cache directory
+ *                to at most N MB (oldest access stamp first; 0 =
+ *                unbounded, the default)
+ *   --progress   stream one "progress: ..." line per completed cell
+ *                to stderr (sweep_driver passes this to its shards and
+ *                forwards the lines live)
  *
  * Unrecognized arguments (flags or positionals) are rejected with
  * exit 2 so typos fail fast.
@@ -53,10 +63,13 @@ struct BenchArgs
     std::uint64_t insts = 100'000;
     std::string only;
     unsigned jobs = 1;
+    unsigned batch = 0;     ///< co-simulation lanes; 0 = auto, 1 = off
     unsigned shardIndex = 0;
     unsigned shardCount = 1;
     std::string cacheDir;   ///< empty = result caching off
     bool noCache = false;   ///< --no-cache: override --cache-dir
+    std::uint64_t cacheMaxMb = 0;  ///< LRU cache bound; 0 = unbounded
+    bool progress = false;  ///< stream per-cell completion to stderr
 };
 
 /** Parse a decimal flag value; a malformed number is a usage error
@@ -106,6 +119,8 @@ parseArgs(int argc, char **argv)
             args.only = a.substr(8);
         else if (a.rfind("--jobs=", 0) == 0)
             args.jobs = parseFlagUnsigned(a.substr(7), "--jobs");
+        else if (a.rfind("--batch=", 0) == 0)
+            args.batch = parseFlagUnsigned(a.substr(8), "--batch");
         else if (a.rfind("--shard=", 0) == 0) {
             const std::string spec = a.substr(8);
             const std::size_t slash = spec.find('/');
@@ -121,14 +136,20 @@ parseArgs(int argc, char **argv)
             args.cacheDir = a.substr(12);
         } else if (a == "--no-cache") {
             args.noCache = true;
+        } else if (a.rfind("--cache-max-mb=", 0) == 0) {
+            args.cacheMaxMb =
+                parseFlagNumber(a.substr(15), "--cache-max-mb");
+        } else if (a == "--progress") {
+            args.progress = true;
         } else if (a.rfind("--benchmark", 0) == 0) {
             continue;  // tolerate google-benchmark flags
         } else {
             std::fprintf(stderr,
                          "error: unknown arg %s\n"
                          "usage: %s [--insts=N] [--quick] [--bench=X]"
-                         " [--jobs=N] [--shard=i/n] [--cache-dir=D]"
-                         " [--no-cache]\n",
+                         " [--jobs=N] [--batch=K] [--shard=i/n]"
+                         " [--cache-dir=D] [--no-cache]"
+                         " [--cache-max-mb=N] [--progress]\n",
                          a.c_str(), argv[0]);
             std::exit(2);
         }
@@ -147,10 +168,32 @@ sweepOptions(const BenchArgs &args)
 {
     harness::SweepOptions opts;
     opts.jobs = args.jobs;
+    opts.batch = args.batch;
     opts.shardIndex = args.shardIndex;
     opts.shardCount = args.shardCount;
-    if (!args.noCache)
+    if (!args.noCache) {
         opts.cacheDir = args.cacheDir;
+        opts.cacheMaxMb = args.cacheMaxMb;
+    }
+    if (args.progress) {
+        // One stderr line per completed cell, streamed as outcomes
+        // arrive. sweep_driver tees shard output live and forwards
+        // lines with this prefix, so a multi-shard sweep shows
+        // per-cell progress instead of going dark until merge time.
+        opts.onCellDone =
+            [](std::size_t idx, const harness::CellOutcome &o) {
+                const char *how = !o.ok ? "FAIL"
+                                  : o.cached ? "cached"
+                                             : "ok";
+                // A failed cell has an empty result; the index still
+                // identifies it (reportFailures prints the name).
+                std::fprintf(stderr,
+                             "progress: cell %zu %s/%s %s (%.3fs)\n",
+                             idx, o.result.workload.c_str(),
+                             o.result.config.c_str(), how, o.seconds);
+                std::fflush(stderr);
+            };
+    }
     return opts;
 }
 

@@ -30,9 +30,11 @@
  */
 
 #include <algorithm>
+#include <deque>
 #include <fstream>
 
 #include "bench_common.hh"
+#include "harness/batch.hh"
 
 using namespace svw;
 using namespace svw::bench;
@@ -126,6 +128,62 @@ main(int argc, char **argv)
     const double totalWall = hostSeconds() - wall0;
     const bool sweepFailed = reportFailures(res) != 0;
 
+    // Batched co-simulation A/B: the same matrix in its figure-sweep
+    // shape — golden check on (the shared pass is what batching
+    // amortizes), one timing rep, batchable — timed at --batch=1 and
+    // --batch=2, alternating per rep so host drift hits both sides.
+    // Simulated results are byte-identical either way (the CI diff
+    // gate holds the figures to that); this records the honest host
+    // wall-time ratio next to the per-unit breakdown.
+    SweepSpec ab("hotloop_batch_ab");
+    for (const auto &w : suite) {
+        for (const auto &cfg : configs) {
+            SweepCell c;
+            c.group = w;
+            c.label = configLabel(cfg);
+            c.workload = w;
+            c.targetInsts = args.insts;
+            c.config = cfg;
+            c.goldenCheck = true;
+            ab.add(c);
+        }
+    }
+    SweepOptions abOpts = opts;
+    abOpts.onCellDone = nullptr;
+    abOpts.jobs = 1;  // in-process: isolate batching from pool effects
+    double abWall1 = 0.0, abWall2 = 0.0;
+    std::vector<CellOutcome> abOutcomes;
+    for (unsigned r = 0; r < reps; ++r) {
+        abOpts.batch = 1;
+        double t = hostSeconds();
+        (void)runSweep(ab, abOpts);
+        const double w1 = hostSeconds() - t;
+        abOpts.batch = 2;
+        t = hostSeconds();
+        SweepResults r2 = runSweep(ab, abOpts);
+        const double w2 = hostSeconds() - t;
+        if (r == 0 || w1 < abWall1)
+            abWall1 = w1;
+        if (r == 0 || w2 < abWall2) {
+            abWall2 = w2;
+            abOutcomes.clear();
+            for (std::size_t i = 0; i < ab.size(); ++i)
+                abOutcomes.push_back(r2.outcome(i));
+        }
+    }
+    std::printf("batch A/B (--jobs=1, best of %u): batch=1 %.3fs, "
+                "batch=2 %.3fs, speedup %.3fx\n",
+                reps, abWall1, abWall2,
+                abWall2 > 0.0 ? abWall1 / abWall2 : 0.0);
+
+    // Per-batch breakdown of the batch=2 run: re-derive the planned
+    // units (planBatches is deterministic for a fixed spec and K).
+    std::deque<std::size_t> abAll;
+    for (std::size_t i = 0; i < ab.size(); ++i)
+        abAll.push_back(i);
+    const std::vector<std::vector<std::size_t>> abUnits =
+        planBatches(ab, abAll, 2);
+
     double totalInsts = 0.0, totalSecs = 0.0;
     std::size_t nCells = 0;
     for (std::size_t i = 0; i < spec.size(); ++i) {
@@ -174,7 +232,30 @@ main(int argc, char **argv)
            << "\"minsts_per_sec\": " << minsts << ", "
            << "\"mcycles_per_sec\": " << mcycles << "}";
     }
-    js << "\n  ]\n}\n";
+    js << "\n  ],\n";
+    js << "  \"batch_ab\": {\n"
+       << "    \"jobs\": 1,\n"
+       << "    \"golden_check\": true,\n"
+       << "    \"batch1_wall_seconds\": " << abWall1 << ",\n"
+       << "    \"batch2_wall_seconds\": " << abWall2 << ",\n"
+       << "    \"speedup_batch2_over_batch1\": "
+       << (abWall2 > 0.0 ? abWall1 / abWall2 : 0.0) << ",\n"
+       << "    \"units\": [\n";
+    for (std::size_t u = 0; u < abUnits.size(); ++u) {
+        double unitWall = 0.0;
+        js << "      {\"lanes\": " << abUnits[u].size()
+           << ", \"cells\": [";
+        for (std::size_t j = 0; j < abUnits[u].size(); ++j) {
+            const std::size_t idx = abUnits[u][j];
+            const CellOutcome &o = abOutcomes[idx];
+            unitWall = std::max(unitWall, o.hostWallSeconds);
+            js << (j ? ", " : "") << "\"" << ab.cell(idx).group << "/"
+               << ab.cell(idx).label << "\"";
+        }
+        js << "], \"unit_wall_seconds\": " << unitWall << "}"
+           << (u + 1 < abUnits.size() ? ",\n" : "\n");
+    }
+    js << "    ]\n  }\n}\n";
     std::printf("wrote %s\n", outPath.c_str());
     return sweepFailed ? 1 : 0;
 }

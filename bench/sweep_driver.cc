@@ -39,7 +39,13 @@
  *                   invocation (e.g. --quick, --insts=N, --bench=X)
  *
  * Per-shard stdout/stderr go to <cache-dir>/shard-<i>.log; only the
- * merge pass writes to the driver's stdout.
+ * merge pass writes to the driver's stdout. Shard stderr additionally
+ * streams through the driver live: every shard is launched with
+ * --progress, its stderr rides a pipe, and the driver tees each line
+ * into the shard log while forwarding "progress:" (per-cell
+ * completion) and "warning:"/"warn:" lines to its own stderr as they
+ * arrive — a long multi-shard sweep shows per-cell progress instead
+ * of going dark until the merge pass.
  */
 
 #include <cstdio>
@@ -50,6 +56,7 @@
 #include <vector>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -86,33 +93,16 @@ replaceAll(std::string s, const std::string &what, const std::string &with)
     return s;
 }
 
-/** Fork and run @p cmd via /bin/sh; stdout+stderr to @p logPath
- * (empty = inherit). @return child pid, or -1. */
+/** Fork and run @p cmd via /bin/sh with the driver's own
+ * stdout/stderr (the merge pass). @return child pid, or -1. */
 pid_t
-launch(const std::string &cmd, const std::string &logPath)
+launch(const std::string &cmd)
 {
     std::fflush(stdout);
     std::fflush(stderr);
     const pid_t pid = ::fork();
     if (pid != 0)
         return pid;
-    if (!logPath.empty()) {
-        const int fd = ::open(logPath.c_str(),
-                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
-        if (fd < 0) {
-            // Never fall through to the driver's stdout: a shard's
-            // figure output interleaving ahead of the merge pass
-            // would break the byte-identity contract. Fail the shard;
-            // the merge pass re-simulates its cells.
-            std::fprintf(stderr,
-                         "error: cannot open shard log %s: %s\n",
-                         logPath.c_str(), std::strerror(errno));
-            ::_exit(126);
-        }
-        ::dup2(fd, 1);
-        ::dup2(fd, 2);
-        ::close(fd);
-    }
     ::execl("/bin/sh", "sh", "-c", cmd.c_str(),
             static_cast<char *>(nullptr));
     ::_exit(127);
@@ -132,26 +122,131 @@ waitStatus(pid_t pid)
     return -1;
 }
 
-/** Forward a shard log's "warning:" lines to the driver's stderr so
- * misconfigured splits (e.g. more shards than figure groups) are
- * visible even when every shard exits cleanly. */
+/** Write all of @p data to @p fd, retrying short writes. */
 void
-forwardWarnings(const std::string &path, unsigned shard)
+writeFull(int fd, const char *data, std::size_t len)
 {
-    std::FILE *f = std::fopen(path.c_str(), "r");
-    if (!f)
-        return;
-    char line[512];
-    while (std::fgets(line, sizeof(line), f)) {
-        // Both diagnostic prefixes in use: the executor's plain
-        // "warning:" lines and the svw_warn macro's "warn:" lines
-        // (e.g. a shard whose cache writes are failing).
-        if (std::strncmp(line, "warning:", 8) == 0 ||
-            std::strncmp(line, "warn:", 5) == 0) {
-            std::fprintf(stderr, "shard %u: %s", shard, line);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, data, len);
+        if (n <= 0)
+            return;  // log tee is best effort
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * One launched shard: its pid, the log file (child stdout writes it
+ * directly; the driver tees stderr lines into it through the shared
+ * file description, so offsets never collide), the read end of the
+ * child's stderr pipe, and a partial-line buffer.
+ */
+struct Shard
+{
+    pid_t pid = -1;
+    int logFd = -1;
+    int errFd = -1;
+    std::string buf;
+};
+
+/**
+ * Tee one complete shard-stderr line into the shard log and forward
+ * the interesting prefixes to the driver's stderr as they arrive:
+ * "progress:" (per-cell completion — shards run with --progress) and
+ * both diagnostic prefixes in use, the executor's plain "warning:"
+ * lines and the svw_warn macro's "warn:" lines (e.g. a shard whose
+ * cache writes are failing, or a split with more shards than groups).
+ */
+void
+relayLine(const Shard &s, unsigned shard, const std::string &line)
+{
+    writeFull(s.logFd, line.data(), line.size());
+    if (line.rfind("progress:", 0) == 0 ||
+        line.rfind("warning:", 0) == 0 || line.rfind("warn:", 0) == 0) {
+        std::fprintf(stderr, "shard %u: %s", shard, line.c_str());
+        std::fflush(stderr);
+    }
+}
+
+/**
+ * Pump every shard's stderr pipe until all hit EOF (shards run
+ * concurrently, so this multiplexes with poll rather than draining
+ * them in order). Lines are relayed as they complete; a final
+ * unterminated fragment is flushed with a newline appended.
+ */
+void
+pumpShardStderr(std::vector<Shard> &procs)
+{
+    for (;;) {
+        std::vector<pollfd> fds;
+        std::vector<unsigned> owner;
+        for (unsigned i = 0; i < procs.size(); ++i) {
+            if (procs[i].errFd >= 0) {
+                fds.push_back(pollfd{procs[i].errFd, POLLIN, 0});
+                owner.push_back(i);
+            }
+        }
+        if (fds.empty())
+            return;
+        if (::poll(fds.data(), fds.size(), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Shard &s = procs[owner[k]];
+            char chunk[4096];
+            const ssize_t n = ::read(s.errFd, chunk, sizeof(chunk));
+            if (n > 0) {
+                s.buf.append(chunk, static_cast<std::size_t>(n));
+                std::size_t pos;
+                while ((pos = s.buf.find('\n')) != std::string::npos) {
+                    relayLine(s, owner[k], s.buf.substr(0, pos + 1));
+                    s.buf.erase(0, pos + 1);
+                }
+            } else if (n == 0 || errno != EINTR) {
+                if (!s.buf.empty())
+                    relayLine(s, owner[k], s.buf + "\n");
+                s.buf.clear();
+                ::close(s.errFd);
+                s.errFd = -1;
+            }
         }
     }
-    std::fclose(f);
+}
+
+/**
+ * Fork a shard of @p cmd via /bin/sh: stdout to @p logFd, stderr to a
+ * fresh pipe whose read end is returned in @p errFdOut for live
+ * relaying. Both parent-side fds are close-on-exec so sibling shards
+ * never hold a dead shard's pipe open. @return child pid, or -1.
+ */
+pid_t
+launchShard(const std::string &cmd, int logFd, int &errFdOut)
+{
+    int p[2];
+    if (::pipe2(p, O_CLOEXEC) < 0)
+        return -1;
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(p[0]);
+        ::close(p[1]);
+        return -1;
+    }
+    if (pid != 0) {
+        ::close(p[1]);
+        errFdOut = p[0];
+        return pid;
+    }
+    ::dup2(logFd, 1);
+    ::dup2(p[1], 2);
+    ::execl("/bin/sh", "sh", "-c", cmd.c_str(),
+            static_cast<char *>(nullptr));
+    ::_exit(127);
 }
 
 /** Copy the tail of @p path to stderr (shard post-mortem). */
@@ -286,13 +381,16 @@ main(int argc, char **argv)
         base += " " + shQuote(a);
     base += " --cache-dir=" + shQuote(cacheDir);
 
-    // Launch all shards, then wait for all of them.
-    std::vector<pid_t> pids(shards, -1);
+    // Launch all shards, then pump their stderr pipes until every
+    // shard hits EOF (relaying progress/warning lines live) and wait
+    // for all of them.
+    std::vector<Shard> procs(shards);
     std::vector<std::string> logs(shards);
     for (unsigned i = 0; i < shards; ++i) {
         const std::string shardCmd =
-            base + " --jobs=" + std::to_string(jobs) + " --shard=" +
-            std::to_string(i) + "/" + std::to_string(shards);
+            base + " --progress --jobs=" + std::to_string(jobs) +
+            " --shard=" + std::to_string(i) + "/" +
+            std::to_string(shards);
         // Expand {i}/{n} on the template BEFORE inserting the quoted
         // command, so the placeholders stay confined to the template
         // and never rewrite literal braces in user args or paths.
@@ -304,15 +402,35 @@ main(int argc, char **argv)
         cmd = replaceAll(cmd, "{qcmd}", shQuote(shardCmd));
         cmd = replaceAll(cmd, "{cmd}", shardCmd);
         logs[i] = cacheDir + "/shard-" + std::to_string(i) + ".log";
-        pids[i] = launch(cmd, logs[i]);
-        if (pids[i] < 0)
+        // The parent owns the log file; the child's stdout writes it
+        // directly (shared file description, so the stderr tee and the
+        // figure output never overwrite each other). Never fall
+        // through to the driver's stdout: a shard's figure output
+        // interleaving ahead of the merge pass would break the
+        // byte-identity contract — skip the shard instead; the merge
+        // pass re-simulates its cells.
+        procs[i].logFd = ::open(logs[i].c_str(),
+                                O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                                0644);
+        if (procs[i].logFd < 0) {
+            std::fprintf(stderr,
+                         "error: cannot open shard log %s: %s\n",
+                         logs[i].c_str(), std::strerror(errno));
+            continue;
+        }
+        procs[i].pid = launchShard(cmd, procs[i].logFd, procs[i].errFd);
+        if (procs[i].pid < 0)
             std::fprintf(stderr, "error: fork failed for shard %u\n", i);
     }
 
+    pumpShardStderr(procs);
+
     unsigned failedShards = 0;
     for (unsigned i = 0; i < shards; ++i) {
-        const int st = pids[i] >= 0 ? waitStatus(pids[i]) : -1;
-        forwardWarnings(logs[i], i);
+        const int st =
+            procs[i].pid >= 0 ? waitStatus(procs[i].pid) : -1;
+        if (procs[i].logFd >= 0)
+            ::close(procs[i].logFd);
         if (st != 0) {
             ++failedShards;
             std::fprintf(stderr,
@@ -331,7 +449,7 @@ main(int argc, char **argv)
 
     // Merge pass: unsharded replay against the populated cache,
     // inheriting the driver's stdout — this is the full report.
-    const pid_t mergePid = launch(base, "");
+    const pid_t mergePid = launch(base);
     const int mergeStatus = mergePid >= 0 ? waitStatus(mergePid) : 1;
     if (mergePid < 0) {
         std::fprintf(stderr, "error: fork failed for merge pass\n");

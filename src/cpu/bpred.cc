@@ -37,6 +37,7 @@ BPred::BPred(const BPredParams &p, stats::StatRegistry &reg)
 
     svw_assert(p.btbEntries % p.btbAssoc == 0, "btb geometry");
     btbSets = p.btbEntries / p.btbAssoc;
+    btbShift = exactLog2(btbSets);
     svw_assert(isPowerOf2(btbSets), "btb sets");
     btb.resize(p.btbEntries);
 
@@ -82,7 +83,7 @@ std::uint64_t
 BPred::btbLookup(std::uint64_t pc) const
 {
     const unsigned set = static_cast<unsigned>(pc & (btbSets - 1));
-    const std::uint64_t tag = pc >> exactLog2(btbSets);
+    const std::uint64_t tag = pc >> btbShift;
     for (unsigned w = 0; w < btbAssoc; ++w) {
         const BtbEntry &e = btb[set * btbAssoc + w];
         if (e.valid && e.tag == tag)
@@ -95,7 +96,7 @@ void
 BPred::btbUpdate(std::uint64_t pc, std::uint64_t target)
 {
     const unsigned set = static_cast<unsigned>(pc & (btbSets - 1));
-    const std::uint64_t tag = pc >> exactLog2(btbSets);
+    const std::uint64_t tag = pc >> btbShift;
     // Hit: refresh in place.
     for (unsigned w = 0; w < btbAssoc; ++w) {
         BtbEntry &e = btb[set * btbAssoc + w];

@@ -131,6 +131,7 @@ class BPred
     std::uint64_t _ghist = 0;
 
     unsigned btbSets;
+    unsigned btbShift;  ///< exactLog2(btbSets), cached (tag extraction)
     unsigned btbAssoc;
     std::vector<BtbEntry> btb;
     std::uint64_t btbLru = 0;

@@ -7,7 +7,7 @@
 namespace svw {
 
 Core::Core(const CoreParams &p, const Program &program,
-           stats::StatRegistry &reg)
+           stats::StatRegistry &reg, const MemoryImage *sharedImage)
     : retired(reg, "core.retired", "instructions retired"),
       retiredLoads(reg, "core.retiredLoads", "loads retired"),
       retiredStores(reg, "core.retiredStores", "stores retired"),
@@ -60,7 +60,11 @@ Core::Core(const CoreParams &p, const Program &program,
       fetchColds(static_cast<std::size_t>(p.frontendDepth + 1) *
                  p.fetchWidth)
 {
-    committedMem.loadProgram(program);
+    preText = prog.predecoded().data();
+    if (sharedImage)
+        committedMem.setBacking(sharedImage);
+    else
+        committedMem.loadProgram(program);
     rename.regs().setValue(rename.map(regSp), program.stackTop());
     for (unsigned b = 0; b < p.mem.l1dBanks; ++b)
         loadBankPorts.emplace_back(1);
@@ -95,15 +99,22 @@ Core::archReg(RegIndex a) const
 RunOutcome
 Core::run(std::uint64_t maxInsts, std::uint64_t maxCycles)
 {
-    while (!haltCommitted && retired.value() < maxInsts &&
-           now < maxCycles) {
+    advance(maxInsts, maxCycles, ~std::uint64_t(0));
+    return outcome();
+}
+
+bool
+Core::advance(std::uint64_t maxInsts, std::uint64_t maxCycles,
+              std::uint64_t quantum)
+{
+    if (now >= maxCycles)
+        return true;
+    const std::uint64_t stop =
+        quantum < maxCycles - now ? now + quantum : maxCycles;
+    while (!haltCommitted && retired.value() < maxInsts && now < stop)
         tick();
-    }
-    RunOutcome out;
-    out.halted = haltCommitted;
-    out.cycles = now;
-    out.instructions = retired.value();
-    return out;
+    return haltCommitted || retired.value() >= maxInsts ||
+           now >= maxCycles;
 }
 
 void
@@ -204,25 +215,17 @@ Core::finishBranch(DynInst &inst)
 void
 Core::issueStage()
 {
-    // Quiesced: a previous complete scan issued nothing and every live
-    // entry was provably asleep. Nothing that could change the scan's
-    // outcome has happened since (readyAt is only ever written by
-    // issues, which cannot occur while the scan is skipped; inserts
-    // and squashes clear the quiesce), so skip the walk outright.
-    // Pure host-side iteration skipping — issue decisions when the
-    // scan re-runs are identical, so timing is untouched. This is what
-    // keeps long memory stalls (mcf-style, 13+ CPI) from paying a full
-    // IQ walk per stall cycle.
-    if (issueQuiesceUntil > now)
-        return;
-    issueQuiesceUntil = 0;
+    // Fire this cycle's recorded sleep expiries; the scan then visits
+    // only awake slots. A visit outcome is identical to the full
+    // screened walk's — sleeping entries are skipped either way, and
+    // the wake conditions (value-arrival cycle, producer issue) are
+    // exact — so the scan is O(awake) instead of O(queue) per cycle
+    // with bit-identical issue decisions.
+    iq.drainWakes(now);
 
     unsigned globalUsed = 0;
     unsigned intUsed = 0, loadUsed = 0, storeUsed = 0, branchUsed = 0;
     const unsigned storeWidth = prm.lsu.storeIssueWidth;
-    bool sawSquash = false;
-    bool allAsleep = true;       ///< every live entry provably sleeping
-    Cycle nextWake = ~Cycle(0);  ///< earliest recorded sleep expiry
 
     // On an unready gating source, record what the entry waits for in
     // its own slot — the cycle the value arrives (producer issued,
@@ -240,8 +243,6 @@ Core::issueStage()
         } else {
             e.sleepRetry = r;
             e.sleepReg = invalidPhysReg;
-            if (r < nextWake)
-                nextWake = r;
         }
         return true;
     };
@@ -252,8 +253,11 @@ Core::issueStage()
     // issue class, and the gating renamed sources are read from the
     // compact IQ entry mirror; the DynInst itself is touched only when
     // every register gate passes and the entry might really issue.
-    const std::size_t nSlots = iq.slotCount();
-    for (std::size_t idx = 0; idx < nSlots; ++idx) {
+    // nextAwake reads the live bitmap, so consumers woken by an issue
+    // earlier in this very scan (always at higher slots: age order)
+    // are visited this cycle, exactly like the full walk.
+    for (std::size_t idx = iq.nextAwake(0); idx != IssueQueue::npos;
+         idx = iq.nextAwake(idx + 1)) {
         if (globalUsed >= prm.issueWidth)
             break;
         if (intUsed >= prm.intIssue && loadUsed >= prm.loadIssue &&
@@ -264,16 +268,16 @@ Core::issueStage()
         if (!e.inst)
             continue;  // tombstone
         if (e.sleepRetry > now) {
-            // Value known to arrive later; exact wake cycle recorded.
-            if (e.sleepRetry < nextWake)
-                nextWake = e.sleepRetry;
+            // Spuriously woken (stale record): value still in flight;
+            // go back to sleep on the recorded arrival cycle.
+            iq.noteAsleep(idx, now);
             continue;
         }
         if (e.sleepReg != invalidPhysReg &&
             rename.regs().readyAt(e.sleepReg) == notReady) {
-            // Blocking source's producer still unissued: wakes only at
-            // that producer's issue, which cannot happen while the
-            // whole queue sleeps — no nextWake contribution needed.
+            // Spuriously woken: the blocking source's producer is
+            // still unissued; re-arm on that register.
+            iq.noteAsleep(idx, now);
             continue;
         }
         // A capped class would fail tryIssue's first check; skip the
@@ -298,11 +302,16 @@ Core::issueStage()
         }
         // Source-readiness gates, evaluated on the entry's prs1/prs2
         // mirrors: a blocked source records its sleep state above and
-        // skips the slot with the DynInst untouched.
-        if ((e.gates & IssueQueue::GateRs1) && entryBlocked(e, e.prs1))
+        // leaves the bitmap with its exact wake armed, the DynInst
+        // untouched.
+        if ((e.gates & IssueQueue::GateRs1) && entryBlocked(e, e.prs1)) {
+            iq.noteAsleep(idx, now);
             continue;
-        if ((e.gates & IssueQueue::GateRs2) && entryBlocked(e, e.prs2))
+        }
+        if ((e.gates & IssueQueue::GateRs2) && entryBlocked(e, e.prs2)) {
+            iq.noteAsleep(idx, now);
             continue;
+        }
         DynInst *inst = e.inst;
         if (inst->issued)
             continue;
@@ -313,26 +322,15 @@ Core::issueStage()
             iq.removeAt(idx);
             if (tracer)
                 tracer->event(now, TraceEvent::Issue, *inst);
-        } else {
-            // Every register gate passed, so the failure has no
-            // recorded wake (port conflict, store-set wait, partial
-            // overlap): the entry must be re-polled every cycle.
-            allAsleep = false;
         }
+        // Every register gate passed, so a failure has no recorded
+        // wake (port conflict, store-set wait, partial overlap): the
+        // entry keeps its awake bit and is re-polled every cycle.
         // A store issue may have triggered an ordering squash that
         // invalidated the scan; stop for this cycle.
-        if (hot.branchSquashes + hot.orderingSquashes != squashesBefore) {
-            sawSquash = true;
+        if (hot.branchSquashes + hot.orderingSquashes != squashesBefore)
             break;
-        }
     }
-
-    // With zero issues the per-class caps (all >= 1) never engaged, so
-    // a squash-free pass was necessarily a complete scan: if every
-    // live entry is asleep, the scan result is frozen until the first
-    // recorded wake cycle (or an insert/squash, which clear this).
-    if (globalUsed == 0 && !sawSquash && allAsleep)
-        issueQuiesceUntil = nextWake;
 }
 
 bool
@@ -656,7 +654,6 @@ Core::dispatchOne(DynInst &d, const DynInstCold &cold)
     } else {
         if (!trivial) {
             iq.insert(&r);
-            issueQuiesceUntil = 0;  // new entry: the scan must re-run
         }
         if (rle.enabled()) {
             rle.createEntry(r, rename, svw.ssn().ssnRename(),
@@ -724,7 +721,6 @@ Core::squashAfter(InstSeqNum keepSeq, std::uint64_t newFetchPc,
     // ---- pointer-holder prune precedes ROB pops (IQ, LSU queues, and
     //      the rex store buffer all hold ROB slot pointers) -------------
     iq.squashAfter(keepSeq);
-    issueQuiesceUntil = 0;  // conservative: re-scan after any squash
     lsu.squashAfter(keepSeq);
     rex.squashAfter(keepSeq);
 

@@ -96,11 +96,41 @@ struct RunOutcome
 class Core
 {
   public:
+    /**
+     * @p sharedImage, when non-null, backs the committed memory
+     * instead of a private copy of the program's initial segments
+     * (func/memory_image.hh setBacking — copy-on-write, never
+     * mutated). It must be exactly the image loadProgram(prog) would
+     * build and must outlive the core. Batched co-simulation shares
+     * one image across every lane of a workload; simulated state and
+     * timing are identical either way.
+     */
     Core(const CoreParams &params, const Program &prog,
-         stats::StatRegistry &reg);
+         stats::StatRegistry &reg,
+         const MemoryImage *sharedImage = nullptr);
 
     /** Run until Halt commits or a cap is reached. */
     RunOutcome run(std::uint64_t maxInsts, std::uint64_t maxCycles);
+
+    /**
+     * Bounded run slice: tick up to @p quantum cycles toward run()'s
+     * terminal condition. The batched executor interleaves slices of
+     * K lanes so their working sets stay co-resident; a sliced run
+     * retires exactly the same cycles as one run() call.
+     * @return true once finished (halt / instruction / cycle cap).
+     */
+    bool advance(std::uint64_t maxInsts, std::uint64_t maxCycles,
+                 std::uint64_t quantum);
+
+    /** Aggregate outcome so far (valid any time ticking is stopped). */
+    RunOutcome outcome() const
+    {
+        RunOutcome out;
+        out.halted = haltCommitted;
+        out.cycles = now;
+        out.instructions = retired.value();
+        return out;
+    }
 
     /** Advance a single cycle (exposed for tests and injectors). */
     void tick();
@@ -216,15 +246,21 @@ class Core
         return rename.regs().isReady(p, now);
     }
 
-    /** A register became schedulable (its waiters' readyAt check now
-     * passes on the next scan). */
+    /** A register became schedulable: record the arrival cycle and
+     * wake the IQ entries sleeping on @p p (this is the only operation
+     * that moves a register out of notReady, so firing the waiter list
+     * here is an exact replacement for re-screening every cycle). */
     void noteReadyAt(PhysRegIndex p, Cycle c)
     {
         rename.regs().setReadyAt(p, c);
+        iq.wakeReg(p);
     }
 
     CoreParams prm;
     const Program &prog;
+    /** prog.predecoded().data(), cached at construction: fetch binds
+     * DynInst facts from this table (index = PC) with one 8-byte copy. */
+    const PreDecodedInst *preText = nullptr;
     Tracer *tracer = nullptr;
 
     MemoryImage committedMem;   ///< committed ("cache") state
@@ -247,15 +283,6 @@ class Core
     Cycle now = 0;
     InstSeqNum seqCounter = 0;
     bool haltCommitted = false;
-    /**
-     * Issue-scan quiescence: set when a complete scan issued nothing
-     * and every live IQ entry was provably asleep — the scan cannot
-     * produce an issue before this cycle (readyAt transitions only
-     * happen at issues, which cannot occur while the scan is skipped).
-     * Cleared by IQ inserts and squashes. Host-side iteration skipping
-     * only; never changes which cycle anything issues.
-     */
-    Cycle issueQuiesceUntil = 0;
     /** Journal IT squash-hygiene markers at load dispatch so checkpoint
      * recovery can replay them (RLE cores with a checkpoint pool). */
     bool hygieneJournalOn = false;

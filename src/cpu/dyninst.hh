@@ -168,13 +168,21 @@ struct DynInst
      * tests building instructions by hand). */
     void setStatic(const StaticInst *s)
     {
+        setStatic(s, predecodeInst(*s));
+    }
+
+    /** Same, from a pre-built table entry (Program::predecoded()) —
+     * fetch uses this form so binding is a straight field copy with no
+     * per-dynamic-instruction predicate switches. */
+    void setStatic(const StaticInst *s, const PreDecodedInst &p)
+    {
         si = s;
-        preFlags = s->predecode();
-        iclass = static_cast<std::uint8_t>(s->cls());
-        size = static_cast<std::uint8_t>(s->memSize());
-        archRd = static_cast<std::uint8_t>(s->rd);
-        execLat = static_cast<std::uint8_t>(s->execLatency());
-        opByte = static_cast<std::uint8_t>(s->op);
+        preFlags = p.flags;
+        iclass = p.cls;
+        size = p.memSize;
+        archRd = p.archRd;
+        execLat = p.execLat;
+        opByte = p.op;
     }
 
     InstClass cls() const { return static_cast<InstClass>(iclass); }

@@ -47,7 +47,7 @@ Core::fetchStage()
         DynInst d;
         d.seq = ++seqCounter;
         d.pc = static_cast<std::uint32_t>(fetchPc);
-        d.setStatic(&prog.inst(fetchPc));
+        d.setStatic(&prog.inst(fetchPc), preText[fetchPc]);
         DynInstCold c;
         c.bpredSnap = bpred.save();
         d.fetchReadyCycle = now + prm.frontendDepth;

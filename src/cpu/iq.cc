@@ -15,6 +15,16 @@ IssueQueue::squashAfter(InstSeqNum keepSeq)
             --live;
         entries_.pop_back();
     }
+    // Clear awake bits past the new end (the slots no longer exist);
+    // wake records for them now fail seq validation and just drop.
+    const std::size_t n = entries_.size();
+    std::size_t wi = n >> 6;
+    if (wi < awake_.size()) {
+        awake_[wi] &= (n & 63)
+            ? (std::uint64_t(1) << (n & 63)) - 1 : 0;
+        while (++wi < awake_.size())
+            awake_[wi] = 0;
+    }
 }
 
 void
@@ -23,6 +33,13 @@ IssueQueue::compact()
     entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                   [](const Entry &e) { return !e.inst; }),
                    entries_.end());
+    // Indices shifted: outstanding wake records are stale (validation
+    // drops them). Mark every survivor awake so the next scan
+    // re-screens and re-arms each sleeper under its new index.
+    const std::size_t n = entries_.size();
+    awake_.assign((n + 63) >> 6, ~std::uint64_t(0));
+    if (n & 63)
+        awake_.back() = (std::uint64_t(1) << (n & 63)) - 1;
 }
 
 } // namespace svw

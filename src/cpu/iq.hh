@@ -12,11 +12,31 @@
  * is deferred to insert time, so slot indices never shift while the
  * issue scan is live. Squash only pops from the back (squashed entries
  * are the age-ordered suffix), which also leaves earlier indices intact.
+ *
+ * Wakeup-driven scan (host-side only — issue decisions are bit-exact
+ * with a full walk): an "awake" bitmap marks the slots the scan must
+ * visit. A sleeping entry's wake condition is exact, so it leaves the
+ * bitmap and is re-armed through one of two structures:
+ *
+ *  - sleepRetry = r (producer issued, value due at r): a time wheel
+ *    sets the bit again at exactly cycle r (drainWakes).
+ *  - sleepReg = p (producer un-issued, readyAt == notReady): a
+ *    per-register waiter list, fired by the core's noteReadyAt — the
+ *    only operation that ever moves a register out of notReady.
+ *
+ * Wake records carry {slot, seq} and are validated when they fire, so
+ * records left stale by a squash or compaction are simply dropped; a
+ * spurious wake only makes the scan re-screen (pure reads) and re-arm.
+ * Missed wakes cannot happen: the two conditions above are the only
+ * ways a sleeping entry's screen can start passing.
  */
 
 #ifndef SVW_CPU_IQ_HH
 #define SVW_CPU_IQ_HH
 
+#include <array>
+#include <bit>
+#include <map>
 #include <vector>
 
 #include "base/types.hh"
@@ -115,6 +135,10 @@ class IssueQueue
                                  inst->prs1, inst->prs2,
                                  classGroup(*inst), gateMask(*inst)});
         ++live;
+        const std::size_t idx = entries_.size() - 1;
+        if ((idx >> 6) >= awake_.size())
+            awake_.push_back(0);
+        awake_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
     }
 
     /** Number of slots to scan (live entries + tombstones). */
@@ -131,6 +155,90 @@ class IssueQueue
     {
         entries_[idx].inst = nullptr;
         --live;
+        awake_[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+    }
+
+    static constexpr std::size_t npos = ~std::size_t(0);
+
+    /**
+     * Next awake slot at index >= @p from (npos when none). Reads the
+     * live bitmap, not a snapshot: a producer issuing at slot i wakes
+     * its consumers' (strictly higher, age order) slots mid-scan, and
+     * the same scan visits them — exactly like the screened full walk.
+     */
+    std::size_t nextAwake(std::size_t from) const
+    {
+        std::size_t wi = from >> 6;
+        if (wi >= awake_.size())
+            return npos;
+        std::uint64_t w = awake_[wi] &
+                          (~std::uint64_t(0) << (from & 63));
+        while (!w) {
+            if (++wi >= awake_.size())
+                return npos;
+            w = awake_[wi];
+        }
+        return (wi << 6) + std::countr_zero(w);
+    }
+
+    /**
+     * The scan recorded (or re-confirmed) a sleep in slot @p idx: drop
+     * the awake bit and arm the exact wake — sleepReg goes on that
+     * register's waiter list, otherwise sleepRetry (> @p now) goes on
+     * the time wheel. Re-arming after a spurious wake may duplicate a
+     * record; fires are validated and idempotent, so that is harmless.
+     */
+    void noteAsleep(std::size_t idx, Cycle now)
+    {
+        const Entry &e = entries_[idx];
+        awake_[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+        const WakeRec rec{e.seq, static_cast<std::uint32_t>(idx)};
+        if (e.sleepReg != invalidPhysReg) {
+            if (regWaiters_.size() <= std::size_t(e.sleepReg))
+                regWaiters_.resize(std::size_t(e.sleepReg) + 1);
+            regWaiters_[e.sleepReg].push_back(rec);
+        } else if (e.sleepRetry - now <= wheelMask) {
+            const Cycle b = e.sleepRetry & wheelMask;
+            wheel_[b].push_back(rec);
+            wheelBusy_[b >> 6] |= std::uint64_t(1) << (b & 63);
+        } else {
+            wheelOverflow_.emplace(e.sleepRetry, rec);
+        }
+    }
+
+    /** Fire every wheel record due at cycle @p now. Must run once per
+     * cycle (buckets alias every wheelMask+1 cycles). The occupancy
+     * bitmap keeps the common no-wake cycle to two hot-word tests
+     * instead of a scattered bucket load. */
+    void drainWakes(Cycle now)
+    {
+        while (!wheelOverflow_.empty() &&
+               wheelOverflow_.begin()->first <= now) {
+            wakeValidated(wheelOverflow_.begin()->second);
+            wheelOverflow_.erase(wheelOverflow_.begin());
+        }
+        const Cycle b = now & wheelMask;
+        if (wheelBusy_[b >> 6] & (std::uint64_t(1) << (b & 63))) {
+            wheelBusy_[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
+            auto &bucket = wheel_[b];
+            for (const WakeRec &r : bucket)
+                wakeValidated(r);
+            bucket.clear();
+        }
+    }
+
+    /** Register @p p left notReady (its producer issued): wake the
+     * entries sleeping on it. */
+    void wakeReg(PhysRegIndex p)
+    {
+        if (std::size_t(p) >= regWaiters_.size())
+            return;
+        auto &list = regWaiters_[p];
+        if (!list.empty()) {
+            for (const WakeRec &r : list)
+                wakeValidated(r);
+            list.clear();
+        }
     }
 
     /** Drop all entries with seq > @p keepSeq (squash). Must run before
@@ -139,13 +247,41 @@ class IssueQueue
     void squashAfter(InstSeqNum keepSeq);
 
   private:
+    /** A pending wake for slot @p idx; @p seq guards against the slot
+     * having been squashed, re-used, or shifted by compaction. */
+    struct WakeRec
+    {
+        InstSeqNum seq;
+        std::uint32_t idx;
+    };
+
     void compact();
 
+    /** Set the awake bit iff the record still names its entry. */
+    void wakeValidated(const WakeRec &r)
+    {
+        if (r.idx < entries_.size() && entries_[r.idx].inst &&
+            entries_[r.idx].seq == r.seq) {
+            awake_[r.idx >> 6] |= std::uint64_t(1) << (r.idx & 63);
+        }
+    }
+
     static constexpr std::size_t compactThreshold = 32;
+    static constexpr Cycle wheelMask = 255;  ///< wheel horizon - 1
 
     unsigned cap;
     std::size_t live = 0;
     std::vector<Entry> entries_;  ///< kept in insertion (age) order
+    /** One bit per slot: the scan must visit it (bits past slotCount
+     * are kept zero by squashAfter/compact). */
+    std::vector<std::uint64_t> awake_;
+    /** sleepRetry wakes, bucketed by due cycle & wheelMask. */
+    std::vector<std::vector<WakeRec>> wheel_{wheelMask + 1};
+    /** Occupancy bit per wheel bucket. */
+    std::array<std::uint64_t, (wheelMask + 1) / 64> wheelBusy_{};
+    std::multimap<Cycle, WakeRec> wheelOverflow_;
+    /** sleepReg wakes, indexed by physical register (grown lazily). */
+    std::vector<std::vector<WakeRec>> regWaiters_;
 };
 
 } // namespace svw

@@ -22,12 +22,6 @@ PhysRegFile::PhysRegFile(unsigned n)
 {
 }
 
-bool
-PhysRegFile::dropRef(PhysRegIndex p)
-{
-    svw_assert(refs[p] > 0, "dropRef of free register ", p);
-    return --refs[p] == 0;
-}
 
 RenameState::RenameState(unsigned numPhysRegs, unsigned checkpointPool,
                          unsigned journalCapacity)
@@ -60,25 +54,7 @@ RenameState::RenameState(unsigned numPhysRegs, unsigned checkpointPool,
     }
 }
 
-PhysRegIndex
-RenameState::alloc()
-{
-    svw_assert(!freeList.empty(), "physical register underflow");
-    PhysRegIndex p = freeList.back();
-    freeList.pop_back();
-    file.addRef(p);
-    file.setReadyAt(p, notReady);
-    return p;
-}
 
-void
-RenameState::deref(PhysRegIndex p)
-{
-    if (file.dropRef(p)) {
-        file.bumpGeneration(p);
-        freeList.push_back(p);
-    }
-}
 
 void
 RenameState::undoLastDef()

@@ -51,7 +51,11 @@ class PhysRegFile
     unsigned refCount(PhysRegIndex p) const { return refs[p]; }
     void addRef(PhysRegIndex p) { ++refs[p]; }
     /** @return true if the count dropped to zero (register is dead). */
-    bool dropRef(PhysRegIndex p);
+    bool dropRef(PhysRegIndex p)
+    {
+        svw_assert(refs[p] > 0, "dropRef of free register ", p);
+        return --refs[p] == 0;
+    }
 
     /** Generation bumps on every free; stale consumers can detect reuse. */
     std::uint64_t generation(PhysRegIndex p) const { return gens[p]; }
@@ -143,10 +147,26 @@ class RenameState
     std::size_t freeRegs() const { return freeList.size(); }
 
     /** Allocate a register (ref count 1, not ready). */
-    PhysRegIndex alloc();
+    PhysRegIndex alloc()
+    {
+        svw_assert(!freeList.empty(), "physical register underflow");
+        PhysRegIndex p = freeList.back();
+        freeList.pop_back();
+        file.addRef(p);
+        file.setReadyAt(p, notReady);
+        return p;
+    }
 
-    /** Release one reference; frees (and bumps generation) at zero. */
-    void deref(PhysRegIndex p);
+    /** Release one reference; frees (and bumps generation) at zero.
+     * Header-inlined with dropRef: commit releases a displaced mapping
+     * per retired writer, so this pair is a per-instruction cost. */
+    void deref(PhysRegIndex p)
+    {
+        if (file.dropRef(p)) {
+            file.bumpGeneration(p);
+            freeList.push_back(p);
+        }
+    }
 
     /** Extra reference for sharing (register integration). */
     void addRef(PhysRegIndex p) { file.addRef(p); }

@@ -1,0 +1,206 @@
+#include "harness/batch.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <tuple>
+
+#include "base/logging.hh"
+#include "func/interp.hh"
+#include "harness/executor.hh"
+
+namespace svw::harness {
+
+namespace {
+
+std::uint64_t gBatchRuns = 0;
+std::uint64_t gBatchedCells = 0;
+
+/** Cells may share a unit iff these match (never across workloads;
+ * golden lanes never mix with unchecked lanes). */
+using BatchKey = std::tuple<std::string, std::uint64_t, bool>;
+
+BatchKey
+batchKeyOf(const SweepCell &cell)
+{
+    return {cell.workload, cell.targetInsts, cell.goldenCheck};
+}
+
+/**
+ * Lockstep slice width in cycles. Small enough that the lanes' working
+ * sets stay interleaved on one core (the point of co-residence), large
+ * enough that the lane-rotation overhead is noise against the ~100+
+ * host instructions per simulated cycle. Host-side scheduling only:
+ * any value produces the same simulation.
+ */
+constexpr std::uint64_t laneQuantum = 4096;
+
+} // namespace
+
+std::uint64_t batchRuns() { return gBatchRuns; }
+std::uint64_t batchedCells() { return gBatchedCells; }
+
+bool
+cellBatchable(const SweepCell &cell)
+{
+    return !cell.hook && cell.timingReps <= 1 && !cell.neverCache;
+}
+
+unsigned
+resolveBatchK(unsigned requested)
+{
+    // Auto default: 4 lanes. Figure rows run 5-6 configs per workload,
+    // so one row usually makes one or two units; four pipeline states
+    // (ROB + LQ/SQ + rename arrays, ~1 MB each after the PR 3 hot/cold
+    // split) still fit alongside each other in a desktop L2/L3.
+    return requested == 0 ? 4 : requested;
+}
+
+std::vector<std::vector<std::size_t>>
+planBatches(const SweepSpec &spec, const std::deque<std::size_t> &pending,
+            unsigned k)
+{
+    std::vector<std::vector<std::size_t>> units;
+    // Bucket batchable cells by key; map iteration order is irrelevant
+    // because finished units are sorted by first spec index below.
+    std::map<BatchKey, std::vector<std::size_t>> open;
+    for (std::size_t idx : pending) {
+        const SweepCell &cell = spec.cell(idx);
+        if (k <= 1 || !cellBatchable(cell)) {
+            units.push_back({idx});
+            continue;
+        }
+        std::vector<std::size_t> &bucket = open[batchKeyOf(cell)];
+        bucket.push_back(idx);
+        if (bucket.size() >= k) {
+            units.push_back(std::move(bucket));
+            bucket.clear();
+        }
+    }
+    for (auto &[key, bucket] : open) {
+        if (!bucket.empty())
+            units.push_back(std::move(bucket));
+    }
+    std::sort(units.begin(), units.end(),
+              [](const auto &a, const auto &b) { return a[0] < b[0]; });
+    return units;
+}
+
+std::vector<CellOutcome>
+runBatch(const SweepSpec &spec, const std::vector<std::size_t> &unit,
+         ProgramCache &cache)
+{
+    svw_assert(!unit.empty(), "empty batch unit");
+    const SweepCell &first = spec.cell(unit[0]);
+    for (std::size_t idx : unit) {
+        const SweepCell &cell = spec.cell(idx);
+        svw_assert(cellBatchable(cell),
+                   "unbatchable cell in a batch unit: ", cell.name());
+        svw_assert(batchKeyOf(cell) == batchKeyOf(first),
+                   "batch unit crosses workloads: ", cell.name(),
+                   " vs ", first.name());
+    }
+
+    const Program &prog = cache.get(first.workload, first.targetInsts);
+    if (unit.size() >= 2) {
+        ++gBatchRuns;
+        gBatchedCells += unit.size();
+    }
+
+    // One read-only program image backs every lane's committed state
+    // (and the shared golden model): K cores copy-on-write against it
+    // instead of each duplicating the initial segments.
+    MemoryImage baseImage;
+    baseImage.loadProgram(prog);
+
+    struct Lane
+    {
+        RunRequest req;
+        std::unique_ptr<stats::StatRegistry> reg;
+        std::unique_ptr<Core> core;
+        RunOutcome out;
+    };
+    std::vector<Lane> lanes(unit.size());
+    // Lockstep scheduler state, kept as dense parallel arrays so the
+    // per-quantum rotation scans flat flags, not the lane objects.
+    std::vector<unsigned char> done(unit.size(), 0);
+
+    for (std::size_t i = 0; i < unit.size(); ++i) {
+        const SweepCell &cell = spec.cell(unit[i]);
+        Lane &l = lanes[i];
+        l.req.workload = cell.workload;
+        l.req.targetInsts = cell.targetInsts;
+        l.req.config = cell.config;
+        l.req.goldenCheck = cell.goldenCheck;
+        l.reg = std::make_unique<stats::StatRegistry>();
+        CoreParams params = buildParams(cell.config);
+        l.core = std::make_unique<Core>(params, prog, *l.reg, &baseImage);
+    }
+
+    const std::uint64_t maxCycles =
+        100 * first.targetInsts + 1'000'000;  // runOne's auto cap
+    const double t0 = hostSeconds();
+    std::size_t live = lanes.size();
+    while (live > 0) {
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            if (done[i])
+                continue;
+            if (lanes[i].core->advance(~std::uint64_t(0), maxCycles,
+                                       laneQuantum)) {
+                done[i] = 1;
+                --live;
+            }
+        }
+    }
+    const double batchSeconds = hostSeconds() - t0;
+
+    std::vector<CellOutcome> outcomes(unit.size());
+    std::uint64_t totalCycles = 0;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        Lane &l = lanes[i];
+        l.out = l.core->outcome();
+        totalCycles += l.out.cycles;
+        CellOutcome &o = outcomes[i];
+        o.ran = true;
+        o.result = extractRunResult(l.req, *l.reg, l.out);
+    }
+
+    if (first.goldenCheck) {
+        // One interpreter pass serves every lane: advance it to each
+        // lane's retired-instruction count in ascending order and
+        // compare there. The interpreter is deterministic, so its
+        // state at count N is identical to a fresh run(N) — the
+        // comparison each lane sees is exactly runOne's.
+        std::vector<std::size_t> order(lanes.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return lanes[a].out.instructions <
+                                    lanes[b].out.instructions;
+                         });
+        Interp golden(prog, &baseImage);
+        std::uint64_t reached = 0;
+        for (std::size_t i : order) {
+            Lane &l = lanes[i];
+            svw_assert(l.out.instructions >= reached, "golden order");
+            golden.run(l.out.instructions - reached);
+            reached = l.out.instructions;
+            goldenCompare(l.req, *l.core, l.out, golden,
+                          outcomes[i].result);
+        }
+    }
+
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        CellOutcome &o = outcomes[i];
+        o.ok = true;
+        o.seconds = totalCycles
+            ? batchSeconds * double(lanes[i].out.cycles) /
+                  double(totalCycles)
+            : batchSeconds;
+        o.hostWallSeconds = o.seconds;
+    }
+    return outcomes;
+}
+
+} // namespace svw::harness

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Batched multi-cell co-simulation.
+ *
+ * Every paper figure compares K config variants of the *same*
+ * workload, and each variant runs the identical program against the
+ * identical initial memory image. The batched executor exploits that:
+ * runBatch advances the K independent `Core` lanes of one (workload,
+ * insts) pair in lockstep cycle-quanta, sharing one `Program` (and its
+ * pre-decoded StaticInst stream), one read-only committed-state base
+ * image (func/memory_image.hh copy-on-write backing), and — for
+ * golden-checked cells — one functional-interpreter pass instead of K.
+ *
+ * Byte-identity invariant (same discipline as --jobs): a batched
+ * cell's RunResult — cycles, every stat, the serialized bytes — is
+ * identical to its single-cell run. Lanes never interact: each has its
+ * own StatRegistry and Core; the shared structures are read-only. The
+ * lockstep quantum only decides *host* interleaving, never a simulated
+ * cycle. tests/test_batch.cc and the CI batch diff gate enforce this.
+ *
+ * Grouping rule (planBatches): only cells with no per-cycle hook, no
+ * timing repetitions, and no neverCache mark are batchable — hook
+ * cells perturb the simulation from outside, and timing cells exist to
+ * measure a *solo* run's wall time, which co-residence would distort.
+ * Batchable cells share a unit only when (workload, targetInsts,
+ * goldenCheck) all match, so a batch never crosses workloads and
+ * golden lanes never mix with unchecked lanes. Result-cache keys stay
+ * per-cell (harness/sweep.hh cellKey): planning happens after cache
+ * hits are served, so warm reruns are unaffected.
+ */
+
+#ifndef SVW_HARNESS_BATCH_HH
+#define SVW_HARNESS_BATCH_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace svw::harness {
+
+class ProgramCache;
+
+/** May this cell join a co-simulation batch at all? (Hook, timing-rep
+ * and neverCache cells always run solo.) */
+bool cellBatchable(const SweepCell &cell);
+
+/**
+ * Deterministic batch plan over @p pending (spec-order cell indices,
+ * cache hits already removed): batchable cells are bucketed by
+ * (workload, targetInsts, goldenCheck) and cut into units of at most
+ * @p k lanes; everything else becomes a singleton unit. Units are
+ * ordered by their first cell's spec index, so sequential execution
+ * stays near spec order. @p k <= 1 disables batching (all singletons).
+ */
+std::vector<std::vector<std::size_t>>
+planBatches(const SweepSpec &spec, const std::deque<std::size_t> &pending,
+            unsigned k);
+
+/**
+ * Resolve a --batch request: 0 (auto) picks the default lane count —
+ * enough that a figure row's variants usually co-run, small enough
+ * that K pipeline states stay cache-resident. 1 disables batching.
+ */
+unsigned resolveBatchK(unsigned requested);
+
+/**
+ * Co-simulate one planned unit (>= 1 cells, all mutually batchable —
+ * panics otherwise) in the calling process. Outcomes are returned in
+ * unit order. Like runCell, does not catch: a golden mismatch fatals.
+ * The unit's batch wall time is apportioned to the lanes by simulated
+ * cycles (a lane's `seconds` is an attribution, not a solo
+ * measurement — timing cells never batch).
+ */
+std::vector<CellOutcome> runBatch(const SweepSpec &spec,
+                                  const std::vector<std::size_t> &unit,
+                                  ProgramCache &cache);
+
+/** Instrumentation (per process, like runCellCalls): number of
+ * runBatch invocations with >= 2 lanes, and lanes co-simulated by
+ * them. Tests assert batching actually engaged (or stayed out). */
+std::uint64_t batchRuns();
+std::uint64_t batchedCells();
+
+} // namespace svw::harness
+
+#endif // SVW_HARNESS_BATCH_HH

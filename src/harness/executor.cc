@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "harness/batch.hh"
 #include "harness/serialize.hh"
 #include "prog/workloads/workloads.hh"
 
@@ -56,6 +57,17 @@ std::uint64_t
 runCellCalls()
 {
     return gRunCellCalls;
+}
+
+ProgramCache &
+processProgramCache()
+{
+    // Function-local static: built programs persist for the process
+    // (bench binaries exit after a few sweeps; tests share workloads
+    // across many small sweeps). Pool workers fork with a snapshot of
+    // the parent's cache and extend their own copy.
+    static ProgramCache cache;
+    return cache;
 }
 
 int
@@ -131,16 +143,29 @@ selectCells(const SweepSpec &spec, const SweepOptions &opts)
     return sel;
 }
 
+using BatchUnit = std::vector<std::size_t>;
+
 std::vector<CellOutcome>
-runSequential(const SweepSpec &spec, std::deque<std::size_t> pending,
+runSequential(const SweepSpec &spec, const std::vector<BatchUnit> &units,
               const SweepOptions &opts)
 {
     std::vector<CellOutcome> outcomes(spec.size());
-    ProgramCache cache;
-    for (std::size_t idx : pending) {
-        outcomes[idx] = runCell(spec.cell(idx), cache);
-        if (opts.onCellDone)
-            opts.onCellDone(idx, outcomes[idx]);
+    ProgramCache &cache = processProgramCache();
+    for (const BatchUnit &unit : units) {
+        if (unit.size() == 1) {
+            const std::size_t idx = unit[0];
+            outcomes[idx] = runCell(spec.cell(idx), cache);
+            if (opts.onCellDone)
+                opts.onCellDone(idx, outcomes[idx]);
+            continue;
+        }
+        std::vector<CellOutcome> batch = runBatch(spec, unit, cache);
+        gRunCellCalls += unit.size();  // lanes are cell executions
+        for (std::size_t i = 0; i < unit.size(); ++i) {
+            outcomes[unit[i]] = std::move(batch[i]);
+            if (opts.onCellDone)
+                opts.onCellDone(unit[i], outcomes[unit[i]]);
+        }
     }
     return outcomes;
 }
@@ -185,33 +210,71 @@ writeFull(int fd, const void *buf, std::size_t n)
     return true;
 }
 
-/** Worker main loop: pull cell indices, push result lines. */
+/** Worker main loop: pull unit frames (lane count + cell indices),
+ * push one result line per cell in unit order. */
 [[noreturn]] void
 workerLoop(const SweepSpec &spec, int cmdFd, int resFd)
 {
     gWorkerResultFd = resFd;  // crash-injection test hooks write here
-    ProgramCache cache;
+    ProgramCache &cache = processProgramCache();
     for (;;) {
-        std::uint64_t idx = 0;
-        if (!readFull(cmdFd, &idx, sizeof(idx)) || idx == quitSentinel)
+        std::uint64_t count = 0;
+        if (!readFull(cmdFd, &count, sizeof(count)) ||
+            count == quitSentinel) {
             break;
-        CellRecord rec;
-        rec.cellIndex = static_cast<std::size_t>(idx);
-        try {
-            CellOutcome o = runCell(spec.cell(rec.cellIndex), cache);
-            rec.ok = o.ok;
-            rec.seconds = o.seconds;
-            rec.hostWallSeconds = o.hostWallSeconds;
-            rec.result = std::move(o.result);
-        } catch (const std::exception &e) {
-            rec.ok = false;
-            rec.error = e.what();
-        } catch (...) {
-            rec.ok = false;
-            rec.error = "unknown exception";
         }
-        const std::string line = cellRecordToLine(rec);
-        if (!writeFull(resFd, line.data(), line.size()))
+        std::vector<std::size_t> unit(static_cast<std::size_t>(count));
+        bool eof = false;
+        for (std::size_t &idx : unit) {
+            std::uint64_t v = 0;
+            if (!readFull(cmdFd, &v, sizeof(v))) {
+                eof = true;
+                break;
+            }
+            idx = static_cast<std::size_t>(v);
+        }
+        if (eof || unit.empty())
+            break;
+
+        std::vector<CellRecord> recs(unit.size());
+        for (std::size_t i = 0; i < unit.size(); ++i)
+            recs[i].cellIndex = unit[i];
+        try {
+            std::vector<CellOutcome> outs;
+            if (unit.size() == 1) {
+                outs.push_back(runCell(spec.cell(unit[0]), cache));
+            } else {
+                outs = runBatch(spec, unit, cache);
+                gRunCellCalls += unit.size();  // lanes count as cells
+            }
+            for (std::size_t i = 0; i < unit.size(); ++i) {
+                recs[i].ok = outs[i].ok;
+                recs[i].seconds = outs[i].seconds;
+                recs[i].hostWallSeconds = outs[i].hostWallSeconds;
+                recs[i].result = std::move(outs[i].result);
+            }
+        } catch (const std::exception &e) {
+            // A batch is all-or-nothing, like a cell: a lane's golden
+            // mismatch (or any throw) fails every cell of the unit.
+            for (CellRecord &rec : recs) {
+                rec.ok = false;
+                rec.error = e.what();
+            }
+        } catch (...) {
+            for (CellRecord &rec : recs) {
+                rec.ok = false;
+                rec.error = "unknown exception";
+            }
+        }
+        bool writeFailed = false;
+        for (const CellRecord &rec : recs) {
+            const std::string line = cellRecordToLine(rec);
+            if (!writeFull(resFd, line.data(), line.size())) {
+                writeFailed = true;
+                break;
+            }
+        }
+        if (writeFailed)
             break;
     }
     // _exit: skip the parent's flushed-but-inherited stdio buffers and
@@ -222,9 +285,10 @@ workerLoop(const SweepSpec &spec, int cmdFd, int resFd)
 struct Worker
 {
     pid_t pid = -1;
-    int cmdFd = -1;       ///< parent -> worker cell indices
+    int cmdFd = -1;       ///< parent -> worker unit frames
     int resFd = -1;       ///< worker -> parent result lines
-    long inflight = -1;   ///< cell index being executed (-1 = idle)
+    BatchUnit inflight;   ///< unit being executed (empty = idle)
+    std::size_t reported = 0;  ///< unit cells already recorded
     bool alive = false;
     std::string buf;      ///< partial result-line accumulator
 };
@@ -232,13 +296,16 @@ struct Worker
 class ForkPool
 {
   public:
-    ForkPool(const SweepSpec &spec, std::deque<std::size_t> pending,
+    ForkPool(const SweepSpec &spec, std::deque<BatchUnit> pending,
              const SweepOptions &opts)
         : spec_(spec), opts_(opts), pending_(std::move(pending)),
-          outcomes_(spec.size()), remaining_(pending_.size())
+          outcomes_(spec.size())
     {
+        for (const BatchUnit &u : pending_)
+            remaining_ += u.size();
         const unsigned jobs = opts.jobs;
-        // One worker per job slot, capped by the work available.
+        // One worker per job slot, capped by the work available (a
+        // unit is the deal granularity, so batching coarsens this).
         const std::size_t n =
             std::min<std::size_t>(jobs, pending_.size());
         for (std::size_t i = 0; i < n; ++i)
@@ -275,17 +342,13 @@ class ForkPool
                 // No live workers left but cells still pending: the
                 // respawn path is exhausted (fork failure). Fail the
                 // rest explicitly rather than hang.
-                for (std::size_t idx : pending_) {
-                    failCell(idx, "no live workers left");
+                for (const BatchUnit &unit : pending_) {
+                    for (std::size_t idx : unit)
+                        failCell(idx, "no live workers left");
                 }
                 pending_.clear();
-                for (Worker &w : workers_) {
-                    if (w.alive && w.inflight >= 0) {
-                        failCell(static_cast<std::size_t>(w.inflight),
-                                 "sweep pool aborted");
-                        w.inflight = -1;
-                    }
-                }
+                for (Worker &w : workers_)
+                    failUnitRemainder(w, "sweep pool aborted");
                 break;
             }
         }
@@ -341,18 +404,26 @@ class ForkPool
         return true;
     }
 
-    /** Hand the next pending cell to @p w (or quit it when drained). */
+    /** Hand the next pending unit to @p w (or quit it when drained). */
     void deal(Worker &w)
     {
         if (!pending_.empty()) {
-            const std::uint64_t idx = pending_.front();
+            BatchUnit unit = std::move(pending_.front());
             pending_.pop_front();
-            if (writeFull(w.cmdFd, &idx, sizeof(idx))) {
-                w.inflight = static_cast<long>(idx);
+            // One frame: lane count, then the cell indices.
+            std::vector<std::uint64_t> frame;
+            frame.reserve(unit.size() + 1);
+            frame.push_back(unit.size());
+            for (std::size_t idx : unit)
+                frame.push_back(idx);
+            if (writeFull(w.cmdFd, frame.data(),
+                          frame.size() * sizeof(std::uint64_t))) {
+                w.inflight = std::move(unit);
+                w.reported = 0;
             } else {
                 // Write side already broken: requeue and let the
                 // resFd EOF path reap the worker.
-                pending_.push_front(static_cast<std::size_t>(idx));
+                pending_.push_front(std::move(unit));
             }
             return;
         }
@@ -373,21 +444,30 @@ class ForkPool
             opts_.onCellDone(idx, o);
     }
 
+    /** Fail every not-yet-reported cell of @p w's in-flight unit and
+     * mark it idle (already-recorded lanes keep their outcomes). */
+    void failUnitRemainder(Worker &w, const std::string &error)
+    {
+        for (std::size_t i = w.reported; i < w.inflight.size(); ++i)
+            failCell(w.inflight[i], error);
+        w.inflight.clear();
+        w.reported = 0;
+    }
+
     void recordLine(Worker &w, const std::string &line)
     {
         CellRecord rec;
-        if (!cellRecordFromLine(line, rec) ||
-            rec.cellIndex >= outcomes_.size() ||
-            static_cast<long>(rec.cellIndex) != w.inflight) {
-            // Protocol corruption: fail the in-flight cell and retire
-            // the worker for real — kill it, reap it (which respawns a
-            // replacement if work remains), and let the caller stop
-            // reading its now-closed pipe.
-            if (w.inflight >= 0) {
-                failCell(static_cast<std::size_t>(w.inflight),
-                         "malformed worker record");
-                w.inflight = -1;
-            }
+        const bool expectedOk =
+            cellRecordFromLine(line, rec) &&
+            rec.cellIndex < outcomes_.size() &&
+            w.reported < w.inflight.size() &&
+            rec.cellIndex == w.inflight[w.reported];
+        if (!expectedOk) {
+            // Protocol corruption: fail the unit's unreported cells
+            // and retire the worker for real — kill it, reap it
+            // (which respawns a replacement if work remains), and let
+            // the caller stop reading its now-closed pipe.
+            failUnitRemainder(w, "malformed worker record");
             ::kill(w.pid, SIGKILL);
             reap(w);
             return;
@@ -400,10 +480,14 @@ class ForkPool
         o.hostWallSeconds = rec.hostWallSeconds;
         o.result = std::move(rec.result);
         --remaining_;
-        w.inflight = -1;
+        ++w.reported;
         if (opts_.onCellDone)
             opts_.onCellDone(rec.cellIndex, o);
-        deal(w);
+        if (w.reported == w.inflight.size()) {
+            w.inflight.clear();
+            w.reported = 0;
+            deal(w);
+        }
     }
 
     /** Reap a worker whose result pipe hit EOF. */
@@ -411,7 +495,7 @@ class ForkPool
     {
         int status = 0;
         ::waitpid(w.pid, &status, 0);
-        if (w.inflight >= 0) {
+        if (w.reported < w.inflight.size()) {
             std::string why = "worker ";
             why += std::to_string(w.pid);
             if (WIFSIGNALED(status)) {
@@ -424,11 +508,13 @@ class ForkPool
                                           : -1);
             }
             why += " while running cell ";
-            why += spec_.cell(static_cast<std::size_t>(w.inflight))
-                       .name();
-            failCell(static_cast<std::size_t>(w.inflight),
-                     std::move(why));
-            w.inflight = -1;
+            why += spec_.cell(w.inflight[w.reported]).name();
+            if (w.inflight.size() - w.reported > 1) {
+                why += " (batch unit of ";
+                why += std::to_string(w.inflight.size());
+                why += ")";
+            }
+            failUnitRemainder(w, why);
         }
         if (w.cmdFd >= 0) {
             ::close(w.cmdFd);
@@ -524,9 +610,9 @@ class ForkPool
 
     const SweepSpec &spec_;
     const SweepOptions &opts_;
-    std::deque<std::size_t> pending_;
+    std::deque<BatchUnit> pending_;
     std::vector<CellOutcome> outcomes_;
-    std::size_t remaining_;
+    std::size_t remaining_ = 0;
     // deque: spawn() during iteration must not invalidate references.
     std::deque<Worker> workers_;
 };
@@ -547,7 +633,7 @@ struct SigpipeIgnored
 };
 
 std::vector<CellOutcome>
-runPool(const SweepSpec &spec, std::deque<std::size_t> pending,
+runPool(const SweepSpec &spec, std::deque<BatchUnit> pending,
         const SweepOptions &opts)
 {
     SigpipeIgnored guard;
@@ -594,19 +680,28 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
         pending = std::move(misses);
     }
 
+    // Plan co-simulation units over the cells that actually need to
+    // run (cache hits are already out, so warm reruns are unaffected).
+    const std::vector<std::vector<std::size_t>> units =
+        planBatches(spec, pending, resolveBatchK(opts.batch));
+
     std::vector<CellOutcome> outcomes;
 #ifdef SVW_HAVE_FORK_POOL
     // Any --jobs>1 request takes the pool — even for a single selected
     // cell — so the advertised crash/exception containment does not
     // silently depend on the cell count.
-    if (opts.jobs > 1 && !pending.empty())
-        outcomes = runPool(spec, std::move(pending), opts);
-    else
-        outcomes = runSequential(spec, std::move(pending), opts);
+    if (opts.jobs > 1 && !units.empty()) {
+        outcomes = runPool(spec,
+                           std::deque<std::vector<std::size_t>>(
+                               units.begin(), units.end()),
+                           opts);
+    } else {
+        outcomes = runSequential(spec, units, opts);
+    }
 #else
     if (opts.jobs > 1)
         svw_warn("--jobs requires fork(); running sequentially");
-    outcomes = runSequential(spec, std::move(pending), opts);
+    outcomes = runSequential(spec, units, opts);
 #endif
 
     for (auto &[idx, o] : hits)
@@ -616,6 +711,8 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
         if (o.ran && o.ok)
             cache->put(key, o.result);
     }
+    if (cache && opts.cacheMaxMb > 0)
+        cache->trimToBytes(opts.cacheMaxMb * 1024 * 1024);
     return SweepResults(spec, std::move(outcomes));
 }
 

@@ -7,14 +7,19 @@
  *
  * Worker protocol (docs/ARCHITECTURE.md "Sweep engine"): the parent
  * forks N workers after the spec is built (so cells' hooks and configs
- * are inherited), then dynamically deals cell indices to idle workers
- * over per-worker command pipes (8-byte little-endian index; ~0 =
- * quit). A worker executes each cell in isolation and streams back one
- * JSON line per cell (harness/serialize.hh) on its result pipe. The
- * parent polls result pipes, stores outcomes by cell index, and deals
- * the next pending cell. A crashed worker fails only its in-flight
- * cell; the parent reaps it, records the failure, respawns a
- * replacement, and the merged report stays intact.
+ * are inherited), plans the pending cells into co-simulation units
+ * (harness/batch.hh planBatches; a unit is one cell, or up to --batch
+ * compatible cells of one workload), then dynamically deals units to
+ * idle workers over per-worker command pipes (an 8-byte little-endian
+ * lane count, ~0 = quit, followed by that many 8-byte cell indices).
+ * A worker executes each unit in isolation — runCell for singletons,
+ * runBatch for wider units — and streams back one JSON line per cell
+ * in unit order (harness/serialize.hh) on its result pipe. The parent
+ * polls result pipes, stores outcomes by cell index, and deals the
+ * next pending unit once a unit is fully reported. A crashed worker
+ * fails only its in-flight unit's unreported cells; the parent reaps
+ * it, records the failures, respawns a replacement, and the merged
+ * report stays intact.
  *
  * Sharding partitions by *group* (figure row), not by cell, so every
  * row's baseline and variants land in the same shard and speedup
@@ -42,6 +47,23 @@ struct SweepOptions
     /** Worker processes; 1 = in-process (debug/tracing-friendly,
      * failures propagate as exceptions like a plain runOne loop). */
     unsigned jobs = 1;
+    /**
+     * Co-simulation batch width (harness/batch.hh): compatible cells
+     * of one workload are advanced in lockstep as one unit of up to
+     * this many lanes, sharing the program, the base memory image and
+     * the golden-model pass. 0 = auto (resolveBatchK's default), 1 =
+     * off. Merged results are byte-identical for every value — the
+     * same invariant as `jobs`. Under a pool, one unit is one deal, so
+     * large batches coarsen work distribution.
+     */
+    unsigned batch = 0;
+    /**
+     * When nonzero and a cacheDir is set: after the sweep's results
+     * are stored, LRU-trim the cache directory to at most this many
+     * megabytes (oldest access stamp first; in-flight temp files are
+     * never touched). See ResultCache::trimToBytes.
+     */
+    std::uint64_t cacheMaxMb = 0;
     /** Cross-machine split: this invocation runs the groups whose
      * first-appearance index i satisfies i % shardCount == shardIndex. */
     unsigned shardIndex = 0;
@@ -67,10 +89,12 @@ struct SweepOptions
 /** Monotonic host wall-clock seconds (arbitrary origin). */
 double hostSeconds();
 
-/** Count of runCell invocations in the *calling* process (a pool
- * worker's executions land in the worker's own copy, not the
- * parent's). Test instrumentation: a fully warm-cache sweep serves
- * hits in the parent, so it must leave the parent's count unchanged. */
+/** Count of cell executions in the *calling* process — runCell
+ * invocations plus every lane of a runBatch unit (a pool worker's
+ * executions land in the worker's own copy, not the parent's). Test
+ * instrumentation: a fully warm-cache sweep serves hits in the parent,
+ * so it must leave the parent's count unchanged, whatever the batch
+ * width. */
 std::uint64_t runCellCalls();
 
 /**
@@ -101,6 +125,15 @@ class ProgramCache
     std::map<std::pair<std::string, std::uint64_t>, Program> programs_;
     std::uint64_t builds_ = 0;
 };
+
+/**
+ * The process-wide workload-program cache used by the in-process
+ * sweep path and the pool workers: consecutive sweeps in one process
+ * (batched or not) share one build of each (workload, insts) program
+ * instead of rebuilding per runSweep call. Callers owning their
+ * lifetime (tests) can still construct private ProgramCaches.
+ */
+ProgramCache &processProgramCache();
 
 /**
  * Execute one cell in the calling process (shared by the in-process

@@ -27,19 +27,9 @@ runOne(const RunRequest &req)
 }
 
 RunResult
-runOne(const RunRequest &req, const Program &prog)
+extractRunResult(const RunRequest &req, const stats::StatRegistry &reg,
+                 const RunOutcome &out)
 {
-    stats::StatRegistry reg;
-    CoreParams params = buildParams(req.config);
-    Core core(params, prog, reg);
-    if (req.hook)
-        core.perCycleHook = req.hook;
-
-    const std::uint64_t maxCycles =
-        req.maxCycles ? req.maxCycles : 100 * req.targetInsts + 1'000'000;
-    // Run to halt: every workload is sized by targetInsts already.
-    RunOutcome out = core.run(~std::uint64_t(0), maxCycles);
-
     RunResult res;
     res.workload = req.workload;
     res.config = configLabel(req.config);
@@ -81,21 +71,46 @@ runOne(const RunRequest &req, const Program &prog)
         svw_warn("run did not halt: ", req.workload, " / ", res.config,
                  " after ", out.cycles, " cycles");
     }
+    return res;
+}
+
+void
+goldenCompare(const RunRequest &req, const Core &core,
+              const RunOutcome &out, const Interp &golden, RunResult &res)
+{
+    bool ok = true;
+    for (RegIndex a = 0; a < numArchRegs && ok; ++a)
+        ok = core.archReg(a) == golden.reg(a);
+    if (ok)
+        ok = core.memory().identicalTo(golden.memory());
+    res.goldenOk = ok;
+    if (!ok) {
+        svw_fatal("golden-model mismatch: ", req.workload, " / ",
+                  res.config, " after ", out.instructions,
+                  " instructions");
+    }
+}
+
+RunResult
+runOne(const RunRequest &req, const Program &prog)
+{
+    stats::StatRegistry reg;
+    CoreParams params = buildParams(req.config);
+    Core core(params, prog, reg);
+    if (req.hook)
+        core.perCycleHook = req.hook;
+
+    const std::uint64_t maxCycles =
+        req.maxCycles ? req.maxCycles : 100 * req.targetInsts + 1'000'000;
+    // Run to halt: every workload is sized by targetInsts already.
+    RunOutcome out = core.run(~std::uint64_t(0), maxCycles);
+
+    RunResult res = extractRunResult(req, reg, out);
 
     if (req.goldenCheck) {
         Interp golden(prog);
         golden.run(out.instructions);
-        bool ok = true;
-        for (RegIndex a = 0; a < numArchRegs && ok; ++a)
-            ok = core.archReg(a) == golden.reg(a);
-        if (ok)
-            ok = core.memory().identicalTo(golden.memory());
-        res.goldenOk = ok;
-        if (!ok) {
-            svw_fatal("golden-model mismatch: ", req.workload, " / ",
-                      res.config, " after ", out.instructions,
-                      " instructions");
-        }
+        goldenCompare(req, core, out, golden, res);
     }
     return res;
 }

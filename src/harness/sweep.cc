@@ -1,5 +1,6 @@
 #include "harness/sweep.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -218,7 +219,8 @@ ResultCache::collectTempLitter() const
 bool
 ResultCache::get(const CellKey &key, RunResult &out) const
 {
-    std::ifstream in(dir_ + "/" + key.fileName());
+    const std::string path = dir_ + "/" + key.fileName();
+    std::ifstream in(path);
     if (!in)
         return false;
     std::string line;
@@ -231,7 +233,68 @@ ResultCache::get(const CellKey &key, RunResult &out) const
     if (material != key.material)
         return false;  // hash collision: never serve a wrong result
     out = std::move(r);
+    // Refresh the entry's access stamp so trimToBytes evicts genuinely
+    // cold entries first. mtime, not atime: most mounts are noatime/
+    // relatime, so atime is not a usable recency signal. Best effort —
+    // a read-only cache dir still serves hits, it just trims FIFO.
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
     return true;
+}
+
+void
+ResultCache::trimToBytes(std::uint64_t maxBytes) const
+{
+    namespace fs = std::filesystem;
+
+    // Entry files only: 16 hex digits + ".json". Anything else in the
+    // directory — .tmp. files mid-put, user droppings — is not ours to
+    // delete here (temp litter has its own age-gated GC).
+    auto isEntryName = [](const std::string &name) {
+        if (name.size() != 21 || name.compare(16, 5, ".json") != 0)
+            return false;
+        return name.find_first_not_of("0123456789abcdef") == 16;
+    };
+
+    struct Entry
+    {
+        fs::file_time_type mtime;
+        std::uint64_t size;
+        fs::path path;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (!isEntryName(it->path().filename().string()))
+            continue;
+        std::error_code fec;
+        const auto mtime = fs::last_write_time(it->path(), fec);
+        if (fec)
+            continue;
+        const auto size = fs::file_size(it->path(), fec);
+        if (fec)
+            continue;
+        total += size;
+        entries.push_back(Entry{mtime, size, it->path()});
+    }
+    if (total <= maxBytes)
+        return;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const Entry &e : entries) {
+        if (total <= maxBytes)
+            break;
+        std::error_code rec;
+        fs::remove(e.path, rec);
+        if (!rec)
+            total -= e.size;
+    }
 }
 
 void

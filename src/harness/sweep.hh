@@ -187,6 +187,19 @@ class ResultCache
      * runs never pay the directory walk. */
     void put(const CellKey &key, const RunResult &r) const;
 
+    /**
+     * Size-bounded LRU eviction (--cache-max-mb): delete
+     * least-recently-used entries until the directory's entry files
+     * total at most @p maxBytes. "Used" is the file's write stamp —
+     * get() refreshes it on every hit (most mounts are noatime, so
+     * the cache keeps its own access stamp in mtime) — so the oldest
+     * stamps really are the least recently served. Only `<hash>.json`
+     * entry files are candidates: in-flight `.tmp.` files (a
+     * concurrent writer mid-put) are never collected. Best-effort
+     * like put(); all I/O errors are ignored.
+     */
+    void trimToBytes(std::uint64_t maxBytes) const;
+
   private:
     void collectTempLitter() const;
 

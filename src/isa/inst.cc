@@ -156,6 +156,19 @@ StaticInst::execLatency() const
     }
 }
 
+PreDecodedInst
+predecodeInst(const StaticInst &si)
+{
+    PreDecodedInst p;
+    p.flags = si.predecode();
+    p.cls = static_cast<std::uint8_t>(si.cls());
+    p.memSize = static_cast<std::uint8_t>(si.memSize());
+    p.archRd = static_cast<std::uint8_t>(si.rd);
+    p.execLat = static_cast<std::uint8_t>(si.execLatency());
+    p.op = static_cast<std::uint8_t>(si.op);
+    return p;
+}
+
 const char *
 opcodeName(Opcode op)
 {

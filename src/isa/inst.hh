@@ -137,6 +137,29 @@ struct StaticInst
 };
 
 /**
+ * The fully pre-decoded form of one StaticInst: every answer the
+ * out-of-line opcode switches above produce (predicate bits, class,
+ * access size, destination register, execute latency, opcode), packed
+ * into 8 bytes. Program keeps one table entry per text instruction
+ * (Program::predecoded()); fetch binds each DynInst from the table with
+ * a straight field copy instead of re-walking ~10 predicate switches
+ * per fetched instruction — the static text is decoded once per
+ * program, not once per dynamic instruction.
+ */
+struct PreDecodedInst
+{
+    std::uint16_t flags = 0;  ///< PreFlag bits (StaticInst::predecode)
+    std::uint8_t cls = static_cast<std::uint8_t>(InstClass::Nop);
+    std::uint8_t memSize = 0; ///< access size in bytes (mem ops)
+    std::uint8_t archRd = 0;  ///< destination register
+    std::uint8_t execLat = 1; ///< execution latency in cycles
+    std::uint8_t op = static_cast<std::uint8_t>(Opcode::Nop);
+};
+
+/** Build the packed pre-decode record for one static instruction. */
+PreDecodedInst predecodeInst(const StaticInst &si);
+
+/**
  * Evaluate ALU semantics over a pre-decoded opcode and operand values.
  * Header-inlined: the issue loop executes one of these per issued
  * instruction, and the pipeline caches the opcode in the DynInst hot

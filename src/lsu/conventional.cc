@@ -17,23 +17,26 @@ LoadStoreUnit::searchSq(DynInst &load)
 {
     LoadExecResult res;
 
-    // Youngest-first scan of older stores.
-    for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
-        DynInst *st = *it;
-        if (st->seq > load.seq)
+    // Youngest-first scan of older stores, over the dense SQ mirror
+    // (sqm) rather than the DynInst pointers: the search is the hot
+    // associative structure of the conventional/NLQ machine, and the
+    // mirror keeps it on a few contiguous cache lines.
+    for (std::size_t i = sqm.size(); i-- > 0;) {
+        const SqMirrorEntry &st = sqm[i];
+        if (st.seq > load.seq)
             continue;
-        if (!st->addrResolved) {
+        if (!st.addrOk) {
             // Ambiguous older store: the load may speculate past it.
             res.sawAmbiguousOlderStore = true;
             continue;
         }
-        if (!rangesOverlap(st->addr, st->size, load.addr, load.size))
+        if (!rangesOverlap(st.addr, st.size, load.addr, load.size))
             continue;
-        if (rangeContains(st->addr, st->size, load.addr, load.size) &&
-            st->dataResolved) {
+        if (rangeContains(st.addr, st.size, load.addr, load.size) &&
+            st.dataOk) {
             res.forwarded = true;
-            res.fwdSsn = st->ssn;
-            res.value = extractForward(*st, load);
+            res.fwdSsn = st.ssn;
+            res.value = extractForward(st.addr, st.data, load);
             return res;
         }
         // Partial overlap, or matching store whose data has not been
@@ -50,17 +53,18 @@ LoadStoreUnit::searchSq(DynInst &load)
 void
 LoadStoreUnit::storeDataReady(DynInst &store)
 {
-    // Nothing to do: the best-effort buffers front the cache banks and
-    // hold *committed* stores only (see commitStore). Inserting
-    // speculative values here would let a load pick up a younger
-    // store's data — a future-value hazard SVW's older-store window
-    // cannot detect.
-    (void)store;
+    refreshSqMirror(store);
+    // No buffer insertion: the best-effort buffers front the cache
+    // banks and hold *committed* stores only (see commitStore).
+    // Inserting speculative values here would let a load pick up a
+    // younger store's data — a future-value hazard SVW's older-store
+    // window cannot detect.
 }
 
 InstSeqNum
 LoadStoreUnit::storeResolved(DynInst &store)
 {
+    refreshSqMirror(store);
     if (prm.nlq)
         return 0;  // no LQ CAM; re-execution checks ordering
 

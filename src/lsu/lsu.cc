@@ -66,6 +66,12 @@ LoadStoreUnit::dispatchStore(DynInst &store)
 {
     svw_assert(!sqFull(), "SQ overflow");
     sq.push_back(&store);
+    // Snapshot whatever is already known (in the pipeline a store is
+    // unresolved at dispatch; unit tests dispatch pre-resolved ones).
+    sqm.push_back(SqMirrorEntry{store.seq, store.addr, store.storeData,
+                                store.ssn,
+                                static_cast<std::uint8_t>(store.size),
+                                store.addrResolved, store.dataResolved});
     if (prm.ssq && storeSteeredToFsq(store.pc)) {
         svw_assert(fsq.size() < prm.fsqEntries, "FSQ overflow");
         store.fsqStore = true;
@@ -76,13 +82,36 @@ LoadStoreUnit::dispatchStore(DynInst &store)
 std::uint64_t
 LoadStoreUnit::extractForward(const DynInst &store, const DynInst &load)
 {
+    return extractForward(store.addr, store.storeData, load);
+}
+
+std::uint64_t
+LoadStoreUnit::extractForward(Addr stAddr, std::uint64_t stData,
+                              const DynInst &load)
+{
     // Store fully covers the load; shift out the leading bytes.
-    const unsigned byteOff =
-        static_cast<unsigned>(load.addr - store.addr);
-    std::uint64_t v = store.storeData >> (8 * byteOff);
+    const unsigned byteOff = static_cast<unsigned>(load.addr - stAddr);
+    std::uint64_t v = stData >> (8 * byteOff);
     if (load.size < 8)
         v &= (std::uint64_t(1) << (8 * load.size)) - 1;
     return v;
+}
+
+void
+LoadStoreUnit::refreshSqMirror(const DynInst &store)
+{
+    // sqm is age-ordered (parallel to sq); locate the slot by seq.
+    auto it = std::lower_bound(sqm.begin(), sqm.end(), store.seq,
+                               [](const SqMirrorEntry &e, InstSeqNum s) {
+                                   return e.seq < s;
+                               });
+    if (it == sqm.end() || it->seq != store.seq)
+        return;  // already squashed out
+    it->addr = store.addr;
+    it->data = store.storeData;
+    it->ssn = store.ssn;
+    it->addrOk = store.addrResolved;
+    it->dataOk = store.dataResolved;
 }
 
 LoadExecResult
@@ -121,6 +150,7 @@ LoadStoreUnit::commitStore(const DynInst &store)
     svw_assert(!sq.empty() && sq.front()->seq == store.seq,
                "SQ commit out of order");
     sq.erase(sq.begin());
+    sqm.erase(sqm.begin());
     if (prm.ssq) {
         // The committed store enters its bank's best-effort forwarding
         // buffer (an 8-entry window in front of the cache bank).
@@ -152,6 +182,8 @@ LoadStoreUnit::squashAfter(InstSeqNum keepSeq)
     prune(lq);
     prune(sq);
     prune(fsq);
+    while (!sqm.empty() && sqm.back().seq > keepSeq)
+        sqm.pop_back();
     // Best-effort buffers are not cleaned: they are speculative by
     // construction and re-execution verifies every load under SSQ.
 }

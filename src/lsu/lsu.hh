@@ -113,6 +113,12 @@ class LoadStoreUnit
      */
     InstSeqNum storeResolved(DynInst &store);
 
+    /** Re-copy @p store's search-relevant fields into its mirror slot
+     * (by-seq binary search; no-op if the store was already squashed).
+     * The pipeline reaches this through storeResolved/storeDataReady;
+     * tests that poke store fields directly call it to resync. */
+    void refreshSqMirror(const DynInst &store);
+
     // --- retirement / squash --------------------------------------------
     void commitLoad(const DynInst &load);
     void commitStore(const DynInst &store);
@@ -178,8 +184,33 @@ class LoadStoreUnit
         std::uint64_t value = 0;
     };
 
+    /**
+     * Compact mirror of one SQ entry: everything the associative
+     * forwarding search reads (searchSq), packed so the youngest-first
+     * scan walks a dense array instead of dereferencing each store's
+     * two-cache-line DynInst out of the ROB ring. Maintained strictly
+     * in lockstep with @c sq (same order, same length): pushed at
+     * dispatch, refreshed from the DynInst when the store's address and
+     * data resolve (storeResolved / storeDataReady — the only points
+     * those fields change), popped with commit and squash.
+     */
+    struct SqMirrorEntry
+    {
+        InstSeqNum seq = 0;
+        Addr addr = 0;
+        std::uint64_t data = 0;
+        SSN ssn = 0;
+        std::uint8_t size = 0;
+        bool addrOk = false;
+        bool dataOk = false;
+    };
+
     /** Extract the bytes of @p load covered by @p store (full cover). */
     static std::uint64_t extractForward(const DynInst &store,
+                                        const DynInst &load);
+
+    /** Same, over a mirror entry's address/data. */
+    static std::uint64_t extractForward(Addr stAddr, std::uint64_t stData,
                                         const DynInst &load);
 
     /** Conventional/NLQ path: associative SQ search. */
@@ -198,6 +229,7 @@ class LoadStoreUnit
 
     std::vector<DynInst *> lq;   ///< age-ordered in-flight loads
     std::vector<DynInst *> sq;   ///< age-ordered in-flight stores
+    std::vector<SqMirrorEntry> sqm;  ///< dense searchSq mirror of sq
     std::vector<DynInst *> fsq;  ///< subset of sq steered to the FSQ
 
     std::vector<std::deque<FwdBufEntry>> fwdBufs;  ///< per cache bank

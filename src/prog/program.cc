@@ -10,6 +10,17 @@ Program::addSegment(Addr base, std::vector<std::uint8_t> bytes)
     _segments.push_back(Segment{base, std::move(bytes)});
 }
 
+const std::vector<PreDecodedInst> &
+Program::predecoded() const
+{
+    if (_pre.size() != _text.size()) {
+        _pre.resize(_text.size());
+        for (std::size_t i = 0; i < _text.size(); ++i)
+            _pre[i] = predecodeInst(_text[i]);
+    }
+    return _pre;
+}
+
 void
 Program::validate() const
 {

@@ -57,9 +57,21 @@ class Program
     /** Validate control-flow targets and register indices; panics if bad. */
     void validate() const;
 
+    /**
+     * Per-instruction pre-decode table, parallel to text(): entry i is
+     * predecodeInst(text()[i]). Built lazily on first use and rebuilt
+     * if the text has grown or shrunk since — callers that edit
+     * instructions in place after a predecoded() call must not exist
+     * (programs are built once, then executed). Fetch reads DynInst
+     * facts from this table instead of re-running the StaticInst
+     * predicate switches per dynamic instruction.
+     */
+    const std::vector<PreDecodedInst> &predecoded() const;
+
   private:
     std::string _name;
     std::vector<StaticInst> _text;
+    mutable std::vector<PreDecodedInst> _pre;
     std::vector<Segment> _segments;
     Addr _stackTop = 0x7fff'0000;
     std::uint64_t _entry = 0;

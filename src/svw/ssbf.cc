@@ -24,6 +24,7 @@ SSBF::SSBF(const SsbfParams &p, stats::StatRegistry &reg)
                "SSBF granularity must be 4 or 8 bytes");
     svw_assert(isPowerOf2(p.entries), "SSBF entries must be a power of two");
     granShift = exactLog2(p.granularityBytes);
+    idxShift = p.infinite ? 0 : exactLog2(p.entries);
     if (!p.infinite) {
         table1.assign(p.entries, 0);
         if (p.dualHash)
@@ -41,8 +42,7 @@ SSBF::lookup(Addr granule) const
     const SSN v1 = table1[granule & (params.entries - 1)];
     if (!params.dualHash)
         return v1;
-    const unsigned shift = exactLog2(params.entries);
-    const SSN v2 = table2[(granule >> shift) & (params.entries - 1)];
+    const SSN v2 = table2[(granule >> idxShift) & (params.entries - 1)];
     // A load must re-execute only if both tables say so; returning the
     // smaller entry makes a single ">" comparison implement that.
     return std::min(v1, v2);
@@ -57,8 +57,7 @@ SSBF::store(Addr granule, SSN truncSsn)
     }
     table1[granule & (params.entries - 1)] = truncSsn;
     if (params.dualHash) {
-        const unsigned shift = exactLog2(params.entries);
-        table2[(granule >> shift) & (params.entries - 1)] = truncSsn;
+        table2[(granule >> idxShift) & (params.entries - 1)] = truncSsn;
     }
 }
 

@@ -97,6 +97,7 @@ class SSBF
 
     SsbfParams params;
     unsigned granShift;
+    unsigned idxShift;  ///< exactLog2(entries), cached (table-2 hash)
     std::vector<SSN> table1;
     std::vector<SSN> table2;            ///< dual-hash second table
     std::unordered_map<Addr, SSN> exact;  ///< infinite configuration

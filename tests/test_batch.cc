@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Batched co-simulation tests: the byte-identity invariant (merged
+ * sweep results identical for every --batch x --jobs combination),
+ * the planBatches grouping rule (units never cross workloads,
+ * instruction budgets, or golden-check settings; hook/timing/
+ * neverCache cells always run solo), engagement instrumentation, and
+ * the copy-on-write MemoryImage backing the lanes share.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "func/memory_image.hh"
+#include "harness/batch.hh"
+#include "harness/executor.hh"
+#include "harness/serialize.hh"
+#include "harness/sweep.hh"
+
+using namespace svw;
+using namespace svw::harness;
+
+namespace {
+
+SweepCell
+makeCell(const std::string &group, const std::string &label,
+         const std::string &workload, std::uint64_t insts,
+         bool baseline = false)
+{
+    SweepCell c;
+    c.group = group;
+    c.label = label;
+    c.workload = workload;
+    c.targetInsts = insts;
+    c.baseline = baseline;
+    return c;
+}
+
+/** Fig5-shaped spec: two workload rows, three config columns. */
+SweepSpec
+figSpec(std::uint64_t insts = 3'000)
+{
+    SweepSpec spec("batch-test");
+    for (const std::string w : {"gzip", "crafty"}) {
+        spec.add(makeCell(w, "BASE", w, insts, true));
+        SweepCell nlq = makeCell(w, "NLQ", w, insts);
+        nlq.config.opt = OptMode::Nlq;
+        spec.add(nlq);
+        SweepCell svw = makeCell(w, "NLQ+SVW", w, insts);
+        svw.config.opt = OptMode::Nlq;
+        svw.config.svw = SvwMode::Upd;
+        spec.add(svw);
+    }
+    return spec;
+}
+
+std::deque<std::size_t>
+allIndices(const SweepSpec &spec)
+{
+    std::deque<std::size_t> out;
+    for (std::size_t i = 0; i < spec.size(); ++i)
+        out.push_back(i);
+    return out;
+}
+
+std::vector<std::string>
+resultsJson(const SweepResults &res)
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < res.spec().size(); ++i)
+        out.push_back(runResultToJson(res.outcome(i).result));
+    return out;
+}
+
+} // namespace
+
+TEST(BatchPlan, ResolveBatchK)
+{
+    EXPECT_GE(resolveBatchK(0), 2u) << "auto must actually batch";
+    EXPECT_EQ(resolveBatchK(1), 1u);
+    EXPECT_EQ(resolveBatchK(7), 7u);
+}
+
+TEST(BatchPlan, Batchability)
+{
+    SweepCell plain = makeCell("g", "l", "gzip", 2'000);
+    EXPECT_TRUE(cellBatchable(plain));
+
+    SweepCell hooked = plain;
+    hooked.hook = [](Core &) {};
+    EXPECT_FALSE(cellBatchable(hooked));
+
+    SweepCell timed = plain;
+    timed.timingReps = 3;
+    EXPECT_FALSE(cellBatchable(timed));
+
+    SweepCell perf = plain;
+    perf.neverCache = true;
+    EXPECT_FALSE(cellBatchable(perf));
+
+    // goldenCheck=false cells batch — just never with checked ones.
+    SweepCell unchecked = plain;
+    unchecked.goldenCheck = false;
+    EXPECT_TRUE(cellBatchable(unchecked));
+}
+
+TEST(BatchPlan, UnitsPartitionPendingAndNeverMixIncompatibleCells)
+{
+    SweepSpec spec = figSpec();
+    // Incompatible riders: another budget, an unchecked cell, and the
+    // three solo-only kinds.
+    spec.add(makeCell("gzip", "SHORT", "gzip", 1'000));
+    SweepCell nogold = makeCell("gzip", "NOGOLD", "gzip", 3'000);
+    nogold.goldenCheck = false;
+    spec.add(nogold);
+    SweepCell hooked = makeCell("gzip", "HOOK", "gzip", 3'000);
+    hooked.hook = [](Core &) {};
+    spec.add(hooked);
+    SweepCell timed = makeCell("gzip", "TIMED", "gzip", 3'000);
+    timed.timingReps = 2;
+    spec.add(timed);
+    SweepCell perf = makeCell("gzip", "PERF", "gzip", 3'000);
+    perf.neverCache = true;
+    spec.add(perf);
+
+    const std::deque<std::size_t> pending = allIndices(spec);
+    const auto units = planBatches(spec, pending, 4);
+
+    // Exact partition of the pending set.
+    std::multiset<std::size_t> seen;
+    for (const auto &unit : units) {
+        ASSERT_FALSE(unit.empty());
+        EXPECT_LE(unit.size(), 4u);
+        seen.insert(unit.begin(), unit.end());
+    }
+    EXPECT_EQ(seen.size(), pending.size());
+    for (std::size_t i : pending)
+        EXPECT_EQ(seen.count(i), 1u) << "cell " << i;
+
+    // Units are ordered by first member, members ascending.
+    for (std::size_t u = 0; u + 1 < units.size(); ++u)
+        EXPECT_LT(units[u][0], units[u + 1][0]);
+
+    for (const auto &unit : units) {
+        EXPECT_TRUE(std::is_sorted(unit.begin(), unit.end()));
+        const SweepCell &first = spec.cell(unit[0]);
+        for (std::size_t i : unit) {
+            const SweepCell &c = spec.cell(i);
+            EXPECT_EQ(c.workload, first.workload)
+                << "unit crosses workloads";
+            EXPECT_EQ(c.targetInsts, first.targetInsts);
+            EXPECT_EQ(c.goldenCheck, first.goldenCheck);
+            if (unit.size() > 1)
+                EXPECT_TRUE(cellBatchable(c));
+        }
+    }
+
+    // The solo-only cells came out as singletons.
+    for (const char *label : {"HOOK", "TIMED", "PERF"}) {
+        const std::size_t idx = spec.index("gzip", label);
+        for (const auto &unit : units) {
+            if (std::find(unit.begin(), unit.end(), idx) != unit.end())
+                EXPECT_EQ(unit.size(), 1u) << label;
+        }
+    }
+
+    // k<=1 disables batching entirely.
+    for (const auto &unit : planBatches(spec, pending, 1))
+        EXPECT_EQ(unit.size(), 1u);
+
+    // Wide k still cuts units at the bucket boundary: the six
+    // compatible fig cells split 3+3 by workload, never 6.
+    for (const auto &unit : planBatches(spec, pending, 16))
+        EXPECT_LE(unit.size(), 3u);
+}
+
+TEST(Batch, ByteIdenticalAcrossBatchAndJobs)
+{
+    const SweepSpec spec = figSpec();
+
+    SweepOptions ref;
+    ref.batch = 1;
+    const std::uint64_t solo = batchedCells();
+    const SweepResults base = runSweep(spec, ref);
+    EXPECT_EQ(batchedCells() - solo, 0u) << "--batch=1 must not batch";
+    const std::vector<std::string> want = resultsJson(base);
+    for (std::size_t i = 0; i < spec.size(); ++i)
+        EXPECT_TRUE(base.outcome(i).ok);
+
+    for (unsigned batch : {0u, 2u, 4u}) {
+        for (unsigned jobs : {1u, 4u}) {
+            SweepOptions opts;
+            opts.batch = batch;
+            opts.jobs = jobs;
+            const SweepResults got = runSweep(spec, opts);
+            EXPECT_EQ(resultsJson(got), want)
+                << "batch=" << batch << " jobs=" << jobs;
+        }
+    }
+}
+
+TEST(Batch, InProcessSweepEngagesBatchingAndCountsLanes)
+{
+    const SweepSpec spec = figSpec();
+    SweepOptions opts;
+    opts.batch = 4;
+
+    const std::uint64_t runs0 = batchRuns();
+    const std::uint64_t lanes0 = batchedCells();
+    const std::uint64_t cells0 = runCellCalls();
+    runSweep(spec, opts);
+    // Two rows of three compatible cells: one 3-lane unit per row.
+    EXPECT_EQ(batchRuns() - runs0, 2u);
+    EXPECT_EQ(batchedCells() - lanes0, 6u);
+    // Batched lanes still count as cell executions.
+    EXPECT_EQ(runCellCalls() - cells0, spec.size());
+}
+
+TEST(Batch, SoloOnlyCellsRunUnbatchedAndStillSucceed)
+{
+    SweepSpec spec("solo");
+    SweepCell hooked = makeCell("g", "HOOK", "gzip", 2'000, true);
+    hooked.hook = [](Core &) {};
+    spec.add(hooked);
+    SweepCell timed = makeCell("g", "TIMED", "gzip", 2'000);
+    timed.timingReps = 2;
+    spec.add(timed);
+
+    SweepOptions opts;
+    opts.batch = 8;
+    const std::uint64_t runs0 = batchRuns();
+    const SweepResults res = runSweep(spec, opts);
+    EXPECT_EQ(batchRuns() - runs0, 0u);
+    for (std::size_t i = 0; i < spec.size(); ++i)
+        EXPECT_TRUE(res.outcome(i).ok);
+}
+
+TEST(Batch, RunBatchMatchesRunCellExactly)
+{
+    const SweepSpec spec = figSpec();
+    ProgramCache cache;
+
+    // Reference: each cell solo.
+    std::vector<std::string> want;
+    for (std::size_t i = 0; i < spec.size(); ++i)
+        want.push_back(
+            runResultToJson(runCell(spec.cell(i), cache).result));
+
+    // One 3-lane unit per workload row, straight through runBatch.
+    const auto units = planBatches(spec, allIndices(spec), 4);
+    ASSERT_EQ(units.size(), 2u);
+    for (const auto &unit : units) {
+        const std::vector<CellOutcome> outs = runBatch(spec, unit, cache);
+        ASSERT_EQ(outs.size(), unit.size());
+        for (std::size_t i = 0; i < unit.size(); ++i) {
+            EXPECT_TRUE(outs[i].ok);
+            EXPECT_EQ(runResultToJson(outs[i].result), want[unit[i]])
+                << spec.cell(unit[i]).name();
+        }
+    }
+}
+
+TEST(MemoryImageBacking, ReadsFallThroughAndWritesCopyOnWrite)
+{
+    MemoryImage base;
+    base.write(0x1000, 8, 0x1122334455667788ull);
+    base.write(0x2000, 4, 0xdeadbeef);
+
+    MemoryImage lane;
+    lane.setBacking(&base);
+
+    // Read-through without copying any page in.
+    EXPECT_EQ(lane.read(0x1000, 8), 0x1122334455667788ull);
+    EXPECT_EQ(lane.read(0x2000, 4), 0xdeadbeefull);
+    EXPECT_EQ(lane.read(0x3000, 4), 0u);  // untouched reads as zero
+    EXPECT_EQ(lane.pageCount(), 0u);
+
+    // First write copies the page; the rest of the page rides along
+    // and the backing never changes.
+    lane.write(0x1004, 2, 0xaaaa);
+    EXPECT_EQ(lane.pageCount(), 1u);
+    EXPECT_EQ(lane.read(0x1000, 4), 0x55667788ull);
+    EXPECT_EQ(lane.read(0x1004, 2), 0xaaaaull);
+    EXPECT_EQ(base.read(0x1004, 2), 0x3344ull);
+
+    // A second lane over the same backing is isolated from the first.
+    MemoryImage lane2;
+    lane2.setBacking(&base);
+    EXPECT_EQ(lane2.read(0x1004, 2), 0x3344ull);
+    lane2.write(0x2000, 1, 0x01);
+    EXPECT_EQ(lane.read(0x2000, 4), 0xdeadbeefull);
+
+    // clear() drops the copies but keeps the pristine backed view.
+    lane.clear();
+    EXPECT_EQ(lane.pageCount(), 0u);
+    EXPECT_EQ(lane.read(0x1004, 2), 0x3344ull);
+}
+
+TEST(MemoryImageBacking, IdenticalToSeesThroughBackings)
+{
+    MemoryImage base;
+    base.write(0x1000, 8, 0x1122334455667788ull);
+    base.write(0x5000, 8, 0xfeedfacecafef00dull);
+
+    // Two backed lanes with no writes are identical to each other and
+    // to a flat copy of the base.
+    MemoryImage a, b, flat;
+    a.setBacking(&base);
+    b.setBacking(&base);
+    flat.write(0x1000, 8, 0x1122334455667788ull);
+    flat.write(0x5000, 8, 0xfeedfacecafef00dull);
+    EXPECT_TRUE(a.identicalTo(b));
+    EXPECT_TRUE(b.identicalTo(a));
+    EXPECT_TRUE(a.identicalTo(flat));
+    EXPECT_TRUE(flat.identicalTo(a));
+
+    // Same value written into an owned copy keeps them identical;
+    // a differing byte breaks it both ways round.
+    a.write(0x1000, 1, 0x88);
+    EXPECT_TRUE(a.identicalTo(b));
+    a.write(0x1000, 1, 0x00);
+    EXPECT_FALSE(a.identicalTo(b));
+    EXPECT_FALSE(b.identicalTo(a));
+    a.write(0x1000, 1, 0x88);
+    EXPECT_TRUE(a.identicalTo(b));
+
+    // A write on a page the backing lacks counts too.
+    b.write(0x9000, 1, 0x5a);
+    EXPECT_FALSE(a.identicalTo(b));
+    a.write(0x9000, 1, 0x5a);
+    EXPECT_TRUE(a.identicalTo(b));
+}

@@ -143,6 +143,7 @@ TEST_F(LsuFixture, MatchingStoreWithoutDataBlocks)
     build();
     DynInst &st = addStore(1, 0x100, 8, 0, true);
     st.dataResolved = false;  // address known, data still in flight
+    lsu->refreshSqMirror(st);
     DynInst &ld = addLoad(2, 0x100, 8);
     auto res = lsu->executeLoad(ld, 0);
     EXPECT_EQ(res.status, LoadExecResult::Status::BlockedPartial);

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -427,6 +428,96 @@ TEST(ResultCache, ConcurrentWritersNeverExposeAPartialEntry)
         }
     }
     EXPECT_EQ(tmpFiles, 0);
+}
+
+TEST(ResultCache, TrimEvictsOldestEntriesFirstAndSparesTempFiles)
+{
+    namespace fs = std::filesystem;
+    TempDir dir;
+    ResultCache cache(dir.path);
+
+    RunResult payload;
+    payload.workload = "gzip";
+    payload.config = "BASE";
+    payload.cycles = 42;
+
+    // Five entries with strictly increasing access stamps (explicit
+    // mtimes — filesystem timestamp granularity could otherwise tie).
+    std::vector<std::string> files;
+    std::uint64_t entryBytes = 0;
+    const auto now = fs::file_time_type::clock::now();
+    for (int i = 0; i < 5; ++i) {
+        SweepCell cell = makeCell("g", "l", "gzip", 1'000 + i);
+        const CellKey key = cellKey(cell);
+        cache.put(key, payload);
+        const std::string file = dir.path + "/" + key.fileName();
+        ASSERT_TRUE(fs::exists(file));
+        fs::last_write_time(file, now - std::chrono::minutes(50 - i));
+        files.push_back(file);
+        entryBytes = fs::file_size(file);  // all payloads identical
+    }
+    // An in-flight writer's temp file and a user dropping, both older
+    // than every entry: neither is a trim candidate.
+    const std::string tmp = files[0] + ".tmp.otherhost.123";
+    const std::string foreign = dir.path + "/README";
+    for (const std::string &f : {tmp, foreign}) {
+        std::ofstream(f) << "not an entry";
+        fs::last_write_time(f, now - std::chrono::hours(10));
+    }
+
+    // Room for two entries: the three oldest go, newest two stay.
+    cache.trimToBytes(2 * entryBytes);
+    EXPECT_FALSE(fs::exists(files[0]));
+    EXPECT_FALSE(fs::exists(files[1]));
+    EXPECT_FALSE(fs::exists(files[2]));
+    EXPECT_TRUE(fs::exists(files[3]));
+    EXPECT_TRUE(fs::exists(files[4]));
+    EXPECT_TRUE(fs::exists(tmp));
+    EXPECT_TRUE(fs::exists(foreign));
+
+    // A bound that already holds is a no-op.
+    cache.trimToBytes(2 * entryBytes);
+    EXPECT_TRUE(fs::exists(files[3]));
+    EXPECT_TRUE(fs::exists(files[4]));
+
+    // Zero evicts every entry but still never touches non-entries.
+    cache.trimToBytes(0);
+    EXPECT_FALSE(fs::exists(files[3]));
+    EXPECT_FALSE(fs::exists(files[4]));
+    EXPECT_TRUE(fs::exists(tmp));
+    EXPECT_TRUE(fs::exists(foreign));
+}
+
+TEST(ResultCache, GetRefreshesRecencySoHitEntriesSurviveTrim)
+{
+    namespace fs = std::filesystem;
+    TempDir dir;
+    ResultCache cache(dir.path);
+
+    RunResult payload;
+    payload.workload = "gzip";
+    payload.config = "BASE";
+
+    const SweepCell oldCell = makeCell("g", "a", "gzip", 1'000);
+    const SweepCell newCell = makeCell("g", "b", "gzip", 2'000);
+    cache.put(cellKey(oldCell), payload);
+    cache.put(cellKey(newCell), payload);
+    const std::string oldFile =
+        dir.path + "/" + cellKey(oldCell).fileName();
+    const std::string newFile =
+        dir.path + "/" + cellKey(newCell).fileName();
+
+    // Backdate both, then hit only the older entry: the hit must
+    // refresh its stamp past the unread one's.
+    const auto now = fs::file_time_type::clock::now();
+    fs::last_write_time(oldFile, now - std::chrono::hours(2));
+    fs::last_write_time(newFile, now - std::chrono::hours(1));
+    RunResult got;
+    ASSERT_TRUE(cache.get(cellKey(oldCell), got));
+
+    cache.trimToBytes(fs::file_size(oldFile));
+    EXPECT_TRUE(fs::exists(oldFile)) << "served entry was evicted";
+    EXPECT_FALSE(fs::exists(newFile));
 }
 
 TEST(ResultCache, CacheEntryLineRoundTripsMaterialAndResult)
