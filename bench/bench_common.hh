@@ -10,6 +10,15 @@
  *   --insts=N    dynamic-instruction target per run (default 100000)
  *   --quick      reduce to 20000 instructions per run
  *   --bench=X    restrict to one workload
+ *   --workload=X restrict to one workload, accepting the full registry
+ *                grammar — curated names, "synth:<kind>:<seed>[:k=v]"
+ *                generator recipes, and "trace:<file>" replays — and
+ *                validating it at parse time (unknown kind, malformed
+ *                seed/params, or a missing/corrupt trace file exit 2
+ *                instead of failing mid-sweep)
+ *   --record-trace=F  record the selected workload's committed stream
+ *                (via the golden interpreter, at the --insts sizing) to
+ *                trace file F and exit; requires --workload/--bench
  *   --jobs=N     run cells on N worker processes (default 1 =
  *                in-process; output is byte-identical for any N)
  *   --batch=K    co-simulate up to K compatible cells of one workload
@@ -54,6 +63,7 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
+#include "prog/trace.hh"
 #include "prog/workloads/workloads.hh"
 
 namespace svw::bench {
@@ -70,6 +80,7 @@ struct BenchArgs
     bool noCache = false;   ///< --no-cache: override --cache-dir
     std::uint64_t cacheMaxMb = 0;  ///< LRU cache bound; 0 = unbounded
     bool progress = false;  ///< stream per-cell completion to stderr
+    std::string recordTrace;  ///< --record-trace target path, if any
 };
 
 /** Parse a decimal flag value; a malformed number is a usage error
@@ -117,7 +128,22 @@ parseArgs(int argc, char **argv)
             args.insts = 20'000;
         else if (a.rfind("--bench=", 0) == 0)
             args.only = a.substr(8);
-        else if (a.rfind("--jobs=", 0) == 0)
+        else if (a.rfind("--workload=", 0) == 0) {
+            args.only = a.substr(11);
+            std::string err;
+            if (!workloads::validate(args.only, err)) {
+                std::fprintf(stderr, "error: --workload: %s\n",
+                             err.c_str());
+                std::exit(2);
+            }
+        } else if (a.rfind("--record-trace=", 0) == 0) {
+            args.recordTrace = a.substr(15);
+            if (args.recordTrace.empty()) {
+                std::fprintf(stderr,
+                             "error: --record-trace needs a file path\n");
+                std::exit(2);
+            }
+        } else if (a.rfind("--jobs=", 0) == 0)
             args.jobs = parseFlagUnsigned(a.substr(7), "--jobs");
         else if (a.rfind("--batch=", 0) == 0)
             args.batch = parseFlagUnsigned(a.substr(8), "--batch");
@@ -147,6 +173,7 @@ parseArgs(int argc, char **argv)
             std::fprintf(stderr,
                          "error: unknown arg %s\n"
                          "usage: %s [--insts=N] [--quick] [--bench=X]"
+                         " [--workload=X] [--record-trace=F]"
                          " [--jobs=N] [--batch=K] [--shard=i/n]"
                          " [--cache-dir=D] [--no-cache]"
                          " [--cache-max-mb=N] [--progress]\n",
@@ -159,6 +186,27 @@ parseArgs(int argc, char **argv)
         std::fprintf(stderr,
                      "error: need --jobs>=1 and --shard=i/n with i<n\n");
         std::exit(2);
+    }
+    if (!args.recordTrace.empty()) {
+        // Record mode: capture the committed stream once and exit
+        // before the binary's sweep ever builds. Handled here so every
+        // bench binary gets record support without per-binary code.
+        if (args.only.empty()) {
+            std::fprintf(stderr, "error: --record-trace requires a single"
+                                 " workload (--workload=X)\n");
+            std::exit(2);
+        }
+        Program prog = workloads::make(args.only, args.insts);
+        // Generous halt budget: workloads sized to --insts halt well
+        // within a few multiples; a runaway recording is fatal.
+        trace::TraceData t =
+            trace::record(prog, args.only, args.insts * 16 + 1'000'000);
+        trace::writeFile(args.recordTrace, t);
+        std::fprintf(stderr,
+                     "recorded %llu committed insts of %s to %s\n",
+                     static_cast<unsigned long long>(t.insts),
+                     args.only.c_str(), args.recordTrace.c_str());
+        std::exit(0);
     }
     return args;
 }

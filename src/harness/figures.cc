@@ -1,5 +1,7 @@
 #include "harness/figures.hh"
 
+#include "prog/synth.hh"
+
 namespace svw::harness {
 
 namespace {
@@ -129,6 +131,62 @@ fig8Spec(const std::vector<std::string> &suite, std::uint64_t insts)
         spec.add(cell(w, insts, "Bloom", mk(512, true, 8, false)));
         spec.add(cell(w, insts, "4-byte", mk(512, false, 4, false)));
         spec.add(cell(w, insts, "Infinite", mk(512, false, 4, true)));
+    }
+    return spec;
+}
+
+SweepSpec
+synthDiffSpec(std::uint64_t seedsPerKind, std::uint64_t insts)
+{
+    ExperimentConfig base;
+    base.machine = Machine::EightWide;
+    base.opt = OptMode::Baseline;
+
+    ExperimentConfig nlqSvw = base;
+    nlqSvw.opt = OptMode::Nlq;
+    nlqSvw.svw = SvwMode::Upd;
+
+    ExperimentConfig ssqSvw = base;
+    ssqSvw.opt = OptMode::Ssq;
+    ssqSvw.svw = SvwMode::Upd;
+
+    ExperimentConfig rleSvw;
+    rleSvw.machine = Machine::FourWide;
+    rleSvw.opt = OptMode::Rle;
+    rleSvw.svw = SvwMode::Upd;
+
+    ExperimentConfig composed = base;
+    composed.opt = OptMode::Composed;
+    composed.svw = SvwMode::Upd;
+
+    struct Cfg { const char *label; ExperimentConfig cfg; };
+    const Cfg configs[] = {
+        {"BASE", base},
+        {"NLQ+SVW", nlqSvw},
+        {"SSQ+SVW", ssqSvw},
+        {"RLE+SVW", rleSvw},
+        {"COMPOSED", composed},
+    };
+    constexpr std::size_t numConfigs = sizeof(configs) / sizeof(configs[0]);
+
+    SweepSpec spec("synthdiff");
+    for (const std::string &kind : synth::kindNames()) {
+        for (std::uint64_t seed = 1; seed <= seedsPerKind; ++seed) {
+            // Rotate the config by seed: every kind meets every config
+            // without a full (kind x seed x config) product blowup.
+            const Cfg &c = configs[seed % numConfigs];
+            synth::SynthParams p;
+            p.kind = kind;
+            p.seed = seed;
+            SweepCell cc;
+            cc.group = synth::canonicalName(p);
+            cc.label = c.label;
+            cc.workload = cc.group;
+            cc.targetInsts = insts;
+            cc.config = c.cfg;
+            cc.goldenCheck = true;
+            spec.add(cc);
+        }
     }
     return spec;
 }

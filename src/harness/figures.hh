@@ -42,6 +42,17 @@ SweepSpec fig7Spec(const std::vector<std::string> &suite,
 SweepSpec fig8Spec(const std::vector<std::string> &suite,
                    std::uint64_t insts);
 
+/**
+ * Differential-fuzz grid over the synthetic generator: every synth
+ * kind x seeds [1, seedsPerKind] with the aggressive config rotated by
+ * seed (8-wide baseline, NLQ+SVW, SSQ+SVW, RLE+SVW+UPD on 4-wide, and
+ * the fully composed machine), goldenCheck on for every cell so each
+ * run is verified against the interpreter. Group = workload name,
+ * label = config label — the spec slots straight into runSweep and the
+ * CI fuzz job.
+ */
+SweepSpec synthDiffSpec(std::uint64_t seedsPerKind, std::uint64_t insts);
+
 } // namespace svw::harness
 
 #endif // SVW_HARNESS_FIGURES_HH

@@ -11,6 +11,7 @@
 
 #include "base/logging.hh"
 #include "harness/serialize.hh"
+#include "prog/workloads/workloads.hh"
 
 namespace svw::harness {
 
@@ -160,7 +161,11 @@ cellKey(const SweepCell &cell)
        << "|insts=" << cell.targetInsts
        << "|golden=" << (cell.goldenCheck ? 1 : 0)
        << "|label=" << configLabel(cell.config)
-       << '|' << coreParamsKeyText(buildParams(cell.config));
+       << '|' << coreParamsKeyText(buildParams(cell.config))
+       // Content identity for workloads whose name is not a complete
+       // recipe (trace files); empty for every other workload, so
+       // existing cache entries stay valid.
+       << workloads::cacheKeyAugment(cell.workload);
 
     CellKey key;
     key.material = os.str();

@@ -127,7 +127,7 @@ struct CellOutcome
  * core, a workload-generator change. Stale entries are never deleted,
  * just never matched again.
  */
-inline constexpr const char *resultCacheCodeVersion = "svw-sim-1";
+inline constexpr const char *resultCacheCodeVersion = "svw-sim-2";
 
 /**
  * Content-addressed identity of a cell's RunResult: a 64-bit FNV-1a

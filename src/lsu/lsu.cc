@@ -154,11 +154,28 @@ LoadStoreUnit::commitStore(const DynInst &store)
     if (prm.ssq) {
         // The committed store enters its bank's best-effort forwarding
         // buffer (an 8-entry window in front of the cache bank).
+        // A hit in this buffer is served without re-execution whenever
+        // the SVW filter clears the load, so entries must stay equal to
+        // committed memory: any older entry this store overlaps is now
+        // stale and is dropped (both banks — the overlap can cross the
+        // bank interleave even though the new entry lands in one).
+        for (auto &b : fwdBufs) {
+            std::erase_if(b, [&store](const FwdBufEntry &e) {
+                return e.addr < store.addr + store.size &&
+                       store.addr < e.addr + e.size;
+            });
+        }
         const unsigned bank = static_cast<unsigned>(store.addr >> 6) & 1;
         auto &buf = fwdBufs[bank];
         if (buf.size() >= prm.fwdBufEntriesPerBank)
             buf.pop_front();
-        buf.push_back(FwdBufEntry{store.addr, store.size, store.storeData});
+        // The entry holds the bytes the store wrote, not the raw source
+        // register: an exact addr/size hit is served unmasked, and a
+        // sub-8-byte store's high register bits are not memory content.
+        std::uint64_t data = store.storeData;
+        if (store.size < 8)
+            data &= (std::uint64_t(1) << (8 * store.size)) - 1;
+        buf.push_back(FwdBufEntry{store.addr, store.size, data});
     }
     if (store.fsqStore) {
         auto it = std::find_if(fsq.begin(), fsq.end(),

@@ -1,0 +1,592 @@
+#include "prog/synth.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "prog/builder.hh"
+
+namespace svw::synth {
+
+namespace {
+
+/** Clamp to [lo, hi] and round up to a power of two (mask-indexed
+ * tables need it; callers' figure names keep the requested value). */
+std::uint64_t
+po2Clamp(std::uint64_t v, std::uint64_t lo, std::uint64_t hi)
+{
+    v = std::clamp(v, lo, hi);
+    std::uint64_t p = lo;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+std::uint64_t
+param(const SynthParams &p, const char *key, std::uint64_t dflt)
+{
+    auto it = p.extra.find(key);
+    return it == p.extra.end() ? dflt : it->second;
+}
+
+// -----------------------------------------------------------------------
+// chase: serial pointer-chasing over a seeded cyclic permutation. Every
+// load's address is the previous load's value, so the chain is fully
+// latency-bound; with enough nodes the footprint defeats the last-page
+// cache and the data cache (miss-heavy by construction).
+// -----------------------------------------------------------------------
+
+Program
+makeChase(const SynthParams &p, std::uint64_t iters)
+{
+    const std::uint64_t nodes =
+        std::clamp<std::uint64_t>(param(p, "nodes", 256), 8, 1 << 16);
+    ProgramBuilder b(canonicalName(p));
+    Random rng(p.seed * 0x9e3779b97f4a7c15ull + 0xc4a5e);
+
+    // Reserve the node table first so its base address is known, then
+    // attach the initialized contents as a segment after finish().
+    const Addr tbl = b.allocData(nodes * 8);
+
+    // Sattolo's algorithm: a single cycle through all nodes, so the
+    // chase visits every slot before repeating. order[] is the visit
+    // sequence; each node's word holds its successor's address.
+    std::vector<std::uint64_t> order(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        order[i] = i;
+    for (std::uint64_t i = nodes - 1; i > 0; --i)
+        std::swap(order[i], order[rng.nextBounded(i)]);
+    std::vector<std::uint64_t> words(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        words[order[i]] = tbl + order[(i + 1) % nodes] * 8;
+
+    const RegIndex rPtr = 1, rAcc = 2, rI = 3, rN = 4;
+    b.loadAddr(rPtr, tbl + order[0] * 8);  // enter the cycle
+    b.movi(rAcc, 0);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    for (int u = 0; u < 8; ++u) {
+        b.ld8(rPtr, rPtr, 0);
+        b.add(rAcc, rAcc, rPtr);
+    }
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+
+    Program prog = b.finish();
+    std::vector<std::uint8_t> bytes(nodes * 8);
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        std::memcpy(&bytes[i * 8], &words[i], 8);
+    prog.addSegment(tbl, std::move(bytes));
+    return prog;
+}
+
+// -----------------------------------------------------------------------
+// hashjoin: hash-probe loop with data-dependent bucket addresses, a
+// value-dependent match branch, match emission into an output table,
+// an immediate reload of the emitted slot (forwarding on matches), and
+// a read-modify-write on the probed bucket (every probe aliases a
+// recent store to the same region).
+// -----------------------------------------------------------------------
+
+Program
+makeHashjoin(const SynthParams &p, std::uint64_t iters)
+{
+    const std::uint64_t buckets =
+        po2Clamp(param(p, "buckets", 64), 16, 4096);
+    ProgramBuilder b(canonicalName(p));
+    Random rng(p.seed * 0x9e3779b97f4a7c15ull + 0x4a54);
+
+    std::vector<std::uint64_t> init(buckets);
+    for (auto &v : init)
+        v = rng.next();
+    const Addr tbl = b.allocWords(init);
+    const Addr out = b.allocData(buckets * 8);
+
+    const RegIndex rTbl = 1, rOut = 2, rI = 3, rN = 4, rKey = 5;
+    const RegIndex rMul = 6, rIdx = 7, rB = 8, rV = 9, rCnt = 10;
+    const RegIndex rT = 11, rO = 12, rRe = 13;
+
+    b.loadAddr(rTbl, tbl);
+    b.loadAddr(rOut, out);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rKey, static_cast<std::int64_t>(rng.next() | 1));
+    b.movi(rMul, 0x5851f42d4c957f2d);
+    b.movi(rCnt, 0);
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.mul(rKey, rKey, rMul);
+    b.addi(rKey, rKey, 0x9e37);
+    b.srli(rIdx, rKey, 17);
+    b.andi(rIdx, rIdx, static_cast<std::int64_t>(buckets - 1));
+    b.slli(rIdx, rIdx, 3);
+    b.add(rB, rTbl, rIdx);   // &tbl[idx]
+    b.add(rO, rOut, rIdx);   // &out[idx]
+    b.ld8(rV, rB, 0);        // probe
+    b.andi(rT, rV, 1);       // data-dependent match test
+    Label miss = b.newLabel();
+    b.beq(rT, 0, miss);
+    b.addi(rCnt, rCnt, 1);
+    b.st8(rV, rO, 0);        // emit match
+    b.bind(miss);
+    b.ld8(rRe, rO, 0);       // reload out slot (forwards on a match)
+    b.add(rCnt, rCnt, rRe);
+    b.addi(rV, rV, 1);
+    b.st8(rV, rB, 0);        // bucket RMW: aliases future probes
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+// -----------------------------------------------------------------------
+// prodcons: producer/consumer pairs over a tiny ring. Every slot is
+// consumed immediately after it is produced, so nearly every load
+// forwards from an in-flight store; one pair per round stores narrow
+// and loads wide (partial overlap the forwarding path cannot satisfy).
+// -----------------------------------------------------------------------
+
+Program
+makeProdcons(const SynthParams &p, std::uint64_t iters)
+{
+    const std::uint64_t slots = po2Clamp(param(p, "slots", 8), 4, 512);
+    ProgramBuilder b(canonicalName(p));
+    Random rng(p.seed * 0x9e3779b97f4a7c15ull + 0x9c05);
+
+    const Addr ring = b.allocData(slots * 8);
+
+    const RegIndex rRing = 1, rSlot = 2, rI = 3, rN = 4, rVal = 5;
+    const RegIndex rIdx = 6, rA = 7, rGot = 8;
+
+    b.loadAddr(rRing, ring);
+    b.movi(rSlot, 0);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rVal, static_cast<std::int64_t>(rng.next() >> 1));
+
+    const unsigned sizes[4] = {8, 8, 4, 8};  // one narrow store per round
+    Label loop = b.newLabel();
+    b.bind(loop);
+    for (unsigned u = 0; u < 4; ++u) {
+        b.addi(rSlot, rSlot, 1);
+        b.andi(rIdx, rSlot, static_cast<std::int64_t>(slots - 1));
+        b.slli(rIdx, rIdx, 3);
+        b.add(rA, rRing, rIdx);
+        b.st(sizes[u], rVal, rA, 0);  // produce
+        b.ld8(rGot, rA, 0);           // consume (forward, or partial)
+        b.add(rVal, rVal, rGot);
+    }
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+// -----------------------------------------------------------------------
+// memcpy: block copy through a seeded source buffer with mixed access
+// sizes on the block tail. Load/store dense and streaming — the
+// canonical "memory bandwidth" shape, with narrow/wide replays at the
+// tail boundaries.
+// -----------------------------------------------------------------------
+
+Program
+makeMemcpy(const SynthParams &p, std::uint64_t iters)
+{
+    const std::uint64_t bytes =
+        po2Clamp(param(p, "bytes", 4096), 256, 1 << 16);
+    ProgramBuilder b(canonicalName(p));
+    Random rng(p.seed * 0x9e3779b97f4a7c15ull + 0x3e3c);
+
+    std::vector<std::uint8_t> src(bytes);
+    for (auto &v : src)
+        v = static_cast<std::uint8_t>(rng.next());
+    const Addr srcBuf = b.allocBytes(src);
+    const Addr dstBuf = b.allocData(bytes);
+
+    const RegIndex rSrc = 1, rDst = 2, rI = 3, rN = 4, rOff = 5;
+    const RegIndex rS = 6, rD = 7, rT = 8;
+
+    b.loadAddr(rSrc, srcBuf);
+    b.loadAddr(rDst, dstBuf);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rOff, 0);
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.add(rS, rSrc, rOff);
+    b.add(rD, rDst, rOff);
+    b.ld8(rT, rS, 0);
+    b.st8(rT, rD, 0);
+    b.ld8(rT, rS, 8);
+    b.st8(rT, rD, 8);
+    b.ld8(rT, rS, 16);
+    b.st8(rT, rD, 16);
+    b.ld4(rT, rS, 24);
+    b.st4(rT, rD, 24);
+    b.ld2(rT, rS, 28);
+    b.st2(rT, rD, 28);
+    b.ld1(rT, rS, 30);
+    b.st1(rT, rD, 30);
+    b.addi(rOff, rOff, 32);
+    b.andi(rOff, rOff, static_cast<std::int64_t>(bytes - 1));
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+// -----------------------------------------------------------------------
+// branchstorm: a burst of data-dependent branches per round, each
+// keyed to a different bit of an LCG state — individually ~50% taken
+// and pattern-free, the worst case for the 2-bit counters. A small
+// store/reload keeps the memory pipeline minimally alive (and silent
+// whenever the accumulator stalls).
+// -----------------------------------------------------------------------
+
+Program
+makeBranchstorm(const SynthParams &p, std::uint64_t iters)
+{
+    const unsigned ops = static_cast<unsigned>(
+        std::clamp<std::uint64_t>(param(p, "ops", 8), 2, 24));
+    ProgramBuilder b(canonicalName(p));
+    Random rng(p.seed * 0x9e3779b97f4a7c15ull + 0xb5a9);
+
+    const Addr slot = b.allocData(64);
+
+    const RegIndex rState = 1, rMul = 2, rI = 3, rN = 4, rAcc = 5;
+    const RegIndex rT = 6, rSlot = 7, rGot = 8;
+
+    b.movi(rState, static_cast<std::int64_t>(rng.next() | 1));
+    b.movi(rMul, 0x5851f42d4c957f2d);
+    b.movi(rI, 0);
+    b.movi(rN, static_cast<std::int64_t>(iters));
+    b.movi(rAcc, 0);
+    b.loadAddr(rSlot, slot);
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.mul(rState, rState, rMul);
+    b.addi(rState, rState, 0x14057b7);
+    for (unsigned k = 0; k < ops; ++k) {
+        b.srli(rT, rState, static_cast<std::int64_t>(k + 1));
+        b.andi(rT, rT, 1);
+        Label skip = b.newLabel();
+        b.beq(rT, 0, skip);
+        b.addi(rAcc, rAcc, static_cast<std::int64_t>(k + 1));
+        b.bind(skip);
+    }
+    b.st8(rAcc, rSlot, 0);
+    b.ld8(rGot, rSlot, 0);
+    b.add(rAcc, rAcc, rGot);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, loop);
+    b.halt();
+    return b.finish();
+}
+
+// -----------------------------------------------------------------------
+// Kind table
+// -----------------------------------------------------------------------
+
+Program
+makeMix(const SynthParams &p, std::uint64_t iters)
+{
+    const unsigned ops = static_cast<unsigned>(
+        std::clamp<std::uint64_t>(param(p, "ops", 24), 4, 64));
+    Program prog = randomProgram(
+        p.seed, ops, static_cast<unsigned>(std::max<std::uint64_t>(
+                         1, std::min<std::uint64_t>(iters, 1u << 30))));
+    prog.setName(canonicalName(p));
+    return prog;
+}
+
+struct Kind
+{
+    Profile prof;
+    Program (*make)(const SynthParams &, std::uint64_t iters);
+    /** Rough dynamic instructions per main-loop iteration (default
+     * params), used to turn an instruction target into a trip count. */
+    std::uint64_t instsPerIter;
+    const char *paramKeys[2];  ///< accepted key=val keys (nullptr pad)
+};
+
+const Kind kinds[] = {
+    {{"chase",
+      "serial pointer-chase over a seeded cyclic permutation "
+      "(latency/miss-bound loads)",
+      0.30, 0.55, 0.00, 0.02, 0.02, 0.10, false, false, false, true},
+     makeChase, 18, {"nodes", nullptr}},
+    {{"hashjoin",
+      "hash-probe loop: data-dependent bucket addresses, value-"
+      "dependent match branch, bucket RMW aliasing",
+      0.06, 0.22, 0.04, 0.18, 0.06, 0.22, true, true, true, false},
+     makeHashjoin, 17, {"buckets", nullptr}},
+    {{"prodcons",
+      "producer/consumer ring: near-every load forwards from an "
+      "in-flight store; one narrow store per round partially overlaps",
+      0.08, 0.22, 0.08, 0.22, 0.01, 0.10, true, true, false, false},
+     makeProdcons, 30, {"slots", nullptr}},
+    {{"memcpy",
+      "streaming block copy with mixed-size tail accesses",
+      0.20, 0.45, 0.20, 0.45, 0.02, 0.12, false, false, false, true},
+     makeMemcpy, 18, {"bytes", nullptr}},
+    {{"branchstorm",
+      "bursts of pattern-free data-dependent branches keyed to LCG "
+      "bits (mispredict-bound)",
+      0.00, 0.10, 0.00, 0.10, 0.15, 0.40, false, false, true, false},
+     makeBranchstorm, 36, {"ops", nullptr}},
+    {{"mix",
+      "adversarial random program: random-size loads/stores over a "
+      "256-byte pool, data-dependent addresses, calls, short branches",
+      0.00, 0.50, 0.00, 0.50, 0.00, 0.40, true, true, true, false},
+     makeMix, 60, {"ops", nullptr}},
+};
+
+const Kind *
+findKind(const std::string &kind)
+{
+    for (const Kind &k : kinds)
+        if (kind == k.prof.kind)
+            return &k;
+    return nullptr;
+}
+
+bool
+parseNumber(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+    }
+    try {
+        out = std::stoull(text);
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+kindNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const Kind &k : kinds)
+            v.push_back(k.prof.kind);
+        return v;
+    }();
+    return names;
+}
+
+bool
+isKind(const std::string &kind)
+{
+    return findKind(kind) != nullptr;
+}
+
+const Profile &
+profile(const std::string &kind)
+{
+    const Kind *k = findKind(kind);
+    svw_assert(k, "unknown synth kind ", kind);
+    return k->prof;
+}
+
+bool
+parseName(const std::string &name, SynthParams &out, std::string &err)
+{
+    out = SynthParams{};
+    if (name.rfind("synth:", 0) != 0) {
+        err = "not a synth name: '" + name + "'";
+        return false;
+    }
+    // synth:<kind>:<seed>[:k=v[,k=v...]]
+    const std::string rest = name.substr(6);
+    const std::size_t c1 = rest.find(':');
+    if (c1 == std::string::npos) {
+        err = "synth name '" + name + "' needs a seed: synth:<kind>:<seed>";
+        return false;
+    }
+    out.kind = rest.substr(0, c1);
+    const Kind *k = findKind(out.kind);
+    if (!k) {
+        err = "unknown synth kind '" + out.kind + "'";
+        return false;
+    }
+    const std::size_t c2 = rest.find(':', c1 + 1);
+    const std::string seedText = rest.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+    if (!parseNumber(seedText, out.seed)) {
+        err = "malformed synth seed '" + seedText + "'";
+        return false;
+    }
+    if (c2 == std::string::npos)
+        return true;
+    // key=val,key=val
+    std::string params = rest.substr(c2 + 1);
+    while (!params.empty()) {
+        const std::size_t comma = params.find(',');
+        const std::string kv = params.substr(0, comma);
+        params = comma == std::string::npos ? std::string()
+                                            : params.substr(comma + 1);
+        const std::size_t eq = kv.find('=');
+        std::uint64_t val = 0;
+        if (eq == std::string::npos || eq == 0 ||
+            !parseNumber(kv.substr(eq + 1), val)) {
+            err = "malformed synth param '" + kv + "' (want key=value)";
+            return false;
+        }
+        const std::string key = kv.substr(0, eq);
+        bool known = false;
+        for (const char *pk : k->paramKeys)
+            known = known || (pk && key == pk);
+        if (!known) {
+            err = "unknown synth param '" + key + "' for kind '" +
+                  out.kind + "'";
+            return false;
+        }
+        out.extra[key] = val;
+    }
+    return true;
+}
+
+std::string
+canonicalName(const SynthParams &p)
+{
+    std::string n = "synth:" + p.kind + ":" + std::to_string(p.seed);
+    if (!p.extra.empty()) {
+        n += ":";
+        bool first = true;
+        for (const auto &[k, v] : p.extra) {  // std::map: sorted keys
+            if (!first)
+                n += ",";
+            first = false;
+            n += k + "=" + std::to_string(v);
+        }
+    }
+    return n;
+}
+
+Program
+make(const SynthParams &p, std::uint64_t targetInsts)
+{
+    const Kind *k = findKind(p.kind);
+    svw_assert(k, "unknown synth kind ", p.kind);
+    const std::uint64_t iters =
+        std::max<std::uint64_t>(1, targetInsts / k->instsPerIter);
+    return k->make(p, iters);
+}
+
+Program
+make(const std::string &name, std::uint64_t targetInsts)
+{
+    SynthParams p;
+    std::string err;
+    if (!parseName(name, p, err))
+        svw_fatal("bad synth workload: ", err);
+    return make(p, targetInsts);
+}
+
+Program
+randomProgram(std::uint64_t seed, unsigned bodyOps, unsigned iters)
+{
+    Random rng(seed);
+    ProgramBuilder b("fuzz" + std::to_string(seed));
+    const Addr pool = b.allocWords(
+        [&] {
+            std::vector<std::uint64_t> init(32);
+            for (auto &v : init)
+                v = rng.next() & 0xffff;
+            return init;
+        }());
+
+    // Register conventions: r1 pool base, r2 loop counter, r3 bound,
+    // r4-r19 random data regs, r20 scratch address reg.
+    Label helper = b.newLabel();
+    Label entry = b.newLabel();
+    b.jmp(entry);
+
+    // Helper: a small function touching the pool through the stack.
+    b.bind(helper);
+    b.pushLink({4, 5});
+    b.ld8(4, 1, 0);
+    b.addi(4, 4, 1);
+    b.st8(4, 1, 0);
+    b.popLinkAndRet({4, 5});
+
+    b.bind(entry);
+    b.loadAddr(1, pool);
+    b.movi(2, 0);
+    b.movi(3, iters);
+    for (RegIndex r = 4; r <= 19; ++r)
+        b.movi(r, static_cast<std::int64_t>(rng.nextBounded(1000)));
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    for (unsigned i = 0; i < bodyOps; ++i) {
+        const RegIndex rd = static_cast<RegIndex>(4 + rng.nextBounded(16));
+        const RegIndex ra = static_cast<RegIndex>(4 + rng.nextBounded(16));
+        const RegIndex rb = static_cast<RegIndex>(4 + rng.nextBounded(16));
+        const unsigned size = 1u << rng.nextBounded(4);
+        switch (rng.nextBounded(10)) {
+          case 0:
+          case 1:
+          case 2:
+            b.add(rd, ra, rb);
+            break;
+          case 3:
+            b.xor_(rd, ra, rb);
+            break;
+          case 4: {
+            // Load from a register-dependent pool slot.
+            b.andi(20, ra, 255 - 8);
+            b.add(20, 20, 1);
+            b.ld(size, rd, 20, 0);
+            break;
+          }
+          case 5:
+          case 6: {
+            // Store to a register-dependent pool slot (late address).
+            b.andi(20, ra, 255 - 8);
+            b.add(20, 20, 1);
+            b.st(size, rb, 20, 0);
+            break;
+          }
+          case 7: {
+            // Fixed-slot load/store pair (forwarding + silent stores).
+            const std::int64_t off =
+                static_cast<std::int64_t>(rng.nextBounded(31)) * 8;
+            b.st8(ra, 1, off);
+            b.ld8(rd, 1, off);
+            break;
+          }
+          case 8: {
+            // Unpredictable short forward branch.
+            Label skip = b.newLabel();
+            b.andi(20, ra, 1);
+            b.beq(20, 0, skip);
+            b.addi(rd, rd, 3);
+            b.bind(skip);
+            break;
+          }
+          case 9:
+            b.call(helper);
+            break;
+        }
+    }
+    b.addi(2, 2, 1);
+    b.blt(2, 3, loop);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace svw::synth

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Seeded synthetic workload generator.
+ *
+ * The curated suite (prog/workloads) maps each SPEC2000int benchmark to
+ * one hand-written kernel; this module generates *families* of
+ * workloads from a (kind, seed, params) triple so sweeps and the
+ * differential-fuzz harness can cover behaviour space instead of four
+ * fixed points. Each kind has a declared behaviour profile — the
+ * mispredict/miss/alias phenomena it is built to exercise and the
+ * dynamic-mix bounds it promises — and every generated program is
+ * differentially checked against the in-order interpreter golden model
+ * (tests/test_fuzz.cc).
+ *
+ * Workload names are stable and fully self-describing:
+ *
+ *   synth:<kind>:<seed>[:key=val[,key=val...]]
+ *
+ * e.g. "synth:chase:7" or "synth:hashjoin:3:buckets=128". The name is
+ * the complete recipe — two equal names build bit-identical programs —
+ * so it participates directly in the persistent ResultCache key and in
+ * the sweep engine's per-process ProgramCache, with no extra
+ * invalidation plumbing.
+ */
+
+#ifndef SVW_PROG_SYNTH_HH
+#define SVW_PROG_SYNTH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace svw::synth {
+
+/** Parsed form of a "synth:..." workload name. */
+struct SynthParams
+{
+    std::string kind;
+    std::uint64_t seed = 1;
+    /** Optional key=val overrides; keys must be known to the kind. */
+    std::map<std::string, std::uint64_t> extra;
+};
+
+/**
+ * Declared behaviour profile of a generator kind: what the kernel is
+ * built to stress, plus dynamic-mix bounds (fractions of retired
+ * instructions) that hold for every seed and size. The differential
+ * harness asserts the bounds against the interpreter's counts, so a
+ * generator change that silently alters a kind's character fails a
+ * test instead of quietly skewing every figure built on it.
+ */
+struct Profile
+{
+    const char *kind;
+    const char *summary;
+    double minLoadFrac, maxLoadFrac;
+    double minStoreFrac, maxStoreFrac;
+    double minBranchFrac, maxBranchFrac;
+    bool aliasHeavy;       ///< dense same-region load/store overlap
+    bool forwardHeavy;     ///< short store-to-load forwarding distance
+    bool mispredictHeavy;  ///< data-dependent branch outcomes
+    bool missHeavy;        ///< serial pointer loads / large footprint
+};
+
+/** Generator kinds in registry order: chase, hashjoin, prodcons,
+ * memcpy, branchstorm, mix. */
+const std::vector<std::string> &kindNames();
+
+bool isKind(const std::string &kind);
+
+/** Declared profile of @p kind; panics on an unknown kind. */
+const Profile &profile(const std::string &kind);
+
+/**
+ * Parse a "synth:..." name. @return false (and fill @p err with a
+ * one-line reason) on an unknown kind, malformed seed, malformed or
+ * unknown key=val parameter; never throws.
+ */
+bool parseName(const std::string &name, SynthParams &out, std::string &err);
+
+/** Canonical name for @p p ("synth:kind:seed[:k=v,...]", keys sorted). */
+std::string canonicalName(const SynthParams &p);
+
+/**
+ * Build the workload sized to roughly @p targetInsts dynamic
+ * instructions. Deterministic: equal (params, target) build
+ * bit-identical programs.
+ */
+Program make(const SynthParams &p, std::uint64_t targetInsts);
+
+/** Name-keyed convenience; panics (svw_fatal) on a malformed name. */
+Program make(const std::string &name, std::uint64_t targetInsts);
+
+/**
+ * The adversarial random-program generator (the "mix" kind, exposed
+ * directly for the fuzz tests): an outer counted loop whose body is a
+ * seeded mix of ALU ops, random-size loads/stores into a tiny 256-byte
+ * pool (maximizing partial overlaps, silent stores, forwarding and
+ * ordering violations), data-dependent store addresses, unpredictable
+ * short branches, and a helper call. Always halts.
+ */
+Program randomProgram(std::uint64_t seed, unsigned bodyOps, unsigned iters);
+
+} // namespace svw::synth
+
+#endif // SVW_PROG_SYNTH_HH

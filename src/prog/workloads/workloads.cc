@@ -1,8 +1,13 @@
 #include "prog/workloads/workloads.hh"
 
 #include <algorithm>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
 
 #include "base/logging.hh"
+#include "prog/synth.hh"
+#include "prog/trace.hh"
 
 namespace svw::workloads {
 
@@ -24,6 +29,15 @@ Program makePerlD(std::uint64_t i) { return makePerl(i, 0); }
 Program makePerlS(std::uint64_t i) { return makePerl(i, 1); }
 Program makeVprP(std::uint64_t i) { return makeVpr(i, 0); }
 Program makeVprR(std::uint64_t i) { return makeVpr(i, 1); }
+
+constexpr const char *synthPrefix = "synth:";
+constexpr const char *tracePrefix = "trace:";
+
+bool
+hasPrefix(const std::string &name, const char *prefix)
+{
+    return name.rfind(prefix, 0) == 0;
+}
 
 const Entry table[] = {
     {"bzip2",  makeBzip2,  24},
@@ -67,18 +81,62 @@ fig8Names()
     return names;
 }
 
-bool
-isKnown(const std::string &name)
+const std::vector<std::string> &
+synthSuiteNames()
 {
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const std::string &kind : synth::kindNames())
+            v.push_back(std::string(synthPrefix) + kind + ":1");
+        return v;
+    }();
+    return names;
+}
+
+bool
+validate(const std::string &name, std::string &err)
+{
+    if (hasPrefix(name, synthPrefix)) {
+        synth::SynthParams p;
+        return synth::parseName(name, p, err);
+    }
+    if (hasPrefix(name, tracePrefix))
+        return trace::probeFile(name.substr(std::strlen(tracePrefix)), err);
     for (const Entry &e : table)
         if (name == e.name)
             return true;
+    err = "unknown workload '" + name + "'";
     return false;
+}
+
+bool
+isKnown(const std::string &name)
+{
+    std::string err;
+    return validate(name, err);
+}
+
+std::string
+cacheKeyAugment(const std::string &name)
+{
+    if (!hasPrefix(name, tracePrefix))
+        return "";
+    std::uint64_t sum =
+        trace::fileChecksum(name.substr(std::strlen(tracePrefix)));
+    std::ostringstream os;
+    os << "|trace.version=" << trace::traceVersion
+       << "|trace.payload=" << std::hex << std::setfill('0') << std::setw(16)
+       << sum;
+    return os.str();
 }
 
 Program
 make(const std::string &name, std::uint64_t targetInsts)
 {
+    if (hasPrefix(name, synthPrefix))
+        return synth::make(name, targetInsts);
+    if (hasPrefix(name, tracePrefix))
+        return trace::loadProgram(name.substr(std::strlen(tracePrefix)));
     for (const Entry &e : table) {
         if (name == e.name) {
             std::uint64_t iters =

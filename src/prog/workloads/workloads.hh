@@ -41,13 +41,41 @@ const std::vector<std::string> &suiteNames();
 const std::vector<std::string> &fig8Names();
 
 /**
+ * One "synth:<kind>:1" name per generator kind (prog/synth) — a ready
+ * suite for sweeps that want the full behaviour-space spread.
+ */
+const std::vector<std::string> &synthSuiteNames();
+
+/**
  * Build the named workload sized to roughly @p targetInsts dynamic
- * instructions. Panics on an unknown name.
+ * instructions. Accepts the curated suite names, "synth:..." generator
+ * names (prog/synth), and "trace:<file>" replays (prog/trace). Panics
+ * (fatal) on an unknown or malformed name and on a bad trace file.
  */
 Program make(const std::string &name, std::uint64_t targetInsts);
 
-/** True if @p name is part of the suite. */
+/**
+ * True if @p name resolves to a buildable workload. For "synth:" names
+ * this parses the full recipe; for "trace:" names it opens and verifies
+ * the file. Never throws.
+ */
 bool isKnown(const std::string &name);
+
+/**
+ * Like isKnown but fills @p err with a one-line reason on failure —
+ * the bench flag layer's validation path for --workload=.
+ */
+bool validate(const std::string &name, std::string &err);
+
+/**
+ * Extra material the persistent ResultCache must mix into a cell key
+ * for @p name beyond the name itself. Empty for curated and synth
+ * workloads (their names are complete recipes); for "trace:<file>" it
+ * pins the file's content checksum, so rewriting the trace invalidates
+ * cached results even though the name is unchanged. Fatal on an
+ * unreadable/corrupt trace file.
+ */
+std::string cacheKeyAugment(const std::string &name);
 
 // Individual kernel constructors (exposed for unit tests and examples).
 // @p iters scales the main loop trip count.

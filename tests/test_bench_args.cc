@@ -108,3 +108,53 @@ TEST(BenchArgsDeath, InvalidCombinationsAndUnknownFlagsExit2)
     EXPECT_EXIT(parse({"positional"}), ::testing::ExitedWithCode(2),
                 "unknown arg positional");
 }
+
+TEST(BenchArgs, WorkloadFlagAcceptsTheFullRegistryGrammar)
+{
+    EXPECT_EQ(parse({"--workload=mcf"}).only, "mcf");
+    EXPECT_EQ(parse({"--workload=synth:chase:7"}).only, "synth:chase:7");
+    EXPECT_EQ(parse({"--workload=synth:hashjoin:3:buckets=128"}).only,
+              "synth:hashjoin:3:buckets=128");
+}
+
+TEST(BenchArgsDeath, WorkloadFlagValidatesAtParseTime)
+{
+    // Unknown names and malformed synth recipes must exit 2 at the
+    // flag, not svw_fatal mid-sweep.
+    EXPECT_EXIT(parse({"--workload=gzip2"}), ::testing::ExitedWithCode(2),
+                "unknown workload 'gzip2'");
+    EXPECT_EXIT(parse({"--workload=synth:quicksort:1"}),
+                ::testing::ExitedWithCode(2), "unknown synth kind");
+    EXPECT_EXIT(parse({"--workload=synth:chase"}),
+                ::testing::ExitedWithCode(2), "needs a seed");
+    EXPECT_EXIT(parse({"--workload=synth:chase:banana"}),
+                ::testing::ExitedWithCode(2), "malformed synth seed");
+    EXPECT_EXIT(parse({"--workload=synth:chase:1:nodes"}),
+                ::testing::ExitedWithCode(2), "want key=value");
+    EXPECT_EXIT(parse({"--workload=synth:chase:1:slots=4"}),
+                ::testing::ExitedWithCode(2), "unknown synth param");
+    // Trace replays need a readable, well-formed file.
+    EXPECT_EXIT(parse({"--workload=trace:/nonexistent/x.svwtrace"}),
+                ::testing::ExitedWithCode(2), "cannot open trace file");
+}
+
+TEST(BenchArgsDeath, RecordTraceNeedsAPathAndAWorkload)
+{
+    EXPECT_EXIT(parse({"--record-trace="}), ::testing::ExitedWithCode(2),
+                "--record-trace needs a file path");
+    EXPECT_EXIT(parse({"--record-trace=/tmp/t.svwtrace"}),
+                ::testing::ExitedWithCode(2),
+                "--record-trace requires a single workload");
+}
+
+TEST(BenchArgsDeath, RecordTraceRecordsAndExitsZero)
+{
+    // Success path: records via the interpreter and exits 0 before any
+    // sweep runs. Uses a tiny sizing to stay fast inside the death
+    // fork.
+    const std::string path =
+        ::testing::TempDir() + "bench_args_record.svwtrace";
+    EXPECT_EXIT(parse({"--workload=synth:branchstorm:1", "--insts=2000",
+                       "--record-trace=" + path}),
+                ::testing::ExitedWithCode(0), "recorded");
+}

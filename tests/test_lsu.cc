@@ -329,6 +329,51 @@ TEST_F(LsuFixture, SsqBestEffortServesCommittedStores)
     EXPECT_EQ(lsu->bestEffortHits.value(), 1u);
 }
 
+TEST_F(LsuFixture, SsqBestEffortMasksSubwordStoreData)
+{
+    // The buffer entry must hold the bytes the store wrote, not the
+    // raw source register: a 1-byte store of 0x14E writes 0x4E, and an
+    // exact-match 1-byte load must read 0x4E zero-extended. (An SVW-
+    // filtered load is never re-executed, so a wrong buffer value
+    // would be architecturally visible — found by differential fuzz.)
+    build(ssqParams());
+    DynInst &st = addStore(1, 0x100, 1, 0x14E);
+    mem.write(0x100, 1, 0x14E);
+    lsu->commitStore(st);
+    DynInst &ld = addLoad(2, 0x100, 1);
+    auto res = lsu->executeLoad(ld, 0);
+    EXPECT_TRUE(res.bestEffort);
+    EXPECT_EQ(res.value, 0x4Eu);
+}
+
+TEST_F(LsuFixture, SsqBestEffortDropsEntriesStaleAfterOverlappingCommit)
+{
+    // A younger committed store partially overlapping an entry makes
+    // that entry stale relative to committed memory; serving it would
+    // hand an SVW-filtered load a value the cache no longer holds. The
+    // overlapped entry must be invalidated, the load served from the
+    // cache. (Also found by differential fuzz.)
+    build(ssqParams());
+    DynInst &st1 = addStore(1, 0x100, 8, 0x1111111111111111ull);
+    mem.write(0x100, 8, 0x1111111111111111ull);
+    lsu->commitStore(st1);
+    DynInst &st2 = addStore(2, 0x101, 2, 0x2222);
+    mem.write(0x101, 2, 0x2222);
+    lsu->commitStore(st2);
+
+    DynInst &ld = addLoad(3, 0x100, 8);
+    auto res = lsu->executeLoad(ld, 0);
+    EXPECT_FALSE(res.bestEffort) << "stale entry must not be served";
+    EXPECT_EQ(res.value, mem.read(0x100, 8));
+
+    // The overlapping store's own entry survives and is exact-match
+    // servable.
+    DynInst &ld2 = addLoad(4, 0x101, 2);
+    res = lsu->executeLoad(ld2, 0);
+    EXPECT_TRUE(res.bestEffort);
+    EXPECT_EQ(res.value, 0x2222u);
+}
+
 TEST_F(LsuFixture, SteeringBitsRouteLoadsToFsq)
 {
     build(ssqParams());

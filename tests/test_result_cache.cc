@@ -23,6 +23,8 @@
 #include "harness/executor.hh"
 #include "harness/serialize.hh"
 #include "harness/sweep.hh"
+#include "prog/trace.hh"
+#include "prog/workloads/workloads.hh"
 
 using namespace svw;
 using namespace svw::harness;
@@ -197,6 +199,66 @@ TEST(CellKey, EverySimulationInputChangesTheKey)
         c.config.speculativeSsbfUpdate = false;
         differs(c, "speculativeSsbfUpdate");
     }
+}
+
+TEST(CellKey, SynthRecipeIsIdentity)
+{
+    // Synthetic workloads are addressed by their full recipe: kind,
+    // seed, and every parameter override must distinguish cache
+    // entries, while spelling variants of the same recipe must not.
+    SweepCell base = makeCell("g", "l", "synth:hashjoin:7", 5'000);
+    const CellKey k0 = cellKey(base);
+
+    auto keyFor = [&base](const std::string &workload) {
+        SweepCell c = base;
+        c.workload = workload;
+        return cellKey(c);
+    };
+    EXPECT_NE(keyFor("synth:hashjoin:8").hash, k0.hash) << "seed";
+    EXPECT_NE(keyFor("synth:chase:7").hash, k0.hash) << "kind";
+    EXPECT_NE(keyFor("synth:hashjoin:7:buckets=128").hash, k0.hash)
+        << "param override";
+    EXPECT_NE(keyFor("synth:hashjoin:7:buckets=128").hash,
+              keyFor("synth:hashjoin:7:buckets=64").hash)
+        << "param value";
+
+    // Cells carry the workload name verbatim, so the canonical recipe
+    // spelled by the spec builders maps to the same entry.
+    EXPECT_EQ(keyFor("synth:hashjoin:7").material, k0.material);
+    // Synth names are self-describing: no content augment is added.
+    EXPECT_EQ(workloads::cacheKeyAugment("synth:hashjoin:7"), "");
+}
+
+TEST(CellKey, TraceWorkloadKeyTracksFileContent)
+{
+    // A trace workload's name is just a path — the same path can hold
+    // different recordings over time, so the key embeds the file's
+    // payload checksum. Rewriting the file must miss; an untouched
+    // file must keep hitting.
+    TempDir dir;
+    const std::string path = dir.path + "/key.svwtrace";
+    auto writeTrace = [&path](const std::string &kernel,
+                              std::uint64_t insts) {
+        Program prog = workloads::make(kernel, insts);
+        trace::writeFile(path, trace::record(prog, kernel, 100'000'000));
+    };
+
+    writeTrace("gzip", 2'000);
+    SweepCell cell = makeCell("g", "l", "trace:" + path, 2'000);
+    const CellKey k0 = cellKey(cell);
+    EXPECT_EQ(cellKey(cell).hash, k0.hash) << "stable while untouched";
+    EXPECT_NE(k0.material.find("trace.payload="), std::string::npos)
+        << k0.material;
+
+    writeTrace("gzip", 4'000);  // same path, different recording
+    const CellKey k1 = cellKey(cell);
+    EXPECT_NE(k1.hash, k0.hash);
+    EXPECT_NE(k1.material, k0.material);
+
+    writeTrace("mcf", 2'000);  // different source kernel entirely
+    const CellKey k2 = cellKey(cell);
+    EXPECT_NE(k2.hash, k0.hash);
+    EXPECT_NE(k2.hash, k1.hash);
 }
 
 TEST(CellKey, Cacheability)

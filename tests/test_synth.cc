@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload generator (prog/synth): the
+ * name grammar, determinism and recipe-completeness guarantees, size
+ * scaling, the declared behaviour profiles (checked against the golden
+ * interpreter's dynamic counts), and the sweep-spec builder that turns
+ * the generator into a differential-fuzz grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/interp.hh"
+#include "harness/executor.hh"
+#include "harness/figures.hh"
+#include "prog/synth.hh"
+#include "prog/workloads/workloads.hh"
+
+using namespace svw;
+
+namespace {
+
+/** Text + segments + entry state equality (what "bit-identical" means
+ * for a Program). */
+bool
+samePrograms(const Program &a, const Program &b)
+{
+    if (a.textSize() != b.textSize() || a.entry() != b.entry() ||
+        a.stackTop() != b.stackTop() ||
+        a.segments().size() != b.segments().size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.textSize(); ++i) {
+        const StaticInst &x = a.text()[i], &y = b.text()[i];
+        if (x.op != y.op || x.rd != y.rd || x.rs1 != y.rs1 ||
+            x.rs2 != y.rs2 || x.imm != y.imm) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < a.segments().size(); ++i) {
+        if (a.segments()[i].base != b.segments()[i].base ||
+            a.segments()[i].bytes != b.segments()[i].bytes) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(SynthRegistry, KindsArePresentAndProfiled)
+{
+    const auto &kinds = synth::kindNames();
+    const std::vector<std::string> expected = {
+        "chase", "hashjoin", "prodcons", "memcpy", "branchstorm", "mix",
+    };
+    EXPECT_EQ(kinds, expected);
+    for (const std::string &k : kinds) {
+        EXPECT_TRUE(synth::isKind(k));
+        const synth::Profile &p = synth::profile(k);
+        EXPECT_STREQ(p.kind, k.c_str());
+        EXPECT_NE(p.summary, nullptr);
+        EXPECT_LE(p.minLoadFrac, p.maxLoadFrac);
+        EXPECT_LE(p.minStoreFrac, p.maxStoreFrac);
+        EXPECT_LE(p.minBranchFrac, p.maxBranchFrac);
+    }
+    EXPECT_FALSE(synth::isKind("quicksort"));
+}
+
+TEST(SynthName, ParseAndCanonicalRoundTrip)
+{
+    synth::SynthParams p;
+    std::string err;
+
+    ASSERT_TRUE(synth::parseName("synth:chase:7", p, err)) << err;
+    EXPECT_EQ(p.kind, "chase");
+    EXPECT_EQ(p.seed, 7u);
+    EXPECT_TRUE(p.extra.empty());
+    EXPECT_EQ(synth::canonicalName(p), "synth:chase:7");
+
+    ASSERT_TRUE(
+        synth::parseName("synth:hashjoin:3:buckets=128", p, err)) << err;
+    EXPECT_EQ(p.kind, "hashjoin");
+    EXPECT_EQ(p.seed, 3u);
+    ASSERT_EQ(p.extra.count("buckets"), 1u);
+    EXPECT_EQ(p.extra["buckets"], 128u);
+    EXPECT_EQ(synth::canonicalName(p), "synth:hashjoin:3:buckets=128");
+}
+
+TEST(SynthName, RejectsMalformedNames)
+{
+    synth::SynthParams p;
+    std::string err;
+
+    EXPECT_FALSE(synth::parseName("gzip", p, err));
+    EXPECT_NE(err.find("not a synth name"), std::string::npos) << err;
+
+    EXPECT_FALSE(synth::parseName("synth:chase", p, err));
+    EXPECT_NE(err.find("needs a seed"), std::string::npos) << err;
+
+    EXPECT_FALSE(synth::parseName("synth:quicksort:1", p, err));
+    EXPECT_NE(err.find("unknown synth kind"), std::string::npos) << err;
+
+    EXPECT_FALSE(synth::parseName("synth:chase:banana", p, err));
+    EXPECT_NE(err.find("malformed synth seed"), std::string::npos) << err;
+
+    EXPECT_FALSE(synth::parseName("synth:chase:1:nodes", p, err));
+    EXPECT_NE(err.find("want key=value"), std::string::npos) << err;
+
+    EXPECT_FALSE(synth::parseName("synth:chase:1:bukets=64", p, err));
+    EXPECT_NE(err.find("unknown synth param"), std::string::npos) << err;
+}
+
+TEST(SynthBuild, EqualNamesBuildBitIdenticalPrograms)
+{
+    for (const std::string &kind : synth::kindNames()) {
+        synth::SynthParams p;
+        p.kind = kind;
+        p.seed = 11;
+        const std::string name = synth::canonicalName(p);
+        Program a = synth::make(name, 20'000);
+        Program b = synth::make(name, 20'000);
+        EXPECT_TRUE(samePrograms(a, b)) << name;
+        EXPECT_EQ(a.name(), name);
+        a.validate();
+    }
+}
+
+TEST(SynthBuild, SeedAndParamsChangeThePlacedProgram)
+{
+    Program s1 = synth::make("synth:mix:1", 10'000);
+    Program s2 = synth::make("synth:mix:2", 10'000);
+    EXPECT_FALSE(samePrograms(s1, s2));
+
+    Program b64 = synth::make("synth:hashjoin:1:buckets=64", 10'000);
+    Program b256 = synth::make("synth:hashjoin:1:buckets=256", 10'000);
+    EXPECT_FALSE(samePrograms(b64, b256));
+}
+
+TEST(SynthBuild, TargetInstsScalesDynamicLength)
+{
+    for (const std::string &kind : synth::kindNames()) {
+        synth::SynthParams p;
+        p.kind = kind;
+        p.seed = 2;
+        Program small = synth::make(p, 5'000);
+        Program large = synth::make(p, 50'000);
+
+        Interp a(small), b(large);
+        ASSERT_TRUE(a.run(10'000'000)) << kind;
+        ASSERT_TRUE(b.run(10'000'000)) << kind;
+        // Within a factor of ~3 of the target and ordered by target.
+        EXPECT_GT(b.counts().insts, a.counts().insts) << kind;
+        EXPECT_GT(a.counts().insts, 5'000u / 3) << kind;
+        EXPECT_LT(b.counts().insts, 150'000u) << kind;
+    }
+}
+
+TEST(SynthProfile, DeclaredMixBoundsHoldAcrossSeeds)
+{
+    // The profile is a contract: a generator edit that shifts a kind's
+    // dynamic mix outside its declared envelope fails here rather than
+    // silently changing what every figure built on it measures.
+    for (const std::string &kind : synth::kindNames()) {
+        const synth::Profile &pr = synth::profile(kind);
+        for (std::uint64_t seed : {1ull, 5ull, 23ull}) {
+            synth::SynthParams p;
+            p.kind = kind;
+            p.seed = seed;
+            Program prog = synth::make(p, 20'000);
+            Interp sim(prog);
+            ASSERT_TRUE(sim.run(10'000'000)) << kind << " seed " << seed;
+            const InterpCounts &c = sim.counts();
+            ASSERT_GT(c.insts, 0u);
+            const double insts = static_cast<double>(c.insts);
+            const double loadFrac = c.loads / insts;
+            const double storeFrac = c.stores / insts;
+            const double branchFrac = c.branches / insts;
+            EXPECT_GE(loadFrac, pr.minLoadFrac) << kind << " seed " << seed;
+            EXPECT_LE(loadFrac, pr.maxLoadFrac) << kind << " seed " << seed;
+            EXPECT_GE(storeFrac, pr.minStoreFrac)
+                << kind << " seed " << seed;
+            EXPECT_LE(storeFrac, pr.maxStoreFrac)
+                << kind << " seed " << seed;
+            EXPECT_GE(branchFrac, pr.minBranchFrac)
+                << kind << " seed " << seed;
+            EXPECT_LE(branchFrac, pr.maxBranchFrac)
+                << kind << " seed " << seed;
+        }
+    }
+}
+
+TEST(SynthRegistryDispatch, WorkloadRegistryAcceptsSynthNames)
+{
+    EXPECT_TRUE(workloads::isKnown("synth:chase:1"));
+    EXPECT_TRUE(workloads::isKnown("synth:memcpy:9:bytes=1024"));
+    EXPECT_FALSE(workloads::isKnown("synth:chase"));
+    EXPECT_FALSE(workloads::isKnown("synth:nope:1"));
+
+    std::string err;
+    EXPECT_FALSE(workloads::validate("synth:chase:x", err));
+    EXPECT_NE(err.find("malformed synth seed"), std::string::npos) << err;
+
+    Program prog = workloads::make("synth:prodcons:4", 8'000);
+    EXPECT_EQ(prog.name(), "synth:prodcons:4");
+    prog.validate();
+
+    // Names are complete recipes, so no cache-key augment is needed.
+    EXPECT_EQ(workloads::cacheKeyAugment("synth:prodcons:4"), "");
+    EXPECT_EQ(workloads::cacheKeyAugment("gzip"), "");
+
+    const auto &suite = workloads::synthSuiteNames();
+    ASSERT_EQ(suite.size(), synth::kindNames().size());
+    for (const std::string &name : suite)
+        EXPECT_TRUE(workloads::isKnown(name)) << name;
+}
+
+TEST(SynthDiffSpec, GridCoversEveryKindAndRunsClean)
+{
+    using namespace svw::harness;
+    // Small grid (2 seeds per kind) through the real executor: every
+    // cell golden-checked, grouped by canonical workload name.
+    SweepSpec spec = synthDiffSpec(2, 2'000);
+    EXPECT_EQ(spec.size(), 2 * synth::kindNames().size());
+
+    SweepResults res = runSweep(spec, SweepOptions{});
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        const CellOutcome &o = res.outcome(i);
+        EXPECT_TRUE(o.ran && o.ok) << spec.cell(i).name() << ": "
+                                   << o.error;
+        EXPECT_TRUE(o.result.goldenOk) << spec.cell(i).name();
+        EXPECT_TRUE(o.result.halted) << spec.cell(i).name();
+    }
+}
