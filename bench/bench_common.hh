@@ -21,6 +21,11 @@
  *                trace file F and exit; requires --workload/--bench
  *   --jobs=N     run cells on N worker processes (default 1 =
  *                in-process; output is byte-identical for any N)
+ *   --threads=N  run cells on N worker threads in this process,
+ *                sharing one program cache and the in-memory result
+ *                cache (default 0 = off; output is byte-identical for
+ *                any N). Mutually exclusive with --jobs>1: pick
+ *                processes *or* threads for one sweep (exit 2 if both)
  *   --batch=K    co-simulate up to K compatible cells of one workload
  *                in lockstep (harness/batch.hh), sharing the program,
  *                base memory image and golden-model pass. Default 0 =
@@ -73,6 +78,7 @@ struct BenchArgs
     std::uint64_t insts = 100'000;
     std::string only;
     unsigned jobs = 1;
+    unsigned threads = 0;   ///< thread-pool width; 0 = off
     unsigned batch = 0;     ///< co-simulation lanes; 0 = auto, 1 = off
     unsigned shardIndex = 0;
     unsigned shardCount = 1;
@@ -145,6 +151,8 @@ parseArgs(int argc, char **argv)
             }
         } else if (a.rfind("--jobs=", 0) == 0)
             args.jobs = parseFlagUnsigned(a.substr(7), "--jobs");
+        else if (a.rfind("--threads=", 0) == 0)
+            args.threads = parseFlagUnsigned(a.substr(10), "--threads");
         else if (a.rfind("--batch=", 0) == 0)
             args.batch = parseFlagUnsigned(a.substr(8), "--batch");
         else if (a.rfind("--shard=", 0) == 0) {
@@ -174,7 +182,8 @@ parseArgs(int argc, char **argv)
                          "error: unknown arg %s\n"
                          "usage: %s [--insts=N] [--quick] [--bench=X]"
                          " [--workload=X] [--record-trace=F]"
-                         " [--jobs=N] [--batch=K] [--shard=i/n]"
+                         " [--jobs=N] [--threads=N] [--batch=K]"
+                         " [--shard=i/n]"
                          " [--cache-dir=D] [--no-cache]"
                          " [--cache-max-mb=N] [--progress]\n",
                          a.c_str(), argv[0]);
@@ -185,6 +194,16 @@ parseArgs(int argc, char **argv)
         args.shardIndex >= args.shardCount) {
         std::fprintf(stderr,
                      "error: need --jobs>=1 and --shard=i/n with i<n\n");
+        std::exit(2);
+    }
+    if (args.jobs > 1 && args.threads > 0) {
+        // One sweep parallelizes with processes *or* threads, never a
+        // mix; conflicting requests are a usage error, not a silent
+        // precedence pick. (--jobs=1 is the default, so --threads=N
+        // alone is fine.)
+        std::fprintf(stderr, "error: --jobs=%u and --threads=%u are"
+                             " mutually exclusive; pick one\n",
+                     args.jobs, args.threads);
         std::exit(2);
     }
     if (!args.recordTrace.empty()) {
@@ -216,6 +235,7 @@ sweepOptions(const BenchArgs &args)
 {
     harness::SweepOptions opts;
     opts.jobs = args.jobs;
+    opts.threads = args.threads;
     opts.batch = args.batch;
     opts.shardIndex = args.shardIndex;
     opts.shardCount = args.shardCount;

@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <deque>
 #include <fstream>
+#include <thread>
 
 #include "bench_common.hh"
 #include "harness/batch.hh"
@@ -176,6 +177,42 @@ main(int argc, char **argv)
                 reps, abWall1, abWall2,
                 abWall2 > 0.0 ? abWall1 / abWall2 : 0.0);
 
+    // Thread-pool scaling: the same matrix (solo lanes, golden check
+    // on) timed at --threads=1/2/4, interleaved per rep so host drift
+    // hits every width equally; best-of-reps per width. Simulated
+    // results are byte-identical at every width (CI gates the figures
+    // on that) — this records the honest host wall-clock curve. On a
+    // single-CPU container the widths all time ~the same (threads
+    // interleave on one core); wall wins need a multi-core host.
+    const std::vector<unsigned> threadWidths = {1, 2, 4};
+    std::vector<double> threadWall(threadWidths.size(), 0.0);
+    {
+        SweepOptions tOpts = opts;
+        tOpts.onCellDone = nullptr;
+        tOpts.jobs = 1;
+        tOpts.batch = 1;  // isolate thread scaling from batching
+        for (unsigned r = 0; r < reps; ++r) {
+            for (std::size_t k = 0; k < threadWidths.size(); ++k) {
+                tOpts.threads = threadWidths[k];
+                const double t = hostSeconds();
+                (void)runSweep(ab, tOpts);
+                const double w = hostSeconds() - t;
+                if (r == 0 || w < threadWall[k])
+                    threadWall[k] = w;
+            }
+        }
+    }
+    std::printf("thread scaling (--batch=1, best of %u):", reps);
+    for (std::size_t k = 0; k < threadWidths.size(); ++k)
+        std::printf(" threads=%u %.3fs%s", threadWidths[k], threadWall[k],
+                    k + 1 < threadWidths.size() ? "," : "");
+    std::printf(" (speedup vs threads=1: ");
+    for (std::size_t k = 0; k < threadWidths.size(); ++k)
+        std::printf("%.2fx%s",
+                    threadWall[k] > 0.0 ? threadWall[0] / threadWall[k]
+                                        : 0.0,
+                    k + 1 < threadWidths.size() ? ", " : ")\n");
+
     // Per-batch breakdown of the batch=2 run: re-derive the planned
     // units (planBatches is deterministic for a fixed spec and K).
     std::deque<std::size_t> abAll;
@@ -255,7 +292,22 @@ main(int argc, char **argv)
         js << "], \"unit_wall_seconds\": " << unitWall << "}"
            << (u + 1 < abUnits.size() ? ",\n" : "\n");
     }
-    js << "    ]\n  }\n}\n";
+    js << "    ]\n  },\n";
+    js << "  \"thread_scaling\": {\n"
+       << "    \"note\": \"wall seconds for the hotloop matrix (solo"
+          " lanes, golden check on) on the --threads=N pool, best of "
+       << reps << " interleaved reps; byte-identical simulated results"
+          " at every width. Single-CPU hosts show ~1.0x — wall wins"
+          " require a multi-core host.\",\n"
+       << "    \"host_cpus\": "
+       << std::thread::hardware_concurrency() << ",\n";
+    for (std::size_t k = 0; k < threadWidths.size(); ++k)
+        js << "    \"threads" << threadWidths[k]
+           << "_wall_seconds\": " << threadWall[k] << ",\n";
+    js << "    \"speedup_threads4_over_threads1\": "
+       << (threadWall.back() > 0.0 ? threadWall[0] / threadWall.back()
+                                   : 0.0)
+       << "\n  }\n}\n";
     std::printf("wrote %s\n", outPath.c_str());
     return sweepFailed ? 1 : 0;
 }

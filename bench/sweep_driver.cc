@@ -25,13 +25,16 @@
  * filesystem. ssh is a template, not a dependency: nothing here
  * links or shells to it unless the template says so.
  *
- * usage: sweep_driver --bin=PATH [--shards=N] [--jobs=M]
+ * usage: sweep_driver --bin=PATH [--shards=N] [--jobs=M | --threads=M]
  *                     [--cache-dir=D] [--launch=TEMPLATE]
  *                     [-- BENCH_ARGS...]
  *
  *   --bin=PATH      bench binary to drive (any of the 13)
  *   --shards=N      number of shard invocations (default 2)
  *   --jobs=M        worker processes per shard (default 1)
+ *   --threads=M     worker threads per shard instead of processes
+ *                   (mutually exclusive with --jobs>1, like the bench
+ *                   binaries' own flags)
  *   --cache-dir=D   shared result cache (default: a private temp
  *                   directory, removed after a fully successful run)
  *   --launch=T      shard command template (default "{cmd}" = local)
@@ -275,7 +278,8 @@ usage(const char *argv0, const char *complaint)
 {
     std::fprintf(stderr,
                  "error: %s\n"
-                 "usage: %s --bin=PATH [--shards=N] [--jobs=M]"
+                 "usage: %s --bin=PATH [--shards=N]"
+                 " [--jobs=M | --threads=M]"
                  " [--cache-dir=D] [--launch=TEMPLATE]"
                  " [-- BENCH_ARGS...]\n",
                  complaint, argv0);
@@ -290,6 +294,7 @@ main(int argc, char **argv)
     std::string bin;
     unsigned shards = 2;
     unsigned jobs = 1;
+    unsigned threads = 0;
     std::string cacheDir;
     std::string launchTemplate = "{cmd}";
     std::vector<std::string> benchArgs;
@@ -305,13 +310,14 @@ main(int argc, char **argv)
                 // partial, --no-cache would discard all shard work).
                 if (b.rfind("--shard=", 0) == 0 ||
                     b.rfind("--jobs=", 0) == 0 ||
+                    b.rfind("--threads=", 0) == 0 ||
                     b.rfind("--cache-dir=", 0) == 0 ||
                     b == "--no-cache") {
                     usage(argv[0],
                           (b + " is managed by the driver; use its"
-                               " --shards=N/--jobs=M/--cache-dir=D"
-                               " flags (to bypass the cache, run the"
-                               " bench binary directly)")
+                               " --shards=N/--jobs=M/--threads=M/"
+                               "--cache-dir=D flags (to bypass the"
+                               " cache, run the bench binary directly)")
                               .c_str());
                 }
                 benchArgs.push_back(b);
@@ -323,6 +329,8 @@ main(int argc, char **argv)
             shards = parseFlagUnsigned(a.substr(9), "--shards");
         } else if (a.rfind("--jobs=", 0) == 0) {
             jobs = parseFlagUnsigned(a.substr(7), "--jobs");
+        } else if (a.rfind("--threads=", 0) == 0) {
+            threads = parseFlagUnsigned(a.substr(10), "--threads");
         } else if (a.rfind("--cache-dir=", 0) == 0) {
             cacheDir = a.substr(12);
         } else if (a.rfind("--launch=", 0) == 0) {
@@ -335,6 +343,9 @@ main(int argc, char **argv)
         usage(argv[0], "--bin is required");
     if (shards < 1 || jobs < 1)
         usage(argv[0], "need --shards>=1 and --jobs>=1");
+    if (jobs > 1 && threads > 0)
+        usage(argv[0], "--jobs and --threads are mutually exclusive;"
+                       " pick processes or threads per shard");
     if (launchTemplate.find("{cmd}") == std::string::npos &&
         launchTemplate.find("{qcmd}") == std::string::npos) {
         usage(argv[0],
@@ -387,8 +398,11 @@ main(int argc, char **argv)
     std::vector<Shard> procs(shards);
     std::vector<std::string> logs(shards);
     for (unsigned i = 0; i < shards; ++i) {
+        const std::string parallelFlag =
+            threads > 0 ? " --threads=" + std::to_string(threads)
+                        : " --jobs=" + std::to_string(jobs);
         const std::string shardCmd =
-            base + " --progress --jobs=" + std::to_string(jobs) +
+            base + " --progress" + parallelFlag +
             " --shard=" + std::to_string(i) + "/" +
             std::to_string(shards);
         // Expand {i}/{n} on the template BEFORE inserting the quoted

@@ -64,7 +64,10 @@ CountingTracer::note(Cycle, const char *, std::uint64_t)
 std::ostream &
 CountingTracer::nullStream()
 {
-    static std::ostringstream sink;
+    // thread_local: every CountingTracer on a --threads=N worker writes
+    // here; a shared sink would be a (benign-looking but real) data
+    // race on the stringstream's buffer.
+    thread_local std::ostringstream sink;
     sink.str("");
     return sink;
 }

@@ -1,6 +1,7 @@
 #include "harness/batch.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -14,8 +15,11 @@ namespace svw::harness {
 
 namespace {
 
-std::uint64_t gBatchRuns = 0;
-std::uint64_t gBatchedCells = 0;
+// Atomic: thread-pool workers (--threads=N) run runBatch concurrently
+// in one address space. Relaxed is enough — these are test/telemetry
+// counters, never synchronization.
+std::atomic<std::uint64_t> gBatchRuns{0};
+std::atomic<std::uint64_t> gBatchedCells{0};
 
 /** Cells may share a unit iff these match (never across workloads;
  * golden lanes never mix with unchecked lanes). */
@@ -38,8 +42,17 @@ constexpr std::uint64_t laneQuantum = 4096;
 
 } // namespace
 
-std::uint64_t batchRuns() { return gBatchRuns; }
-std::uint64_t batchedCells() { return gBatchedCells; }
+std::uint64_t
+batchRuns()
+{
+    return gBatchRuns.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+batchedCells()
+{
+    return gBatchedCells.load(std::memory_order_relaxed);
+}
 
 bool
 cellBatchable(const SweepCell &cell)
@@ -104,8 +117,8 @@ runBatch(const SweepSpec &spec, const std::vector<std::size_t> &unit,
 
     const Program &prog = cache.get(first.workload, first.targetInsts);
     if (unit.size() >= 2) {
-        ++gBatchRuns;
-        gBatchedCells += unit.size();
+        gBatchRuns.fetch_add(1, std::memory_order_relaxed);
+        gBatchedCells.fetch_add(unit.size(), std::memory_order_relaxed);
     }
 
     // One read-only program image backs every lane's committed state

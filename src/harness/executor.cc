@@ -8,6 +8,7 @@
 #include <deque>
 #include <exception>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -37,26 +38,95 @@ hostSeconds()
 const Program &
 ProgramCache::get(const std::string &workload, std::uint64_t targetInsts)
 {
-    const auto key = std::make_pair(workload, targetInsts);
-    auto it = programs_.find(key);
-    if (it == programs_.end()) {
-        ++builds_;
-        it = programs_
-                 .emplace(key, workloads::make(workload, targetInsts))
-                 .first;
+    Slot *slot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot = &slots_[std::make_pair(workload, targetInsts)];
     }
-    return it->second;
+    // Build outside the map mutex so different programs build in
+    // parallel; call_once serializes (and de-duplicates) builders of
+    // *this* program. A throwing build leaves the flag unset, so the
+    // next get() retries instead of serving an empty slot.
+    std::call_once(slot->once, [&] {
+        slot->program.emplace(workloads::make(workload, targetInsts));
+        // Force the lazy per-instruction predecode table NOW, while
+        // this thread still owns the program exclusively: once the
+        // slot is published, thread-pool workers share the Program
+        // const-ref, and a first-use build from two cores at once
+        // would race on the mutable table.
+        slot->program->predecoded();
+        builds_.fetch_add(1, std::memory_order_relaxed);
+    });
+    return *slot->program;
 }
 
 namespace {
-std::uint64_t gRunCellCalls = 0;
 int gWorkerResultFd = -1;
 } // namespace
+
+ExecCounters &
+execCounters()
+{
+    static ExecCounters counters;
+    return counters;
+}
 
 std::uint64_t
 runCellCalls()
 {
-    return gRunCellCalls;
+    return execCounters().cellRuns();
+}
+
+bool
+MemoryResultCache::get(const CellKey &key, RunResult &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key.hash);
+    if (it == entries_.end())
+        return false;
+    if (it->second.material != key.material)
+        return false;  // hash collision: never serve a wrong result
+    out = it->second.result;
+    ++hits_;
+    return true;
+}
+
+void
+MemoryResultCache::put(const CellKey &key, const RunResult &r)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key.hash] = Entry{key.material, r};
+}
+
+std::size_t
+MemoryResultCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t
+MemoryResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+void
+MemoryResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+}
+
+MemoryResultCache &
+processMemoryResultCache()
+{
+    // Function-local static, like processProgramCache: results persist
+    // for the process so consecutive cached sweeps never re-read disk.
+    static MemoryResultCache cache;
+    return cache;
 }
 
 ProgramCache &
@@ -79,7 +149,7 @@ workerResultFd()
 CellOutcome
 runCell(const SweepCell &cell, ProgramCache &cache)
 {
-    ++gRunCellCalls;
+    execCounters().addCellRuns(1);
     CellOutcome o;
     o.ran = true;
     const Program &prog = cache.get(cell.workload, cell.targetInsts);
@@ -119,6 +189,12 @@ std::deque<std::size_t>
 selectCells(const SweepSpec &spec, const SweepOptions &opts)
 {
     svw_assert(opts.jobs >= 1, "sweep --jobs must be >= 1");
+    // Two parallelism requests for one sweep is a caller bug: which
+    // one wins would be silent policy. The flag layer exits 2 with a
+    // usage message before this can trip.
+    svw_assert(!(opts.threads > 0 && opts.jobs > 1),
+               "--jobs and --threads are mutually exclusive; got jobs=",
+               opts.jobs, " threads=", opts.threads);
     svw_assert(opts.shardCount >= 1, "sweep shard count must be >= 1");
     svw_assert(opts.shardIndex < opts.shardCount,
                "sweep shard index ", opts.shardIndex,
@@ -160,13 +236,108 @@ runSequential(const SweepSpec &spec, const std::vector<BatchUnit> &units,
             continue;
         }
         std::vector<CellOutcome> batch = runBatch(spec, unit, cache);
-        gRunCellCalls += unit.size();  // lanes are cell executions
+        execCounters().addCellRuns(unit.size());  // lanes are cells
         for (std::size_t i = 0; i < unit.size(); ++i) {
             outcomes[unit[i]] = std::move(batch[i]);
             if (opts.onCellDone)
                 opts.onCellDone(unit[i], outcomes[unit[i]]);
         }
     }
+    return outcomes;
+}
+
+/**
+ * Thread-pool execution: N std::thread workers pull planned units
+ * from a shared deque and run them in this address space, sharing the
+ * process ProgramCache (thread-safe build-once) and bumping the
+ * executor's atomic counters. Everything a unit *writes* is
+ * thread-private (its cells' Core/StatRegistry/MemoryImage lanes and
+ * its distinct outcome slots); everything shared is immutable or
+ * internally synchronized — so merged outcomes are byte-identical to
+ * the sequential run by construction.
+ *
+ * Containment mirrors the fork pool's unit protocol: a throw inside a
+ * unit fails all of that unit's cells (all-or-nothing, like a fork
+ * worker's catch block) and the thread pulls the next unit. The
+ * onCellDone callback is invoked under the pool mutex (callbacks are
+ * not required to be thread-safe), in completion order like the fork
+ * pool; a callback that throws stops the pool and rethrows to the
+ * caller after the join, matching the in-process path where callback
+ * exceptions propagate out of runSweep.
+ */
+std::vector<CellOutcome>
+runThreadPool(const SweepSpec &spec, const std::vector<BatchUnit> &units,
+              const SweepOptions &opts, unsigned nThreads)
+{
+    std::vector<CellOutcome> outcomes(spec.size());
+    std::deque<BatchUnit> pending(units.begin(), units.end());
+    std::mutex mutex;                    // guards pending + record/callback
+    std::exception_ptr callbackError;    // first onCellDone throw
+    bool stop = false;                   // set when callbackError is set
+    ProgramCache &cache = processProgramCache();
+
+    auto workerMain = [&] {
+        for (;;) {
+            BatchUnit unit;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (stop || pending.empty())
+                    return;
+                unit = std::move(pending.front());
+                pending.pop_front();
+            }
+            std::vector<CellOutcome> outs(unit.size());
+            try {
+                if (unit.size() == 1) {
+                    outs[0] = runCell(spec.cell(unit[0]), cache);
+                } else {
+                    outs = runBatch(spec, unit, cache);
+                    execCounters().addCellRuns(unit.size());  // lanes
+                }
+            } catch (const std::exception &e) {
+                // All-or-nothing per unit, like a fork worker: a
+                // lane's golden mismatch (or any throw) fails every
+                // cell of the unit, and this worker lives on.
+                for (CellOutcome &o : outs) {
+                    o = CellOutcome{};
+                    o.ran = true;
+                    o.ok = false;
+                    o.error = e.what();
+                }
+            } catch (...) {
+                for (CellOutcome &o : outs) {
+                    o = CellOutcome{};
+                    o.ran = true;
+                    o.ok = false;
+                    o.error = "unknown exception";
+                }
+            }
+            std::lock_guard<std::mutex> lock(mutex);
+            for (std::size_t i = 0; i < unit.size(); ++i)
+                outcomes[unit[i]] = std::move(outs[i]);
+            if (opts.onCellDone && !stop) {
+                try {
+                    for (std::size_t idx : unit)
+                        opts.onCellDone(idx, outcomes[idx]);
+                } catch (...) {
+                    callbackError = std::current_exception();
+                    stop = true;
+                }
+            }
+        }
+    };
+
+    // One thread per slot, capped by the work available (a unit is
+    // the deal granularity, exactly like the fork pool).
+    const std::size_t n = std::min<std::size_t>(nThreads, units.size());
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers.emplace_back(workerMain);
+    for (std::thread &t : workers)
+        t.join();
+    if (callbackError)
+        std::rethrow_exception(callbackError);
     return outcomes;
 }
 
@@ -245,7 +416,7 @@ workerLoop(const SweepSpec &spec, int cmdFd, int resFd)
                 outs.push_back(runCell(spec.cell(unit[0]), cache));
             } else {
                 outs = runBatch(spec, unit, cache);
-                gRunCellCalls += unit.size();  // lanes count as cells
+                execCounters().addCellRuns(unit.size());  // lanes
             }
             for (std::size_t i = 0; i < unit.size(); ++i) {
                 recs[i].ok = outs[i].ok;
@@ -653,11 +824,15 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
     // Serve cache hits before any cell is dealt to a worker; remember
     // the probed keys so successful misses can be stored without
     // re-deriving them.
+    // The in-memory front is probed before the disk store, so within
+    // one process a warm hit never touches the filesystem; disk hits
+    // and fresh results are promoted into it for the next sweep.
     std::optional<ResultCache> cache;
     std::vector<std::pair<std::size_t, CellOutcome>> hits;
     std::vector<std::pair<std::size_t, CellKey>> probed;
     if (!opts.cacheDir.empty()) {
         cache.emplace(opts.cacheDir);
+        MemoryResultCache &mem = processMemoryResultCache();
         std::deque<std::size_t> misses;
         for (std::size_t idx : pending) {
             const SweepCell &cell = spec.cell(idx);
@@ -667,7 +842,13 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
             }
             CellKey key = cellKey(cell);
             CellOutcome o;
-            if (cache->get(key, o.result)) {
+            if (mem.get(key, o.result)) {
+                o.ran = o.ok = o.cached = true;
+                if (opts.onCellDone)
+                    opts.onCellDone(idx, o);
+                hits.emplace_back(idx, std::move(o));
+            } else if (cache->get(key, o.result)) {
+                mem.put(key, o.result);
                 o.ran = o.ok = o.cached = true;
                 if (opts.onCellDone)
                     opts.onCellDone(idx, o);
@@ -687,10 +868,13 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
 
     std::vector<CellOutcome> outcomes;
 #ifdef SVW_HAVE_FORK_POOL
-    // Any --jobs>1 request takes the pool — even for a single selected
-    // cell — so the advertised crash/exception containment does not
-    // silently depend on the cell count.
-    if (opts.jobs > 1 && !units.empty()) {
+    // Any --threads>=1 / --jobs>1 request takes its pool — even for a
+    // single selected cell — so the advertised exception containment
+    // does not silently depend on the cell count. --threads=1 is the
+    // thread pool, not the sequential path, for the same reason.
+    if (opts.threads >= 1 && !units.empty()) {
+        outcomes = runThreadPool(spec, units, opts, opts.threads);
+    } else if (opts.jobs > 1 && !units.empty()) {
         outcomes = runPool(spec,
                            std::deque<std::vector<std::size_t>>(
                                units.begin(), units.end()),
@@ -699,17 +883,29 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
         outcomes = runSequential(spec, units, opts);
     }
 #else
-    if (opts.jobs > 1)
-        svw_warn("--jobs requires fork(); running sequentially");
-    outcomes = runSequential(spec, units, opts);
+    // No fork on this platform: a --jobs=N request degrades to the
+    // thread pool at the same width (still parallel, still contained
+    // per unit) instead of silently running sequentially.
+    unsigned threads = opts.threads;
+    if (opts.jobs > 1 && threads == 0) {
+        svw_warn("--jobs requires fork(); falling back to --threads=",
+                 opts.jobs);
+        threads = opts.jobs;
+    }
+    if (threads >= 1 && !units.empty())
+        outcomes = runThreadPool(spec, units, opts, threads);
+    else
+        outcomes = runSequential(spec, units, opts);
 #endif
 
     for (auto &[idx, o] : hits)
         outcomes[idx] = std::move(o);
     for (const auto &[idx, key] : probed) {
         const CellOutcome &o = outcomes[idx];
-        if (o.ran && o.ok)
+        if (o.ran && o.ok) {
+            processMemoryResultCache().put(key, o.result);
             cache->put(key, o.result);
+        }
     }
     if (cache && opts.cacheMaxMb > 0)
         cache->trimToBytes(opts.cacheMaxMb * 1024 * 1024);

@@ -1,9 +1,10 @@
 /**
  * @file
- * Sweep executor: runs a SweepSpec's cells in-process (--jobs=1) or
- * across a pool of forked worker processes (--jobs=N), with optional
- * cross-machine sharding (--shard=i/n), and merges per-cell results in
- * spec order.
+ * Sweep executor: runs a SweepSpec's cells in-process (--jobs=1),
+ * across a pool of forked worker processes (--jobs=N), or across a
+ * pool of worker threads in one address space (--threads=N), with
+ * optional cross-machine sharding (--shard=i/n), and merges per-cell
+ * results in spec order.
  *
  * Worker protocol (docs/ARCHITECTURE.md "Sweep engine"): the parent
  * forks N workers after the spec is built (so cells' hooks and configs
@@ -21,6 +22,21 @@
  * it, records the failures, respawns a replacement, and the merged
  * report stays intact.
  *
+ * Thread pool (docs/ARCHITECTURE.md "Thread-pool executor"): with
+ * --threads=N the same planned units are pulled from a shared deque by
+ * N std::thread workers running runCell/runBatch directly — no fork,
+ * no pipes, no serialization. All workers share one ProgramCache (one
+ * decode per (workload, insts) for the whole sweep, not per worker
+ * process) and the process-wide in-memory ResultCache front. A unit
+ * that throws fails only its own cells (recorded with the exception
+ * text) and the worker thread moves on — the thread analogue of the
+ * fork pool's exception containment; a unit that *crashes* the
+ * process cannot be contained without fork. --jobs and --threads are
+ * mutually exclusive ways to parallelize one sweep: --threads=N (N >=
+ * 1) takes the thread pool, else --jobs=N (N > 1) takes the fork
+ * pool; both > 1 together is an error. Merged results are
+ * byte-identical across all modes and counts.
+ *
  * Sharding partitions by *group* (figure row), not by cell, so every
  * row's baseline and variants land in the same shard and speedup
  * columns stay computable; the union of all shards is exactly the full
@@ -30,10 +46,14 @@
 #ifndef SVW_HARNESS_EXECUTOR_HH
 #define SVW_HARNESS_EXECUTOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "harness/sweep.hh"
@@ -47,6 +67,17 @@ struct SweepOptions
     /** Worker processes; 1 = in-process (debug/tracing-friendly,
      * failures propagate as exceptions like a plain runOne loop). */
     unsigned jobs = 1;
+    /**
+     * Worker threads; 0 = off. When >= 1, cells run on this many
+     * std::thread workers in one address space, sharing the process
+     * ProgramCache and the in-memory ResultCache front — no fork, no
+     * result pipes. Mutually exclusive with jobs > 1 (asserted; the
+     * flag layer exits 2). Unlike the fork pool, a crashing cell
+     * takes the whole process down (exceptions are still contained
+     * per unit); unlike the in-process path, --threads=1 contains
+     * exceptions rather than propagating them.
+     */
+    unsigned threads = 0;
     /**
      * Co-simulation batch width (harness/batch.hh): compatible cells
      * of one workload are advanced in lockstep as one unit of up to
@@ -89,12 +120,41 @@ struct SweepOptions
 /** Monotonic host wall-clock seconds (arbitrary origin). */
 double hostSeconds();
 
+/**
+ * Executor-owned execution counters. Atomic because thread-pool
+ * workers bump them concurrently; one instance per process
+ * (execCounters()), so fork-pool workers still accumulate into their
+ * own copy-on-write copies, never the parent's.
+ */
+class ExecCounters
+{
+  public:
+    /** Cell executions: runCell invocations plus every lane of a
+     * runBatch unit. */
+    std::uint64_t cellRuns() const
+    {
+        return cellRuns_.load(std::memory_order_relaxed);
+    }
+
+    void addCellRuns(std::uint64_t n)
+    {
+        cellRuns_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> cellRuns_{0};
+};
+
+/** The calling process's executor counters. */
+ExecCounters &execCounters();
+
 /** Count of cell executions in the *calling* process — runCell
  * invocations plus every lane of a runBatch unit (a pool worker's
- * executions land in the worker's own copy, not the parent's). Test
- * instrumentation: a fully warm-cache sweep serves hits in the parent,
- * so it must leave the parent's count unchanged, whatever the batch
- * width. */
+ * executions land in the worker's own copy, not the parent's; a
+ * thread worker's land here). Test instrumentation: a fully
+ * warm-cache sweep serves hits in the parent, so it must leave the
+ * parent's count unchanged, whatever the batch width. Accessor for
+ * execCounters().cellRuns(). */
 std::uint64_t runCellCalls();
 
 /**
@@ -109,6 +169,12 @@ int workerResultFd();
  * Per-process cache of built workload programs: each (workload,
  * targetInsts) program is constructed once and shared by reference
  * across every config cell that uses it ("batch configs per workload").
+ *
+ * Thread-safe: concurrent get()s for one key build the program exactly
+ * once (the others block on its slot), and builds of *different*
+ * programs proceed in parallel — the map mutex is held only for slot
+ * lookup, never across a build. References stay valid for the cache's
+ * lifetime (map nodes are stable under insertion).
  */
 class ProgramCache
 {
@@ -118,12 +184,28 @@ class ProgramCache
     const Program &get(const std::string &workload,
                        std::uint64_t targetInsts);
 
-    std::size_t size() const { return programs_.size(); }
-    std::uint64_t builds() const { return builds_; }
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return slots_.size();
+    }
+    std::uint64_t builds() const
+    {
+        return builds_.load(std::memory_order_relaxed);
+    }
 
   private:
-    std::map<std::pair<std::string, std::uint64_t>, Program> programs_;
-    std::uint64_t builds_ = 0;
+    /** One program's build-once slot; the per-slot once_flag is what
+     * lets distinct programs build concurrently. */
+    struct Slot
+    {
+        std::once_flag once;
+        std::optional<Program> program;
+    };
+
+    mutable std::mutex mutex_;  ///< guards slots_ (lookup/insert only)
+    std::map<std::pair<std::string, std::uint64_t>, Slot> slots_;
+    std::atomic<std::uint64_t> builds_{0};
 };
 
 /**
@@ -134,6 +216,51 @@ class ProgramCache
  * lifetime (tests) can still construct private ProgramCaches.
  */
 ProgramCache &processProgramCache();
+
+/**
+ * In-memory front of the persistent ResultCache (harness/sweep.hh):
+ * a hash map keyed exactly like the on-disk store (CellKey hash,
+ * verified against the full key material so a collision degrades to a
+ * miss, never a wrong hit). runSweep probes it before the disk store,
+ * so within one process a warm hit never touches the filesystem, and
+ * every disk hit or fresh result is promoted so the *next* sweep in
+ * this process (bench binaries run several; a future sweepd runs
+ * thousands) is served from memory. Entries are valid independent of
+ * which --cache-dir they came from: a cell's RunResult is a pure
+ * function of its key material, which already embeds the code-version
+ * stamp. Only consulted when a sweep runs with a cacheDir — caching
+ * stays opt-in. Thread-safe (one mutex; probes happen on the dealing
+ * thread, so contention is nil).
+ */
+class MemoryResultCache
+{
+  public:
+    /** @return true and fill @p out on a verified hit. */
+    bool get(const CellKey &key, RunResult &out) const;
+
+    /** Insert or overwrite @p key's entry. */
+    void put(const CellKey &key, const RunResult &r);
+
+    std::size_t entries() const;
+    /** Served (verified) hits since process start / clear(). */
+    std::uint64_t hits() const;
+    /** Drop everything (test isolation). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::string material;
+        RunResult result;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    mutable std::uint64_t hits_ = 0;
+};
+
+/** The process-wide in-memory result-cache front. */
+MemoryResultCache &processMemoryResultCache();
 
 /**
  * Execute one cell in the calling process (shared by the in-process

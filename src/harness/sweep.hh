@@ -12,10 +12,12 @@
  * binaries only declare cells and format tables; iteration, sharding,
  * parallelism, and workload-program caching all live behind runSweep.
  *
- * Determinism invariant: cell outcomes depend only on the cell (runs
- * are single-threaded and seeded), so the merged results — and any
- * report formatted from them — are byte-identical for every --jobs
- * value and equal to the sequential in-process run.
+ * Determinism invariant: cell outcomes depend only on the cell (each
+ * cell's simulation runs on one thread and is seeded), so the merged
+ * results — and any report formatted from them — are byte-identical
+ * for every --jobs and --threads value and equal to the sequential
+ * in-process run. Parallelism only reorders *when* cells run, never
+ * what they compute.
  */
 
 #ifndef SVW_HARNESS_SWEEP_HH

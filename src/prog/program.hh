@@ -65,6 +65,12 @@ class Program
      * (programs are built once, then executed). Fetch reads DynInst
      * facts from this table instead of re-running the StaticInst
      * predicate switches per dynamic instruction.
+     *
+     * NOT thread-safe on first call (it mutates the lazy table): a
+     * Program shared across threads must have the table forced before
+     * publication — harness::ProgramCache does this inside its
+     * build-once slot, so cached programs are safe to share; all
+     * later calls are pure reads.
      */
     const std::vector<PreDecodedInst> &predecoded() const;
 

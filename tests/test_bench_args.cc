@@ -52,6 +52,20 @@ TEST(BenchArgs, ParsesWellFormedFlags)
     EXPECT_EQ(parseFlagNumber("007", "--x"), 7u);
 }
 
+TEST(BenchArgs, ThreadsFlagParsesAndPlumbs)
+{
+    const BenchArgs a = parse({"--threads=4"});
+    EXPECT_EQ(a.threads, 4u);
+    EXPECT_EQ(a.jobs, 1u);
+    EXPECT_EQ(sweepOptions(a).threads, 4u);
+    EXPECT_EQ(parse({}).threads, 0u);  // default: thread pool off
+
+    // --jobs=1 is the do-nothing default, so pairing it with
+    // --threads is not a conflict.
+    const BenchArgs b = parse({"--jobs=1", "--threads=2"});
+    EXPECT_EQ(b.threads, 2u);
+}
+
 TEST(BenchArgs, NoCacheOverridesCacheDir)
 {
     const BenchArgs a = parse({"--cache-dir=/tmp/c", "--no-cache"});
@@ -103,6 +117,10 @@ TEST(BenchArgsDeath, InvalidCombinationsAndUnknownFlagsExit2)
                 "--shard=i/n with i<n");
     EXPECT_EXIT(parse({"--shard=3"}), ::testing::ExitedWithCode(2),
                 "--shard=i/n with i<n");
+    EXPECT_EXIT(parse({"--jobs=2", "--threads=2"}),
+                ::testing::ExitedWithCode(2), "mutually exclusive");
+    EXPECT_EXIT(parse({"--threads=4x"}), ::testing::ExitedWithCode(2),
+                "bad number '4x' for --threads");
     EXPECT_EXIT(parse({"--frobnicate"}), ::testing::ExitedWithCode(2),
                 "unknown arg --frobnicate");
     EXPECT_EXIT(parse({"positional"}), ::testing::ExitedWithCode(2),

@@ -282,6 +282,11 @@ TEST(CellKey, Cacheability)
 
 TEST(ResultCache, ColdPopulatesWarmServesByteIdenticalWithZeroRuns)
 {
+    // The process-wide memory front (harness/executor.hh
+    // MemoryResultCache) is keyed by material, not directory, so a
+    // cell simulated by an earlier test would hit it and never reach
+    // the fresh disk store this test is exercising. Drop it first.
+    processMemoryResultCache().clear();
     TempDir dir;
     const SweepSpec spec = smallSpec();
 
@@ -321,6 +326,7 @@ TEST(ResultCache, ColdPopulatesWarmServesByteIdenticalWithZeroRuns)
 
 TEST(ResultCache, AnyInputChangeMissesOnlyThatCell)
 {
+    processMemoryResultCache().clear();  // test the disk store
     TempDir dir;
     SweepOptions opts;
     opts.cacheDir = dir.path;
@@ -384,6 +390,7 @@ TEST(ResultCache, DisabledAndNonCacheableCellsAlwaysRun)
 
 TEST(ResultCache, CorruptOrMismatchedEntriesDegradeToMisses)
 {
+    processMemoryResultCache().clear();  // test the disk store
     TempDir dir;
     const SweepSpec spec = smallSpec();
     SweepOptions opts;
@@ -400,6 +407,10 @@ TEST(ResultCache, CorruptOrMismatchedEntriesDegradeToMisses)
     }
     RunResult ignored;
     EXPECT_FALSE(ResultCache(dir.path).get(key, ignored));
+    // The cold run promoted every result into the memory front, which
+    // would serve the corrupted cell without ever reading (or healing)
+    // the disk entry — drop it so the heal path is what runs.
+    processMemoryResultCache().clear();
     const std::uint64_t c0 = runCellCalls();
     const SweepResults healed = runSweep(spec, opts);
     EXPECT_EQ(runCellCalls() - c0, 1u);
