@@ -46,6 +46,13 @@
  *   --progress   stream one "progress: ..." line per completed cell
  *                to stderr (sweep_driver passes this to its shards and
  *                forwards the lines live)
+ *   --profile=F  attach the per-stage self-profiler (base/profile.hh)
+ *                to every cell and write a flamegraph.pl-compatible
+ *                folded-stack file to F at exit. Simulated cycles and
+ *                the printed tables are byte-identical with or without
+ *                it; host wall times become meaningless, so profiled
+ *                sweeps bypass the result cache. An empty or
+ *                uncreatable path exits 2.
  *
  * Unrecognized arguments (flags or positionals) are rejected with
  * exit 2 so typos fail fast.
@@ -62,6 +69,7 @@
 #include <string>
 #include <vector>
 
+#include "base/profile.hh"
 #include "harness/config.hh"
 #include "harness/executor.hh"
 #include "harness/figures.hh"
@@ -87,6 +95,7 @@ struct BenchArgs
     std::uint64_t cacheMaxMb = 0;  ///< LRU cache bound; 0 = unbounded
     bool progress = false;  ///< stream per-cell completion to stderr
     std::string recordTrace;  ///< --record-trace target path, if any
+    bool profile = false;   ///< --profile=: stage profiler armed
 };
 
 /** Parse a decimal flag value; a malformed number is a usage error
@@ -175,6 +184,22 @@ parseArgs(int argc, char **argv)
                 parseFlagNumber(a.substr(15), "--cache-max-mb");
         } else if (a == "--progress") {
             args.progress = true;
+        } else if (a.rfind("--profile=", 0) == 0) {
+            const std::string path = a.substr(10);
+            if (path.empty()) {
+                std::fprintf(stderr,
+                             "error: --profile needs a file path\n");
+                std::exit(2);
+            }
+            // Truncate-create now: an unwritable path must fail before
+            // a long sweep runs, not after it.
+            if (!prof::enableFoldedOutput(path)) {
+                std::fprintf(stderr,
+                             "error: --profile: cannot create '%s'\n",
+                             path.c_str());
+                std::exit(2);
+            }
+            args.profile = true;
         } else if (a.rfind("--benchmark", 0) == 0) {
             continue;  // tolerate google-benchmark flags
         } else {
@@ -185,7 +210,8 @@ parseArgs(int argc, char **argv)
                          " [--jobs=N] [--threads=N] [--batch=K]"
                          " [--shard=i/n]"
                          " [--cache-dir=D] [--no-cache]"
-                         " [--cache-max-mb=N] [--progress]\n",
+                         " [--cache-max-mb=N] [--progress]"
+                         " [--profile=F]\n",
                          a.c_str(), argv[0]);
             std::exit(2);
         }
@@ -239,6 +265,7 @@ sweepOptions(const BenchArgs &args)
     opts.batch = args.batch;
     opts.shardIndex = args.shardIndex;
     opts.shardCount = args.shardCount;
+    opts.profile = args.profile;
     if (!args.noCache) {
         opts.cacheDir = args.cacheDir;
         opts.cacheMaxMb = args.cacheMaxMb;

@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <deque>
 #include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "bench_common.hh"
@@ -100,10 +101,42 @@ main(int argc, char **argv)
         }
     }
 
+    // Synth family: seeded generator workloads with behaviors the
+    // curated subset undersamples — hashjoin's store-heavy bucket
+    // writes and chase's serial long-latency misses stress the
+    // completion wheel and SQ/SSQ search differently from gzip/mcf.
+    // Two configs keep the addition cheap: the conventional baseline
+    // and SSQ+SVW (the hot rex path). Skipped when --bench/--workload
+    // restricts the suite (the restriction already names the cells).
+    if (args.only.empty()) {
+        const std::vector<std::string> synthSuite = {
+            "synth:mix:1", "synth:hashjoin:3", "synth:chase:7"};
+        for (const auto &w : synthSuite) {
+            for (const ExperimentConfig *cfg : {&configs[0], &configs[2]}) {
+                SweepCell c;
+                c.group = w;
+                c.label = configLabel(*cfg);
+                c.workload = w;
+                c.targetInsts = args.insts;
+                c.config = *cfg;
+                c.goldenCheck = false;
+                c.timingReps = reps;
+                c.neverCache = true;
+                spec.add(c);
+            }
+        }
+    }
+
     // Stream per-cell progress as outcomes arrive (spec order at
     // --jobs=1, completion order under a pool): a multi-minute full
     // sweep must not look hung.
     SweepOptions opts = sweepOptions(args);
+    // The timed matrix is never profiled — clock reads at every stage
+    // boundary would tax the very seconds this bench publishes.
+    // --profile instead runs a separate one-rep attribution pass after
+    // the timing sweeps (see below), so the trajectory stays
+    // comparable whether or not attribution was requested.
+    opts.profile = false;
     // Every cell above is neverCache, so a --cache-dir would have no
     // effect; say so rather than silently idling an advertised flag.
     if (!opts.cacheDir.empty()) {
@@ -237,6 +270,74 @@ main(int argc, char **argv)
                 "(%.3fs wall at --jobs=%u)\n",
                 aggregate, nCells, totalWall, args.jobs);
 
+    // Attribution pass (--profile): one *profiled* rep per cell in a
+    // separate sweep, after all the timing above. Per-stage host-ns
+    // attribution lands here as a JSON stanza (wheel_advance nests in
+    // complete, lsu_search in issue — the folded-stack file written by
+    // bench_common's --profile=F keeps the same shape); "harness" is
+    // the cell wall outside the tick loop (program build, core
+    // construction, stat extraction).
+    std::string profStanza;
+    if (args.profile) {
+        SweepSpec pspec("perf_hotloop_profile");
+        for (std::size_t i = 0; i < spec.size(); ++i) {
+            SweepCell c = spec.cell(i);
+            c.timingReps = 1;
+            pspec.add(c);
+        }
+        SweepOptions pOpts = opts;
+        pOpts.onCellDone = nullptr;
+        pOpts.profile = true;
+        const SweepResults pres = runSweep(pspec, pOpts);
+        std::ostringstream os;
+        std::uint64_t agg[prof::NumStages] = {};
+        std::uint64_t aggCell = 0;
+        os << ",\n  \"profile\": {\n    \"unit\": \"host_ns\",\n"
+           << "    \"note\": \"separate 1-rep profiled pass; the timed"
+              " cells above never carry the profiler's clock-read"
+              " overhead\",\n"
+           << "    \"cells\": [\n";
+        bool pFirst = true;
+        for (std::size_t i = 0; i < pspec.size(); ++i) {
+            const CellOutcome &o = pres.outcome(i);
+            if (!o.ran || !o.ok || !o.result.profTicks)
+                continue;
+            std::uint64_t top = 0;
+            for (unsigned s = 0; s < prof::NumStages; ++s) {
+                agg[s] += o.result.profStageNs[s];
+                if (prof::stageParent(static_cast<prof::Stage>(s)) ==
+                    prof::NumStages)
+                    top += o.result.profStageNs[s];
+            }
+            aggCell += o.result.profCellNs;
+            if (!pFirst)
+                os << ",\n";
+            pFirst = false;
+            os << "      {\"cell\": \"" << pspec.cell(i).name() << "\"";
+            for (unsigned s = 0; s < prof::NumStages; ++s)
+                os << ", \""
+                   << prof::stageName(static_cast<prof::Stage>(s))
+                   << "\": " << o.result.profStageNs[s];
+            os << ", \"harness\": "
+               << (o.result.profCellNs > top ? o.result.profCellNs - top
+                                             : 0)
+               << ", \"ticks\": " << o.result.profTicks << "}";
+        }
+        os << "\n    ],\n    \"aggregate\": {";
+        std::uint64_t aggTop = 0;
+        for (unsigned s = 0; s < prof::NumStages; ++s) {
+            os << "\"" << prof::stageName(static_cast<prof::Stage>(s))
+               << "\": " << agg[s] << ", ";
+            if (prof::stageParent(static_cast<prof::Stage>(s)) ==
+                prof::NumStages)
+                aggTop += agg[s];
+        }
+        os << "\"harness\": "
+           << (aggCell > aggTop ? aggCell - aggTop : 0)
+           << ", \"cell_total\": " << aggCell << "}\n  }";
+        profStanza = os.str();
+    }
+
     std::ofstream js(outPath);
     js << "{\n  \"bench\": \"hotloop\",\n"
        << "  \"unit\": \"Minsts_per_host_second\",\n"
@@ -307,7 +408,8 @@ main(int argc, char **argv)
     js << "    \"speedup_threads4_over_threads1\": "
        << (threadWall.back() > 0.0 ? threadWall[0] / threadWall.back()
                                    : 0.0)
-       << "\n  }\n}\n";
+       << "\n  }"
+       << profStanza << "\n}\n";
     std::printf("wrote %s\n", outPath.c_str());
     return sweepFailed ? 1 : 0;
 }

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Host-optimization toggles: run-time switches that select the
+ * *legacy* (pre-optimization) host code path for specific simulator
+ * optimizations.
+ *
+ * Purpose: interleaved A/B benchmarking (bench/perf_ab --ab). A fair
+ * significance test needs both arms in one binary, alternating rep by
+ * rep, so container noise (frequency excursions, page cache, sibling
+ * load) hits both arms alike; comparing two builds or two commits
+ * cannot do that. Every optimization guarded here MUST be
+ * host-side-only — simulated cycles and metrics byte-identical with
+ * the toggle on or off (tests/test_profile.cc asserts this per
+ * toggle) — so the toggles can never change results, only speed.
+ *
+ * The flags are process-global and meant to be set once before a
+ * measurement rep, never concurrently with a running core.
+ */
+
+#ifndef SVW_BASE_HOSTOPT_HH
+#define SVW_BASE_HOSTOPT_HH
+
+namespace svw::hostopt {
+
+/** One bit per guarded optimization; a set bit selects the LEGACY
+ * (slower, pre-optimization) path. */
+enum Opt : unsigned
+{
+    /** rle/integration_table.cc releaseOnePinned: legacy single
+     * global-LRU walk instead of the per-category LRU lists. */
+    LegacyRleRelease = 1u << 0,
+    /** cpu/completion_wheel.hh drain: legacy unconditional bucket load
+     * instead of the occupancy-bitmap test that skips empty slots. */
+    LegacyWheelDrain = 1u << 1,
+};
+
+/** Bitmask of optimizations forced to their legacy path. */
+inline unsigned &
+legacyMask()
+{
+    static unsigned mask = 0;
+    return mask;
+}
+
+inline bool
+legacy(Opt o)
+{
+    return (legacyMask() & o) != 0;
+}
+
+} // namespace svw::hostopt
+
+#endif // SVW_BASE_HOSTOPT_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Self-profiler implementation: stage metadata, the monotonic clock,
+ * the process-wide collector, and the atexit folded-stack writer.
+ */
+
+#include "base/profile.hh"
+
+#include <time.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace svw::prof {
+
+const char *
+stageName(Stage s)
+{
+    static const std::array<const char *, NumStages> names = {
+        "commit", "rex", "complete", "wheel_advance",
+        "issue", "lsu_search", "dispatch", "fetch",
+    };
+    return s < NumStages ? names[s] : "?";
+}
+
+Stage
+stageParent(Stage s)
+{
+    switch (s) {
+      case WheelAdvance:
+        return Complete;
+      case LsuSearch:
+        return Issue;
+      default:
+        return NumStages;
+    }
+}
+
+std::uint64_t
+nowNs()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return std::uint64_t(ts.tv_sec) * 1'000'000'000u +
+           std::uint64_t(ts.tv_nsec);
+}
+
+std::uint64_t
+StageTimes::totalNs() const
+{
+    std::uint64_t sum = 0;
+    for (unsigned s = 0; s < NumStages; ++s)
+        if (stageParent(Stage(s)) == NumStages)
+            sum += ns[s];
+    return sum;
+}
+
+void
+Collector::add(const std::string &cell, const StageTimes &t,
+               std::uint64_t cellNs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CellEntry &e = cells_[cell];
+    for (unsigned s = 0; s < NumStages; ++s)
+        e.t.ns[s] += t.ns[s];
+    e.t.ticks += t.ticks;
+    e.cellNs += cellNs;
+}
+
+std::string
+Collector::folded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    for (const auto &[cell, e] : cells_) {
+        for (unsigned s = 0; s < NumStages; ++s) {
+            // A parent's folded line carries its *self* time; the
+            // children's lines carry theirs. Nesting is one level deep,
+            // so self = counter - sum of direct children.
+            std::uint64_t self = e.t.ns[s];
+            for (unsigned c = 0; c < NumStages; ++c)
+                if (stageParent(Stage(c)) == Stage(s))
+                    self -= self >= e.t.ns[c] ? e.t.ns[c] : self;
+            if (!self)
+                continue;
+            out << "svw_sim;" << cell << ";tick;";
+            const Stage parent = stageParent(Stage(s));
+            if (parent != NumStages)
+                out << stageName(parent) << ';';
+            out << stageName(Stage(s)) << ' ' << self << '\n';
+        }
+        // Harness residual: run construction, golden check, result
+        // extraction — everything in the cell's wall outside the tick
+        // stages.
+        const std::uint64_t stageNs = e.t.totalNs();
+        if (e.cellNs > stageNs)
+            out << "svw_sim;" << cell << ";harness "
+                << (e.cellNs - stageNs) << '\n';
+    }
+    return out.str();
+}
+
+bool
+Collector::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.empty();
+}
+
+void
+Collector::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_.clear();
+}
+
+Collector &
+collector()
+{
+    static Collector c;
+    return c;
+}
+
+namespace {
+
+std::string outputPath_;
+
+void
+writeFolded()
+{
+    if (outputPath_.empty())
+        return;
+    std::FILE *f = std::fopen(outputPath_.c_str(), "w");
+    if (!f)
+        return;
+    const std::string text = collector().folded();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // anonymous namespace
+
+bool
+enableFoldedOutput(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    // Touch the collector first so it is constructed before the atexit
+    // handler registers: static destruction runs in reverse order, so
+    // the collector then outlives the writer.
+    collector();
+    // Truncate-create now so flag validation fails fast on an
+    // unwritable path.
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fclose(f);
+    static bool registered = false;
+    if (!registered) {
+        registered = true;
+        std::atexit(writeFolded);
+    }
+    outputPath_ = path;
+    return true;
+}
+
+const std::string &
+foldedOutputPath()
+{
+    return outputPath_;
+}
+
+} // namespace svw::prof

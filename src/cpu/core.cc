@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/profile.hh"
 
 namespace svw {
 
@@ -120,6 +121,10 @@ Core::advance(std::uint64_t maxInsts, std::uint64_t maxCycles,
 void
 Core::tick()
 {
+    if (stageProf) {
+        tickProfiled();
+        return;
+    }
     if (perCycleHook)
         perCycleHook(*this);
     commitStage();
@@ -132,12 +137,40 @@ Core::tick()
     ++hot.cycles;
 }
 
+void
+Core::tickProfiled()
+{
+    // Same stage sequence as tick(), with a monotonic-clock read at
+    // each boundary. Host-side observation only: no simulated state
+    // depends on the readings, so cycles and metrics are bit-identical
+    // to the unprofiled body.
+    prof::StageTimes &st = *stageProf;
+    if (perCycleHook)
+        perCycleHook(*this);
+    std::uint64_t t = prof::nowNs(), u;
+    commitStage();
+    u = prof::nowNs(); st.ns[prof::Commit] += u - t; t = u;
+    rex.tick(rob, rename, now);
+    u = prof::nowNs(); st.ns[prof::Rex] += u - t; t = u;
+    completeStage();
+    u = prof::nowNs(); st.ns[prof::Complete] += u - t; t = u;
+    issueStage();
+    u = prof::nowNs(); st.ns[prof::Issue] += u - t; t = u;
+    dispatchStage();
+    u = prof::nowNs(); st.ns[prof::Dispatch] += u - t; t = u;
+    fetchStage();
+    u = prof::nowNs(); st.ns[prof::Fetch] += u - t;
+    ++st.ticks;
+    ++now;
+    ++hot.cycles;
+}
+
 // --------------------------------------------------------------------
 // Complete: results arriving this cycle; branch resolution.
 // --------------------------------------------------------------------
 
 void
-Core::completeStage()
+Core::drainCompletions()
 {
     completionQueue.drain(now, [this](InstSeqNum seq) {
         DynInst *inst = rob.findBySeq(seq);
@@ -149,6 +182,18 @@ Core::completeStage()
         if (inst->isCtrl())
             finishBranch(*inst);
     });
+}
+
+void
+Core::completeStage()
+{
+    if (stageProf) {
+        const std::uint64_t t0 = prof::nowNs();
+        drainCompletions();
+        stageProf->ns[prof::WheelAdvance] += prof::nowNs() - t0;
+    } else {
+        drainCompletions();
+    }
 
     // Stores whose address issued early capture data as it arrives.
     for (std::size_t i = 0; i < storesAwaitingData.size();) {
@@ -445,7 +490,14 @@ Core::tryIssue(DynInst &inst, unsigned &intUsed, unsigned &loadUsed,
 void
 Core::issueLoad(DynInst &load)
 {
-    LoadExecResult res = lsu.executeLoad(load, now);
+    LoadExecResult res;
+    if (stageProf) {
+        const std::uint64_t t0 = prof::nowNs();
+        res = lsu.executeLoad(load, now);
+        stageProf->ns[prof::LsuSearch] += prof::nowNs() - t0;
+    } else {
+        res = lsu.executeLoad(load, now);
+    }
     if (res.status != LoadExecResult::Status::Done)
         return;  // retry next cycle
 
@@ -487,7 +539,14 @@ Core::issueStore(DynInst &store)
         storesAwaitingData.push_back(store.seq);
     }
 
-    const InstSeqNum victim = lsu.storeResolved(store);
+    InstSeqNum victim;
+    if (stageProf) {
+        const std::uint64_t t0 = prof::nowNs();
+        victim = lsu.storeResolved(store);
+        stageProf->ns[prof::LsuSearch] += prof::nowNs() - t0;
+    } else {
+        victim = lsu.storeResolved(store);
+    }
     if (victim != 0) {
         // Associative LQ search found a premature load: flush at the
         // load and train store-sets with the exact store-load pair.

@@ -40,6 +40,8 @@
 
 namespace svw {
 
+namespace prof { struct StageTimes; }
+
 /** Full machine configuration. */
 struct CoreParams
 {
@@ -182,6 +184,14 @@ class Core
     /** Attach (or detach, with nullptr) a pipeline event tracer. */
     void setTracer(Tracer *t) { tracer = t; }
 
+    /**
+     * Attach (or detach, with nullptr) a per-stage host-time
+     * attribution block (base/profile.hh). Host-side observation only:
+     * a profiled core retires bit-identical cycles. Costs one
+     * predictable branch per tick when detached.
+     */
+    void setStageProfiler(prof::StageTimes *p) { stageProf = p; }
+
     // Component access for white-box tests.
     SvwUnit &svwUnit() { return svw; }
     RexEngine &rexEngine() { return rex; }
@@ -215,6 +225,11 @@ class Core
     void issueStage();
     void dispatchStage();
     void fetchStage();
+
+    /** tick() body with stage timers (stageProf != nullptr). */
+    void tickProfiled();
+    /** completeStage's event-wheel drain (profiled as wheel_advance). */
+    void drainCompletions();
 
     // --- helpers -------------------------------------------------------
     bool dispatchOne(DynInst &inst, const DynInstCold &cold);
@@ -262,6 +277,8 @@ class Core
      * DynInst facts from this table (index = PC) with one 8-byte copy. */
     const PreDecodedInst *preText = nullptr;
     Tracer *tracer = nullptr;
+    /** Stage-time attribution sink; nullptr = profiler off. */
+    prof::StageTimes *stageProf = nullptr;
 
     MemoryImage committedMem;   ///< committed ("cache") state
     MemHierarchy mem;

@@ -102,7 +102,7 @@ planBatches(const SweepSpec &spec, const std::deque<std::size_t> &pending,
 
 std::vector<CellOutcome>
 runBatch(const SweepSpec &spec, const std::vector<std::size_t> &unit,
-         ProgramCache &cache)
+         ProgramCache &cache, bool profile)
 {
     svw_assert(!unit.empty(), "empty batch unit");
     const SweepCell &first = spec.cell(unit[0]);
@@ -133,6 +133,7 @@ runBatch(const SweepSpec &spec, const std::vector<std::size_t> &unit,
         std::unique_ptr<stats::StatRegistry> reg;
         std::unique_ptr<Core> core;
         RunOutcome out;
+        prof::StageTimes stageTimes;  ///< used when profiling
     };
     std::vector<Lane> lanes(unit.size());
     // Lockstep scheduler state, kept as dense parallel arrays so the
@@ -149,6 +150,8 @@ runBatch(const SweepSpec &spec, const std::vector<std::size_t> &unit,
         l.reg = std::make_unique<stats::StatRegistry>();
         CoreParams params = buildParams(cell.config);
         l.core = std::make_unique<Core>(params, prog, *l.reg, &baseImage);
+        if (profile)
+            l.core->setStageProfiler(&l.stageTimes);
     }
 
     const std::uint64_t maxCycles =
@@ -212,6 +215,18 @@ runBatch(const SweepSpec &spec, const std::vector<std::size_t> &unit,
                   double(totalCycles)
             : batchSeconds;
         o.hostWallSeconds = o.seconds;
+        if (profile) {
+            // Stage counters are exact per lane (each lane has its own
+            // StageTimes); only the shared harness overhead (image
+            // load, golden pass, extraction) is apportioned, by the
+            // same cycle share as `seconds`.
+            RunResult &r = o.result;
+            for (unsigned s = 0; s < prof::NumStages; ++s)
+                r.profStageNs[s] = lanes[i].stageTimes.ns[s];
+            r.profTicks = lanes[i].stageTimes.ticks;
+            r.profCellNs =
+                static_cast<std::uint64_t>(o.seconds * 1e9);
+        }
     }
     return outcomes;
 }

@@ -75,7 +75,8 @@ unsigned resolveBatchK(unsigned requested);
  */
 std::vector<CellOutcome> runBatch(const SweepSpec &spec,
                                   const std::vector<std::size_t> &unit,
-                                  ProgramCache &cache);
+                                  ProgramCache &cache,
+                                  bool profile = false);
 
 /** Instrumentation (per process, like runCellCalls): number of
  * runBatch invocations with >= 2 lanes, and lanes co-simulated by

@@ -147,7 +147,7 @@ workerResultFd()
 }
 
 CellOutcome
-runCell(const SweepCell &cell, ProgramCache &cache)
+runCell(const SweepCell &cell, ProgramCache &cache, bool profile)
 {
     execCounters().addCellRuns(1);
     CellOutcome o;
@@ -159,6 +159,7 @@ runCell(const SweepCell &cell, ProgramCache &cache)
     req.targetInsts = cell.targetInsts;
     req.config = cell.config;
     req.goldenCheck = cell.goldenCheck;
+    req.profile = profile;
     req.hook = cell.hook;
 
     const unsigned reps = std::max(1u, cell.timingReps);
@@ -230,12 +231,13 @@ runSequential(const SweepSpec &spec, const std::vector<BatchUnit> &units,
     for (const BatchUnit &unit : units) {
         if (unit.size() == 1) {
             const std::size_t idx = unit[0];
-            outcomes[idx] = runCell(spec.cell(idx), cache);
+            outcomes[idx] = runCell(spec.cell(idx), cache, opts.profile);
             if (opts.onCellDone)
                 opts.onCellDone(idx, outcomes[idx]);
             continue;
         }
-        std::vector<CellOutcome> batch = runBatch(spec, unit, cache);
+        std::vector<CellOutcome> batch =
+            runBatch(spec, unit, cache, opts.profile);
         execCounters().addCellRuns(unit.size());  // lanes are cells
         for (std::size_t i = 0; i < unit.size(); ++i) {
             outcomes[unit[i]] = std::move(batch[i]);
@@ -289,9 +291,10 @@ runThreadPool(const SweepSpec &spec, const std::vector<BatchUnit> &units,
             std::vector<CellOutcome> outs(unit.size());
             try {
                 if (unit.size() == 1) {
-                    outs[0] = runCell(spec.cell(unit[0]), cache);
+                    outs[0] = runCell(spec.cell(unit[0]), cache,
+                                      opts.profile);
                 } else {
-                    outs = runBatch(spec, unit, cache);
+                    outs = runBatch(spec, unit, cache, opts.profile);
                     execCounters().addCellRuns(unit.size());  // lanes
                 }
             } catch (const std::exception &e) {
@@ -384,7 +387,7 @@ writeFull(int fd, const void *buf, std::size_t n)
 /** Worker main loop: pull unit frames (lane count + cell indices),
  * push one result line per cell in unit order. */
 [[noreturn]] void
-workerLoop(const SweepSpec &spec, int cmdFd, int resFd)
+workerLoop(const SweepSpec &spec, int cmdFd, int resFd, bool profile)
 {
     gWorkerResultFd = resFd;  // crash-injection test hooks write here
     ProgramCache &cache = processProgramCache();
@@ -413,9 +416,10 @@ workerLoop(const SweepSpec &spec, int cmdFd, int resFd)
         try {
             std::vector<CellOutcome> outs;
             if (unit.size() == 1) {
-                outs.push_back(runCell(spec.cell(unit[0]), cache));
+                outs.push_back(runCell(spec.cell(unit[0]), cache,
+                                       profile));
             } else {
-                outs = runBatch(spec, unit, cache);
+                outs = runBatch(spec, unit, cache, profile);
                 execCounters().addCellRuns(unit.size());  // lanes
             }
             for (std::size_t i = 0; i < unit.size(); ++i) {
@@ -562,7 +566,7 @@ class ForkPool
                 if (w.resFd >= 0)
                     ::close(w.resFd);
             }
-            workerLoop(spec_, cmd[0], res[1]);
+            workerLoop(spec_, cmd[0], res[1], opts_.profile);
         }
         ::close(cmd[0]);
         ::close(res[1]);
@@ -827,10 +831,13 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
     // The in-memory front is probed before the disk store, so within
     // one process a warm hit never touches the filesystem; disk hits
     // and fresh results are promoted into it for the next sweep.
+    // A profiled sweep bypasses the cache entirely: a cached result
+    // carries no attribution, and a profiled result's host timings
+    // must never be served as a plain run's.
     std::optional<ResultCache> cache;
     std::vector<std::pair<std::size_t, CellOutcome>> hits;
     std::vector<std::pair<std::size_t, CellKey>> probed;
-    if (!opts.cacheDir.empty()) {
+    if (!opts.cacheDir.empty() && !opts.profile) {
         cache.emplace(opts.cacheDir);
         MemoryResultCache &mem = processMemoryResultCache();
         std::deque<std::size_t> misses;
@@ -909,6 +916,23 @@ runSweep(const SweepSpec &spec, const SweepOptions &opts)
     }
     if (cache && opts.cacheMaxMb > 0)
         cache->trimToBytes(opts.cacheMaxMb * 1024 * 1024);
+    // Parent-side attribution: every profiled outcome (whatever
+    // execution path produced it — in-process, thread pool, or a fork
+    // worker's result line) lands in the process collector so the
+    // binary's --profile= folded-stack file covers the whole sweep.
+    if (opts.profile) {
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const CellOutcome &o = outcomes[i];
+            if (!o.ran || !o.ok || !o.result.profTicks)
+                continue;
+            prof::StageTimes st;
+            for (unsigned s = 0; s < prof::NumStages; ++s)
+                st.ns[s] = o.result.profStageNs[s];
+            st.ticks = o.result.profTicks;
+            prof::collector().add(spec.cell(i).name(), st,
+                                  o.result.profCellNs);
+        }
+    }
     return SweepResults(spec, std::move(outcomes));
 }
 

@@ -109,6 +109,16 @@ struct SweepOptions
      */
     std::string cacheDir;
     /**
+     * Attach the stage profiler (base/profile.hh) to every cell run:
+     * per-stage host-ns attribution lands in each RunResult's prof_*
+     * fields and, parent-side, in the process collector for folded
+     * output. Host observation only — simulated cycles and metrics
+     * are byte-identical — but the timer reads make host wall
+     * measurements meaningless, so a profiled sweep bypasses the
+     * result cache entirely (no probes, no stores).
+     */
+    bool profile = false;
+    /**
      * Progress callback, invoked in the parent as each cell outcome is
      * recorded (completion order under a worker pool; spec order
      * in-process). Long sweeps stream per-cell status through this.
@@ -267,7 +277,8 @@ MemoryResultCache &processMemoryResultCache();
  * path and the workers). Does not catch: a golden-model mismatch or
  * other fatal propagates to the caller.
  */
-CellOutcome runCell(const SweepCell &cell, ProgramCache &cache);
+CellOutcome runCell(const SweepCell &cell, ProgramCache &cache,
+                    bool profile = false);
 
 /** Execute the sweep per @p opts; outcomes merged in spec order. */
 SweepResults runSweep(const SweepSpec &spec, const SweepOptions &opts = {});

@@ -1,0 +1,87 @@
+#include "harness/perf_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svw::harness {
+
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+MannWhitneyResult
+mannWhitneyU(const std::vector<double> &a, const std::vector<double> &b)
+{
+    MannWhitneyResult res;
+    const std::size_t n1 = a.size(), n2 = b.size();
+    res.medianShift = median(a) - median(b);
+    if (n1 == 0 || n2 == 0)
+        return res;
+
+    // Rank the pooled sample with average ranks for ties.
+    struct Obs
+    {
+        double v;
+        bool fromA;
+    };
+    std::vector<Obs> pool;
+    pool.reserve(n1 + n2);
+    for (double v : a)
+        pool.push_back({v, true});
+    for (double v : b)
+        pool.push_back({v, false});
+    std::sort(pool.begin(), pool.end(),
+              [](const Obs &x, const Obs &y) { return x.v < y.v; });
+
+    const std::size_t n = pool.size();
+    double r1 = 0.0;         // rank sum of sample A
+    double tieTerm = 0.0;    // sum over tie groups of t^3 - t
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j < n && pool[j].v == pool[i].v)
+            ++j;
+        const double t = double(j - i);
+        // Average rank of the tied block (ranks are 1-based).
+        const double rank = 0.5 * (double(i + 1) + double(j));
+        for (std::size_t k = i; k < j; ++k)
+            if (pool[k].fromA)
+                r1 += rank;
+        if (t > 1.0)
+            tieTerm += t * t * t - t;
+        i = j;
+    }
+
+    res.u1 = r1 - 0.5 * double(n1) * double(n1 + 1);
+    res.u2 = double(n1) * double(n2) - res.u1;
+
+    const double mu = 0.5 * double(n1) * double(n2);
+    const double nn = double(n);
+    const double var = double(n1) * double(n2) / 12.0 *
+        ((nn + 1.0) - tieTerm / (nn * (nn - 1.0)));
+    if (var <= 0.0) {
+        // Every observation tied: no evidence of a shift.
+        res.z = 0.0;
+        res.p = 1.0;
+        return res;
+    }
+    // Continuity correction: shrink |U - mu| by 0.5 toward zero.
+    double d = res.u1 - mu;
+    if (d > 0.5)
+        d -= 0.5;
+    else if (d < -0.5)
+        d += 0.5;
+    else
+        d = 0.0;
+    res.z = d / std::sqrt(var);
+    res.p = std::erfc(std::fabs(res.z) / std::sqrt(2.0));
+    return res;
+}
+
+} // namespace svw::harness

@@ -94,11 +94,16 @@ goldenCompare(const RunRequest &req, const Core &core,
 RunResult
 runOne(const RunRequest &req, const Program &prog)
 {
+    const std::uint64_t cellT0 = req.profile ? prof::nowNs() : 0;
+    prof::StageTimes stageTimes;
+
     stats::StatRegistry reg;
     CoreParams params = buildParams(req.config);
     Core core(params, prog, reg);
     if (req.hook)
         core.perCycleHook = req.hook;
+    if (req.profile)
+        core.setStageProfiler(&stageTimes);
 
     const std::uint64_t maxCycles =
         req.maxCycles ? req.maxCycles : 100 * req.targetInsts + 1'000'000;
@@ -111,6 +116,12 @@ runOne(const RunRequest &req, const Program &prog)
         Interp golden(prog);
         golden.run(out.instructions);
         goldenCompare(req, core, out, golden, res);
+    }
+    if (req.profile) {
+        for (unsigned s = 0; s < prof::NumStages; ++s)
+            res.profStageNs[s] = stageTimes.ns[s];
+        res.profTicks = stageTimes.ticks;
+        res.profCellNs = prof::nowNs() - cellT0;
     }
     return res;
 }

@@ -12,6 +12,7 @@
 #include <functional>
 #include <string>
 
+#include "base/profile.hh"
 #include "func/interp.hh"
 #include "harness/config.hh"
 #include "prog/program.hh"
@@ -48,6 +49,14 @@ struct RunResult
     std::uint64_t branchSquashes = 0;
     std::uint64_t orderingSquashes = 0;
     std::uint64_t wrapDrains = 0;
+
+    // Self-profiler attribution (base/profile.hh), all zero unless
+    // the run was profiled (RunRequest::profile): host ns per stage,
+    // profiled ticks, and the cell's total host wall (stage time plus
+    // harness overhead — construction, golden check, extraction).
+    std::uint64_t profStageNs[prof::NumStages] = {};
+    std::uint64_t profTicks = 0;
+    std::uint64_t profCellNs = 0;
 };
 
 /** Run request. */
@@ -58,6 +67,8 @@ struct RunRequest
     std::uint64_t targetInsts = 100'000;
     std::uint64_t maxCycles = 0;   ///< 0 = auto (generous multiple)
     bool goldenCheck = true;
+    /** Attach the stage profiler (host-side only; cycles unchanged). */
+    bool profile = false;
     /** Optional per-cycle hook (invalidation injectors). */
     std::function<void(Core &)> hook;
 };

@@ -74,8 +74,20 @@ runResultToJson(const RunResult &r)
        << ",\"fsq_load_share\":" << jsonDouble(r.fsqLoadShare)
        << ",\"branch_squashes\":" << r.branchSquashes
        << ",\"ordering_squashes\":" << r.orderingSquashes
-       << ",\"wrap_drains\":" << r.wrapDrains
-       << "}";
+       << ",\"wrap_drains\":" << r.wrapDrains;
+    // Profile attribution keys ("prof_<stage>_ns") are emitted only
+    // for profiled runs: profiled results never enter the result
+    // cache, and unprofiled lines stay byte-identical to the pre-
+    // profiler wire format.
+    if (r.profTicks) {
+        for (unsigned s = 0; s < prof::NumStages; ++s) {
+            os << ",\"prof_" << prof::stageName(prof::Stage(s))
+               << "_ns\":" << r.profStageNs[s];
+        }
+        os << ",\"prof_ticks\":" << r.profTicks
+           << ",\"prof_cell_ns\":" << r.profCellNs;
+    }
+    os << "}";
     return os.str();
 }
 
@@ -294,6 +306,17 @@ parseValueInto(Cursor &c, const std::string &key, RunResult &r)
         return parseU64(c, r.orderingSquashes);
     if (key == "wrap_drains")
         return parseU64(c, r.wrapDrains);
+    if (key == "prof_ticks")
+        return parseU64(c, r.profTicks);
+    if (key == "prof_cell_ns")
+        return parseU64(c, r.profCellNs);
+    if (key.size() > 8 && key.compare(0, 5, "prof_") == 0 &&
+        key.compare(key.size() - 3, 3, "_ns") == 0) {
+        const std::string stage = key.substr(5, key.size() - 8);
+        for (unsigned s = 0; s < prof::NumStages; ++s)
+            if (stage == prof::stageName(prof::Stage(s)))
+                return parseU64(c, r.profStageNs[s]);
+    }
     return skipValue(c);  // unknown key: tolerate (forward compat)
 }
 
@@ -356,7 +379,7 @@ cellRecordToLine(const CellRecord &rec)
 static_assert(sizeof(CoreParams) == 280,
               "CoreParams changed: revisit coreParamsKeyText and the "
               "result-cache code version");
-static_assert(sizeof(RunResult) == 208,
+static_assert(sizeof(RunResult) == 288,
               "RunResult changed: update the JSON writer/parser and "
               "bump the result-cache code version");
 #endif

@@ -1,5 +1,6 @@
 #include "rle/integration_table.hh"
 
+#include "base/hostopt.hh"
 #include "base/intmath.hh"
 #include "base/logging.hh"
 
@@ -81,6 +82,7 @@ IntegrationTable::lruUnlink(ItEntry &e)
         lruTail = e.lruPrev;
     e.lruPrev = -1;
     e.lruNext = -1;
+    catUnlink(e);
 }
 
 void
@@ -94,6 +96,40 @@ IntegrationTable::lruAppend(ItEntry &e)
     else
         lruHead = i;
     lruTail = i;
+    catAppend(e);
+}
+
+void
+IntegrationTable::catUnlink(ItEntry &e)
+{
+    const int i = entryIndex(e);
+    int &head = e.loadKey ? loadHead : aluHead;
+    int &tail = e.loadKey ? loadTail : aluTail;
+    if (e.catPrev != -1)
+        table[e.catPrev].catNext = e.catNext;
+    else if (head == i)
+        head = e.catNext;
+    if (e.catNext != -1)
+        table[e.catNext].catPrev = e.catPrev;
+    else if (tail == i)
+        tail = e.catPrev;
+    e.catPrev = -1;
+    e.catNext = -1;
+}
+
+void
+IntegrationTable::catAppend(ItEntry &e)
+{
+    const int i = entryIndex(e);
+    int &head = e.loadKey ? loadHead : aluHead;
+    int &tail = e.loadKey ? loadTail : aluTail;
+    e.catPrev = tail;
+    e.catNext = -1;
+    if (tail != -1)
+        table[tail].catNext = i;
+    else
+        head = i;
+    tail = i;
 }
 
 void
@@ -126,6 +162,8 @@ IntegrationTable::insert(const ItKey &key, PhysRegIndex dst, SSN ssn,
 
     victim->valid = true;
     victim->key = key;
+    victim->loadKey = key.op == Opcode::Ld1 || key.op == Opcode::Ld2 ||
+                      key.op == Opcode::Ld4 || key.op == Opcode::Ld8;
     victim->dst = dst;
     victim->dstGen = rename.regs().generation(dst);
     victim->ssn = ssn;
@@ -185,31 +223,55 @@ IntegrationTable::releaseOnePinned(RenameState &rename)
     // loads, so they are worth keeping; ALU entries mostly serve squash
     // reuse and are cheap to regenerate.
     //
-    // The walk follows the intrusive LRU list oldest-first, so the first
-    // match in each category is that category's LRU minimum and the walk
-    // can stop at the first solo-pinned ALU entry — same victim as the
-    // historical whole-table scan, without touching every entry.
-    auto isLoadKey = [](const ItEntry &e) {
-        return e.key.op == Opcode::Ld1 || e.key.op == Opcode::Ld2 ||
-            e.key.op == Opcode::Ld4 || e.key.op == Opcode::Ld8;
-    };
-    ItEntry *soloAlu = nullptr;
-    ItEntry *soloLoad = nullptr;
-    ItEntry *any = nullptr;
-    for (int i = lruHead; i != -1; i = table[i].lruNext) {
-        ItEntry &e = table[i];
-        if (!any)
-            any = &e;
-        if (rename.regs().refCount(e.dst) == 1) {
-            if (!isLoadKey(e)) {
-                soloAlu = &e;
+    // Fast path: each category's own LRU list preserves the global LRU
+    // order filtered to that category, so "first solo-pinned entry of
+    // the ALU list" is exactly the combined walk's first solo-pinned
+    // ALU entry (likewise for loads), and "global LRU head" is the
+    // combined walk's fallback victim. Same victim for every state —
+    // profile-guided hot-loop work measured this walk at 37-41% of
+    // host time on RLE cells (it runs once per dispatch-stage pressure
+    // eviction, and the table is mostly load entries, which the
+    // combined walk had to step over to reach the first ALU victim).
+    ItEntry *victim = nullptr;
+    if (hostopt::legacy(hostopt::LegacyRleRelease)) {
+        // Legacy combined walk, kept for interleaved A/B measurement
+        // (bench/perf_ab --ab --legacy=rle_release).
+        ItEntry *soloAlu = nullptr;
+        ItEntry *soloLoad = nullptr;
+        ItEntry *any = nullptr;
+        for (int i = lruHead; i != -1; i = table[i].lruNext) {
+            ItEntry &e = table[i];
+            if (!any)
+                any = &e;
+            if (rename.regs().refCount(e.dst) == 1) {
+                if (!e.loadKey) {
+                    soloAlu = &e;
+                    break;
+                }
+                if (!soloLoad)
+                    soloLoad = &e;
+            }
+        }
+        victim = soloAlu ? soloAlu : (soloLoad ? soloLoad : any);
+    } else {
+        const PhysRegFile &f = rename.regs();
+        for (int i = aluHead; i != -1; i = table[i].catNext) {
+            if (f.refCount(table[i].dst) == 1) {
+                victim = &table[i];
                 break;
             }
-            if (!soloLoad)
-                soloLoad = &e;
         }
+        if (!victim) {
+            for (int i = loadHead; i != -1; i = table[i].catNext) {
+                if (f.refCount(table[i].dst) == 1) {
+                    victim = &table[i];
+                    break;
+                }
+            }
+        }
+        if (!victim && lruHead != -1)
+            victim = &table[lruHead];
     }
-    ItEntry *victim = soloAlu ? soloAlu : (soloLoad ? soloLoad : any);
     if (!victim)
         return false;
     ++pressureReleases;

@@ -60,6 +60,15 @@ struct ItEntry
     // walks candidates in LRU order instead of scanning the whole table.
     int lruPrev = -1;
     int lruNext = -1;
+    // Second intrusive LRU list, per release category (load/bypass
+    // entries vs ALU entries), maintained in lockstep with the global
+    // list. releaseOnePinned's category-priority walk runs over the
+    // short per-category list instead of the whole LRU chain; the
+    // classification is cached here so the walk never re-decodes
+    // opcodes.
+    bool loadKey = false;   ///< key.op is a load opcode
+    int catPrev = -1;
+    int catNext = -1;
 };
 
 /** Set-associative integration table. */
@@ -125,6 +134,10 @@ class IntegrationTable
     std::uint64_t lruCounter = 0;
     int lruHead = -1;  ///< oldest-touched valid entry
     int lruTail = -1;  ///< newest-touched valid entry
+    // Per-category LRU lists (same order as the global list, filtered
+    // by ItEntry::loadKey).
+    int aluHead = -1, aluTail = -1;
+    int loadHead = -1, loadTail = -1;
 
     unsigned indexOf(const ItKey &key) const;
     static bool keyEq(const ItKey &a, const ItKey &b);
@@ -136,6 +149,8 @@ class IntegrationTable
     }
     void lruUnlink(ItEntry &e);
     void lruAppend(ItEntry &e);
+    void catUnlink(ItEntry &e);
+    void catAppend(ItEntry &e);
     void lruTouch(ItEntry &e)
     {
         lruUnlink(e);

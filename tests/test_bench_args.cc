@@ -165,6 +165,32 @@ TEST(BenchArgsDeath, RecordTraceNeedsAPathAndAWorkload)
                 "--record-trace requires a single workload");
 }
 
+TEST(BenchArgsDeath, ProfileFlagValidatesItsPath)
+{
+    EXPECT_EXIT(parse({"--profile="}), ::testing::ExitedWithCode(2),
+                "--profile needs a file path");
+    // Fail fast on an uncreatable path — before the sweep, not after.
+    EXPECT_EXIT(parse({"--profile=/nonexistent-dir/p.folded"}),
+                ::testing::ExitedWithCode(2), "cannot create");
+}
+
+TEST(BenchArgsDeath, ProfileFlagArmsAndPlumbs)
+{
+    // Success path runs inside the death fork so the armed atexit
+    // writer and process-global output path never leak into the other
+    // tests in this binary.
+    const std::string path =
+        ::testing::TempDir() + "bench_args_profile.folded";
+    EXPECT_EXIT(
+        {
+            const BenchArgs a = parse({"--profile=" + path});
+            const bool ok = a.profile && sweepOptions(a).profile &&
+                svw::prof::foldedOutputPath() == path;
+            std::exit(ok ? 0 : 1);
+        },
+        ::testing::ExitedWithCode(0), "");
+}
+
 TEST(BenchArgsDeath, RecordTraceRecordsAndExitsZero)
 {
     // Success path: records via the interpreter and exits 0 before any
