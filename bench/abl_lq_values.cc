@@ -18,29 +18,8 @@ main(int argc, char **argv)
 {
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::suiteNames());
-
-    ExperimentConfig blind;
-    blind.machine = Machine::EightWide;
-    blind.opt = OptMode::Baseline;
-    auto aware = blind;
-    aware.lqValueCheck = true;
-
-    SweepSpec spec("abl_lq_values");
-    for (const auto &w : suite) {
-        SweepCell c;
-        c.group = w;
-        c.workload = w;
-        c.targetInsts = args.insts;
-        c.label = "blind";
-        c.config = blind;
-        c.baseline = true;
-        spec.add(c);
-        c.label = "value-aware";
-        c.config = aware;
-        c.baseline = false;
-        spec.add(c);
-    }
-    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const SweepSpec spec = ablLqValuesSpec(suite, args.insts);
+    const SweepResults res = runBenchSweep(spec, args);
     const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable tbl("Value-aware LQ search ablation (baseline machine)",

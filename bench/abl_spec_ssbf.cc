@@ -18,29 +18,8 @@ main(int argc, char **argv)
 {
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::fig8Names());
-
-    ExperimentConfig spec8;
-    spec8.machine = Machine::EightWide;
-    spec8.opt = OptMode::Ssq;
-    spec8.svw = SvwMode::Upd;
-    spec8.speculativeSsbfUpdate = true;
-    auto atomic = spec8;
-    atomic.speculativeSsbfUpdate = false;
-
-    SweepSpec spec("abl_spec_ssbf");
-    for (const auto &w : suite) {
-        SweepCell c;
-        c.group = w;
-        c.workload = w;
-        c.targetInsts = args.insts;
-        c.label = "speculative";
-        c.config = spec8;
-        spec.add(c);
-        c.label = "atomic";
-        c.config = atomic;
-        spec.add(c);
-    }
-    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const SweepSpec spec = ablSpecSsbfSpec(suite, args.insts);
+    const SweepResults res = runBenchSweep(spec, args);
     const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable tbl("Speculative vs atomic SSBF update (SSQ+SVW+UPD)",

@@ -19,27 +19,10 @@ main(int argc, char **argv)
     const BenchArgs args = parseArgs(argc, argv);
     const std::vector<std::string> suite =
         selectSuite(args, workloads::fig8Names());
-    const unsigned widths[] = {8, 10, 12, 16, 64};
     const std::vector<std::string> cols = {"8b", "10b", "12b", "16b",
                                            "64b"};
-
-    SweepSpec spec("abl_ssn_width");
-    for (const auto &w : suite) {
-        for (std::size_t i = 0; i < cols.size(); ++i) {
-            SweepCell c;
-            c.group = w;
-            c.label = cols[i];
-            c.workload = w;
-            c.targetInsts = args.insts;
-            c.config.machine = Machine::EightWide;
-            c.config.opt = OptMode::Ssq;
-            c.config.svw = SvwMode::Upd;
-            c.config.ssnBits = widths[i];
-            c.baseline = widths[i] == 64;  // slowdown reference
-            spec.add(c);
-        }
-    }
-    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const SweepSpec spec = ablSsnWidthSpec(suite, args.insts);
+    const SweepResults res = runBenchSweep(spec, args);
     const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable slow("SSN width ablation: % slowdown vs 64-bit SSNs "

@@ -17,30 +17,8 @@ main(int argc, char **argv)
 {
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::suiteNames());
-
-    SweepSpec spec("abl_store_ports");
-    for (const auto &w : suite) {
-        for (OptMode opt : {OptMode::Baseline, OptMode::Ssq}) {
-            const char *tag = opt == OptMode::Baseline ? "base" : "ssq";
-            ExperimentConfig cfg;
-            cfg.machine = Machine::EightWide;
-            cfg.opt = opt;
-            cfg.svw = opt == OptMode::Baseline ? SvwMode::None
-                                               : SvwMode::Upd;
-            for (unsigned ports = 1; ports <= 2; ++ports) {
-                SweepCell c;
-                c.group = w;
-                c.label = std::string(tag) + "-" +
-                    std::to_string(ports) + "p";
-                c.workload = w;
-                c.targetInsts = args.insts;
-                cfg.dcachePorts = ports;
-                c.config = cfg;
-                spec.add(c);
-            }
-        }
-    }
-    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const SweepSpec spec = ablStorePortsSpec(suite, args.insts);
+    const SweepResults res = runBenchSweep(spec, args);
     const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable tbl("Store retirement port ablation: % speedup of 2 ports "

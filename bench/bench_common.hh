@@ -2,14 +2,21 @@
  * @file
  * Shared scaffolding for the per-figure bench binaries: command-line
  * sizing and sweep-engine plumbing. The binaries only *declare* their
- * sweeps (harness/sweep.hh) and format tables; execution — including
- * the --jobs worker pool and --shard splits — lives in
- * harness/executor.hh.
+ * sweeps (harness/sweep.hh, builders in harness/figures.hh) and format
+ * tables; execution — including the --jobs worker pool and --shard
+ * splits — lives in the sweep engine (harness/session.hh), which every
+ * binary drives through runBenchSweep below. The sweepd service daemon
+ * is a sibling client of the same session API.
  *
  * Every binary accepts:
  *   --insts=N    dynamic-instruction target per run (default 100000)
  *   --quick      reduce to 20000 instructions per run
  *   --bench=X    restrict to one workload
+ *   --families=paper|synth|all
+ *                which workload rows to sweep: the figure's paper
+ *                suite (default; output byte-identical to before the
+ *                flag existed), the synthetic generator suite
+ *                ("synth:<kind>:1" per kind), or both
  *   --workload=X restrict to one workload, accepting the full registry
  *                grammar — curated names, "synth:<kind>:<seed>[:k=v]"
  *                generator recipes, and "trace:<file>" replays — and
@@ -43,6 +50,15 @@
  *   --cache-max-mb=N  after the sweep, LRU-trim the cache directory
  *                to at most N MB (oldest access stamp first; 0 =
  *                unbounded, the default)
+ *   --mem-cache-max-mb=N  cap the process-wide in-memory result cache
+ *                at N MB, evicting least-recently-used entries
+ *                (default 512; 0 = unbounded). Matters for long-lived
+ *                processes (sweepd); a batch binary rarely hits it
+ *   --emit-cells=F  after the sweep, write one lossless RunResult JSON
+ *                line (serialize.hh) per successful cell, in spec
+ *                order, to file F ("-" = stdout) — the same wire
+ *                format sweepd streams, so CI can diff daemon against
+ *                CLI byte for byte
  *   --progress   stream one "progress: ..." line per completed cell
  *                to stderr (sweep_driver passes this to its shards and
  *                forwards the lines live)
@@ -75,6 +91,8 @@
 #include "harness/figures.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/serialize.hh"
+#include "harness/session.hh"
 #include "harness/sweep.hh"
 #include "prog/trace.hh"
 #include "prog/workloads/workloads.hh"
@@ -85,6 +103,7 @@ struct BenchArgs
 {
     std::uint64_t insts = 100'000;
     std::string only;
+    harness::Families families = harness::Families::Paper;
     unsigned jobs = 1;
     unsigned threads = 0;   ///< thread-pool width; 0 = off
     unsigned batch = 0;     ///< co-simulation lanes; 0 = auto, 1 = off
@@ -93,6 +112,9 @@ struct BenchArgs
     std::string cacheDir;   ///< empty = result caching off
     bool noCache = false;   ///< --no-cache: override --cache-dir
     std::uint64_t cacheMaxMb = 0;  ///< LRU cache bound; 0 = unbounded
+    /** In-memory result cache cap in MB; 0 = unbounded. */
+    std::uint64_t memCacheMaxMb = 512;
+    std::string emitCells;  ///< --emit-cells target path, if any
     bool progress = false;  ///< stream per-cell completion to stderr
     std::string recordTrace;  ///< --record-trace target path, if any
     bool profile = false;   ///< --profile=: stage profiler armed
@@ -158,6 +180,15 @@ parseArgs(int argc, char **argv)
                              "error: --record-trace needs a file path\n");
                 std::exit(2);
             }
+        } else if (a.rfind("--families=", 0) == 0) {
+            const std::string fam = a.substr(11);
+            if (!harness::parseFamilies(fam, args.families)) {
+                std::fprintf(stderr,
+                             "error: bad value '%s' for --families"
+                             " (want paper|synth|all)\n",
+                             fam.c_str());
+                std::exit(2);
+            }
         } else if (a.rfind("--jobs=", 0) == 0)
             args.jobs = parseFlagUnsigned(a.substr(7), "--jobs");
         else if (a.rfind("--threads=", 0) == 0)
@@ -182,6 +213,16 @@ parseArgs(int argc, char **argv)
         } else if (a.rfind("--cache-max-mb=", 0) == 0) {
             args.cacheMaxMb =
                 parseFlagNumber(a.substr(15), "--cache-max-mb");
+        } else if (a.rfind("--mem-cache-max-mb=", 0) == 0) {
+            args.memCacheMaxMb =
+                parseFlagNumber(a.substr(19), "--mem-cache-max-mb");
+        } else if (a.rfind("--emit-cells=", 0) == 0) {
+            args.emitCells = a.substr(13);
+            if (args.emitCells.empty()) {
+                std::fprintf(stderr,
+                             "error: --emit-cells needs a file path\n");
+                std::exit(2);
+            }
         } else if (a == "--progress") {
             args.progress = true;
         } else if (a.rfind("--profile=", 0) == 0) {
@@ -206,11 +247,13 @@ parseArgs(int argc, char **argv)
             std::fprintf(stderr,
                          "error: unknown arg %s\n"
                          "usage: %s [--insts=N] [--quick] [--bench=X]"
-                         " [--workload=X] [--record-trace=F]"
+                         " [--workload=X] [--families=paper|synth|all]"
+                         " [--record-trace=F]"
                          " [--jobs=N] [--threads=N] [--batch=K]"
                          " [--shard=i/n]"
                          " [--cache-dir=D] [--no-cache]"
-                         " [--cache-max-mb=N] [--progress]"
+                         " [--cache-max-mb=N] [--mem-cache-max-mb=N]"
+                         " [--emit-cells=F] [--progress]"
                          " [--profile=F]\n",
                          a.c_str(), argv[0]);
             std::exit(2);
@@ -270,34 +313,89 @@ sweepOptions(const BenchArgs &args)
         opts.cacheDir = args.cacheDir;
         opts.cacheMaxMb = args.cacheMaxMb;
     }
-    if (args.progress) {
-        // One stderr line per completed cell, streamed as outcomes
-        // arrive. sweep_driver tees shard output live and forwards
-        // lines with this prefix, so a multi-shard sweep shows
-        // per-cell progress instead of going dark until merge time.
-        opts.onCellDone =
-            [](std::size_t idx, const harness::CellOutcome &o) {
-                const char *how = !o.ok ? "FAIL"
-                                  : o.cached ? "cached"
-                                             : "ok";
-                // A failed cell has an empty result; the index still
-                // identifies it (reportFailures prints the name).
-                std::fprintf(stderr,
-                             "progress: cell %zu %s/%s %s (%.3fs)\n",
-                             idx, o.result.workload.c_str(),
-                             o.result.config.c_str(), how, o.seconds);
-                std::fflush(stderr);
-            };
-    }
     return opts;
+}
+
+/**
+ * The --progress event consumer: one stderr line per completed or
+ * cache-served cell, streamed as session events arrive. sweep_driver
+ * tees shard output live and forwards lines with this prefix, so a
+ * multi-shard sweep shows per-cell progress instead of going dark
+ * until merge time.
+ */
+inline harness::SessionCallback
+progressCallback()
+{
+    return [](const harness::CellEvent &ev) {
+        if (ev.kind == harness::CellEventKind::Started)
+            return;
+        const harness::CellOutcome &o = *ev.outcome;
+        const char *how = !o.ok ? "FAIL"
+                          : o.cached ? "cached"
+                                     : "ok";
+        // A failed cell has an empty result; the index still
+        // identifies it (reportFailures prints the name).
+        std::fprintf(stderr,
+                     "progress: cell %zu %s/%s %s (%.3fs)\n",
+                     ev.index, o.result.workload.c_str(),
+                     o.result.config.c_str(), how, o.seconds);
+        std::fflush(stderr);
+    };
+}
+
+/** Write one lossless RunResult JSON line per successful cell, in
+ * spec order ("-" = stdout) — the --emit-cells post-pass. */
+inline void
+emitCellLines(const std::string &path, const harness::SweepResults &res)
+{
+    std::FILE *f =
+        path == "-" ? stdout : std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "error: --emit-cells: cannot create '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    for (std::size_t i = 0; i < res.spec().size(); ++i) {
+        const harness::CellOutcome &o = res.outcome(i);
+        if (o.ok)
+            std::fprintf(f, "%s\n",
+                         harness::runResultToJson(o.result).c_str());
+    }
+    if (f != stdout)
+        std::fclose(f);
+    else
+        std::fflush(f);
+}
+
+/**
+ * Run a bench sweep through the session API: cap the process-wide
+ * in-memory result cache, open a SweepSession, stream --progress
+ * lines from its event callback, and honor --emit-cells. This is the
+ * whole execution path of every figure binary; sweepd drives the same
+ * session API incrementally.
+ */
+inline harness::SweepResults
+runBenchSweep(const harness::SweepSpec &spec, const BenchArgs &args)
+{
+    harness::processMemoryResultCache().setMaxBytes(
+        args.memCacheMaxMb * 1024ull * 1024ull);
+    harness::SweepSession session(spec, sweepOptions(args));
+    harness::SessionCallback cb;
+    if (args.progress)
+        cb = progressCallback();
+    harness::SweepResults res = session.run(cb);
+    if (!args.emitCells.empty())
+        emitCellLines(args.emitCells, res);
+    return res;
 }
 
 inline std::vector<std::string>
 selectSuite(const BenchArgs &args, const std::vector<std::string> &base)
 {
-    if (args.only.empty())
-        return base;
-    return {args.only};
+    if (!args.only.empty())
+        return {args.only};
+    return harness::familySuite(args.families, base);
 }
 
 /**

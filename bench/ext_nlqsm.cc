@@ -16,8 +16,6 @@
 
 #include "bench_common.hh"
 
-#include "base/random.hh"
-
 using namespace svw;
 using namespace svw::bench;
 using namespace svw::harness;
@@ -28,35 +26,8 @@ main(int argc, char **argv)
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::fig8Names());
     const Cycle intervals[] = {200, 1000, 5000};
-
-    SweepSpec spec("ext_nlqsm");
-    for (const auto &w : suite) {
-        for (Cycle interval : intervals) {
-            SweepCell c;
-            c.group = w;
-            c.label = "inv@" + std::to_string(interval);
-            c.workload = w;
-            c.targetInsts = args.insts;
-            c.config.machine = Machine::EightWide;
-            c.config.opt = OptMode::Nlq;
-            c.config.svw = SvwMode::Upd;
-            c.config.nlqsm = true;
-
-            // Invalidation injector: every `interval` cycles another
-            // agent "writes" (silently) a pseudo-random data line.
-            auto rng = std::make_shared<Random>(0x5111d + interval);
-            c.hook = [rng, interval](Core &core) {
-                if (core.cycle() == 0 || core.cycle() % interval != 0)
-                    return;
-                const Addr addr = 0x10000 +
-                    (rng->nextBounded(1 << 14) & ~Addr(7));
-                const std::uint64_t v = core.memory().read(addr, 8);
-                core.externalStore(addr, 8, v);  // silent external write
-            };
-            spec.add(c);
-        }
-    }
-    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const SweepSpec spec = extNlqsmSpec(suite, args.insts);
+    const SweepResults res = runBenchSweep(spec, args);
     const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable tbl("NLQ-SM extension: marked%% / re-executed%% under an "

@@ -22,31 +22,8 @@ main(int argc, char **argv)
 {
     const BenchArgs args = parseArgs(argc, argv);
     const auto suite = selectSuite(args, workloads::suiteNames());
-
-    SweepSpec spec("ext_svw_replace");
-    for (const auto &w : suite) {
-        for (OptMode opt : {OptMode::Nlq, OptMode::Ssq}) {
-            const char *tag = opt == OptMode::Nlq ? "nlq" : "ssq";
-            ExperimentConfig rex;
-            rex.machine = Machine::EightWide;
-            rex.opt = opt;
-            rex.svw = SvwMode::Upd;
-            auto repl = rex;
-            repl.svwReplace = true;
-
-            SweepCell c;
-            c.group = w;
-            c.workload = w;
-            c.targetInsts = args.insts;
-            c.label = std::string(tag) + "-rex";
-            c.config = rex;
-            spec.add(c);
-            c.label = std::string(tag) + "-repl";
-            c.config = repl;
-            spec.add(c);
-        }
-    }
-    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const SweepSpec spec = extSvwReplaceSpec(suite, args.insts);
+    const SweepResults res = runBenchSweep(spec, args);
     const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable tbl("SVW as re-execution replacement (section 6): "

@@ -25,7 +25,7 @@ main(int argc, char **argv)
     const auto suite = selectSuite(args, workloads::suiteNames());
 
     const SweepSpec spec = fig5Spec(suite, args.insts);
-    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const SweepResults res = runBenchSweep(spec, args);
     const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable rex("Figure 5 (top): NLQ-LS % loads re-executed",

@@ -24,7 +24,7 @@ main(int argc, char **argv)
     const auto suite = selectSuite(args, workloads::suiteNames());
 
     const SweepSpec spec = fig7Spec(suite, args.insts);
-    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const SweepResults res = runBenchSweep(spec, args);
     const bool sweepFailed = reportFailures(res) != 0;
 
     FigureTable rex("Figure 7 (top): RLE % loads re-executed",

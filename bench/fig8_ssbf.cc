@@ -24,7 +24,7 @@ main(int argc, char **argv)
     const auto suite = selectSuite(args, workloads::fig8Names());
 
     const SweepSpec spec = fig8Spec(suite, args.insts);
-    const SweepResults res = runSweep(spec, sweepOptions(args));
+    const SweepResults res = runBenchSweep(spec, args);
     const bool sweepFailed = reportFailures(res) != 0;
 
     const std::vector<std::string> cols = {"128", "512", "2048", "Bloom",

@@ -107,8 +107,10 @@ main(int argc, char **argv)
     // completion wheel and SQ/SSQ search differently from gzip/mcf.
     // Two configs keep the addition cheap: the conventional baseline
     // and SSQ+SVW (the hot rex path). Skipped when --bench/--workload
-    // restricts the suite (the restriction already names the cells).
-    if (args.only.empty()) {
+    // restricts the suite (the restriction already names the cells)
+    // and when --families already pulls in the synth rows (duplicate
+    // cell names would collide).
+    if (args.only.empty() && args.families == Families::Paper) {
         const std::vector<std::string> synthSuite = {
             "synth:mix:1", "synth:hashjoin:3", "synth:chase:7"};
         for (const auto &w : synthSuite) {

@@ -150,6 +150,8 @@ struct Shard
     int logFd = -1;
     int errFd = -1;
     std::string buf;
+    bool reaped = false;  ///< pumpShardStderr collected the status
+    int status = -1;      ///< exit status once reaped
 };
 
 /**
@@ -176,6 +178,12 @@ relayLine(const Shard &s, unsigned shard, const std::string &line)
  * concurrently, so this multiplexes with poll rather than draining
  * them in order). Lines are relayed as they complete; a final
  * unterminated fragment is flushed with a newline appended.
+ *
+ * A shard is reaped the moment its stderr hits EOF, and a failure is
+ * announced on stderr right then — a long multi-shard run (or a log
+ * follower on a daemon-era box) sees "# shard i/n FAILED" at failure
+ * time, not minutes later after every sibling finishes. The merge
+ * pass re-simulates a failed shard's cells, hence "(resimulated)".
  */
 void
 pumpShardStderr(std::vector<Shard> &procs)
@@ -215,6 +223,14 @@ pumpShardStderr(std::vector<Shard> &procs)
                 s.buf.clear();
                 ::close(s.errFd);
                 s.errFd = -1;
+                s.status = waitStatus(s.pid);
+                s.reaped = true;
+                if (s.status != 0) {
+                    std::fprintf(stderr,
+                                 "# shard %u/%zu FAILED (resimulated)\n",
+                                 owner[k], procs.size());
+                    std::fflush(stderr);
+                }
             }
         }
     }
@@ -441,8 +457,9 @@ main(int argc, char **argv)
 
     unsigned failedShards = 0;
     for (unsigned i = 0; i < shards; ++i) {
-        const int st =
-            procs[i].pid >= 0 ? waitStatus(procs[i].pid) : -1;
+        const int st = procs[i].reaped ? procs[i].status
+                       : procs[i].pid >= 0 ? waitStatus(procs[i].pid)
+                                           : -1;
         if (procs[i].logFd >= 0)
             ::close(procs[i].logFd);
         if (st != 0) {

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * sweepd — the long-lived sweep service daemon. Binds an HTTP/1.1
+ * endpoint (service/server.hh) and serves sweep sessions over the
+ * process-wide ProgramCache / MemoryResultCache / optional disk
+ * ResultCache, so repeated figure requests are served warm without
+ * simulating. SIGTERM/SIGINT drain gracefully: in-flight sessions
+ * finish streaming, new connections are refused, then the process
+ * exits 0.
+ *
+ *   sweepd [--port=N] [--bind=ADDR] [--cache-dir=D]
+ *          [--mem-cache-max-mb=N] [--quiet]
+ *
+ * Drive it with curl:
+ *   curl -s -d 'figure=fig5&quick=1' http://127.0.0.1:8573/sweep
+ *   curl -s http://127.0.0.1:8573/status
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <exception>
+
+#include "service/server.hh"
+
+namespace {
+
+svw::service::SweepServer *gServer = nullptr;
+
+extern "C" void
+handleStopSignal(int)
+{
+    if (gServer)
+        gServer->requestStop();  // async-signal-safe (pipe write)
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const svw::service::SweepdOptions opts =
+        svw::service::parseSweepdArgs(argc, argv);
+    try {
+        svw::service::SweepServer server(opts);
+        gServer = &server;
+
+        struct sigaction sa{};
+        sa.sa_handler = handleStopSignal;
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+
+        std::fprintf(stderr, "sweepd: listening on %s:%u\n",
+                     opts.bindAddr.c_str(), server.port());
+        server.run();
+        std::fprintf(stderr, "sweepd: drained after %llu session(s);"
+                             " exiting\n",
+                     static_cast<unsigned long long>(
+                         server.sessionsServed()));
+        gServer = nullptr;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

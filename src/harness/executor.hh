@@ -1,10 +1,16 @@
 /**
  * @file
- * Sweep executor: runs a SweepSpec's cells in-process (--jobs=1),
- * across a pool of forked worker processes (--jobs=N), or across a
- * pool of worker threads in one address space (--threads=N), with
- * optional cross-machine sharding (--shard=i/n), and merges per-cell
- * results in spec order.
+ * Sweep executor primitives: execution options, the per-cell runner
+ * (runCell), the process-wide ProgramCache and in-memory result-cache
+ * front, and the legacy one-shot runSweep entry point. Orchestration —
+ * shard selection, cache probing, unit planning, the sequential /
+ * thread-pool / fork-pool paths, and the streaming per-cell event API
+ * — lives in harness/session.hh (SweepSession); runSweep is a thin
+ * wrapper that opens a session and runs it to completion. A sweep runs
+ * in-process (--jobs=1), across a pool of forked worker processes
+ * (--jobs=N), or across a pool of worker threads in one address space
+ * (--threads=N), with optional cross-machine sharding (--shard=i/n),
+ * and merges per-cell results in spec order.
  *
  * Worker protocol (docs/ARCHITECTURE.md "Sweep engine"): the parent
  * forks N workers after the spec is built (so cells' hooks and configs
@@ -49,6 +55,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -60,6 +67,11 @@
 #include "prog/program.hh"
 
 namespace svw::harness {
+
+/** Default MemoryResultCache byte cap: generous for a batch binary's
+ * handful of sweeps, finite for a daemon (--mem-cache-max-mb). */
+inline constexpr std::uint64_t memoryResultCacheDefaultMaxBytes =
+    512ull * 1024 * 1024;
 
 /** How to execute a sweep. */
 struct SweepOptions
@@ -108,6 +120,14 @@ struct SweepOptions
      * sweep only simulates changed cells.
      */
     std::string cacheDir;
+    /**
+     * Probe and populate the process-wide in-memory result-cache front
+     * even with no cacheDir (sweepd: warm repeat requests must
+     * simulate nothing without the daemon ever touching disk). With a
+     * cacheDir set the memory front is always active; this flag adds
+     * the disk-less mode.
+     */
+    bool memCache = false;
     /**
      * Attach the stage profiler (base/profile.hh) to every cell run:
      * per-stage host-ns attribution lands in each RunResult's prof_*
@@ -234,27 +254,46 @@ ProgramCache &processProgramCache();
  * miss, never a wrong hit). runSweep probes it before the disk store,
  * so within one process a warm hit never touches the filesystem, and
  * every disk hit or fresh result is promoted so the *next* sweep in
- * this process (bench binaries run several; a future sweepd runs
- * thousands) is served from memory. Entries are valid independent of
- * which --cache-dir they came from: a cell's RunResult is a pure
- * function of its key material, which already embeds the code-version
- * stamp. Only consulted when a sweep runs with a cacheDir — caching
- * stays opt-in. Thread-safe (one mutex; probes happen on the dealing
- * thread, so contention is nil).
+ * this process (bench binaries run several; sweepd runs thousands) is
+ * served from memory. Entries are valid independent of which
+ * --cache-dir they came from: a cell's RunResult is a pure function
+ * of its key material, which already embeds the code-version stamp.
+ * Only consulted when a sweep runs with a cacheDir or opts into the
+ * memory front (SweepOptions::memCache) — caching stays opt-in.
+ * Thread-safe (one mutex; probes happen on the dealing thread, so
+ * contention is nil).
+ *
+ * Bounded: the cache LRU-evicts once its estimated footprint exceeds
+ * setMaxBytes (default memoryResultCacheDefaultMaxBytes — generous
+ * for a batch binary, but a hard cap so a long-lived daemon serving
+ * an unbounded stream of distinct cells cannot grow without limit).
+ * get() refreshes recency; put() inserts at the front and evicts from
+ * the tail. The newest entry is never evicted, so a just-stored
+ * result can always be served back.
  */
 class MemoryResultCache
 {
   public:
-    /** @return true and fill @p out on a verified hit. */
+    /** @return true and fill @p out on a verified hit (refreshes the
+     * entry's LRU recency). */
     bool get(const CellKey &key, RunResult &out) const;
 
-    /** Insert or overwrite @p key's entry. */
+    /** Insert or overwrite @p key's entry, then LRU-evict down to the
+     * byte cap. */
     void put(const CellKey &key, const RunResult &r);
 
     std::size_t entries() const;
+    /** Estimated resident bytes of all entries. */
+    std::size_t bytes() const;
     /** Served (verified) hits since process start / clear(). */
     std::uint64_t hits() const;
-    /** Drop everything (test isolation). */
+    /** Entries LRU-evicted since process start / clear(). */
+    std::uint64_t evictions() const;
+    /** Set the byte cap (--mem-cache-max-mb); 0 = unbounded. Evicts
+     * immediately if the cache is already over the new cap. */
+    void setMaxBytes(std::uint64_t maxBytes);
+    std::uint64_t maxBytes() const;
+    /** Drop everything (test isolation); keeps the configured cap. */
     void clear();
 
   private:
@@ -262,11 +301,21 @@ class MemoryResultCache
     {
         std::string material;
         RunResult result;
+        std::list<std::uint64_t>::iterator lru; ///< slot in lru_
+        std::size_t bytes = 0;
     };
+
+    std::size_t entryBytes(const Entry &e) const;
+    void evictOverCapLocked();
 
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, Entry> entries_;
+    /** Key hashes, most recently used first. */
+    mutable std::list<std::uint64_t> lru_;
+    std::size_t bytes_ = 0;
+    std::uint64_t maxBytes_ = memoryResultCacheDefaultMaxBytes;
     mutable std::uint64_t hits_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 /** The process-wide in-memory result-cache front. */

@@ -1,6 +1,11 @@
 #include "harness/figures.hh"
 
+#include <memory>
+
+#include "base/random.hh"
+#include "cpu/core.hh"
 #include "prog/synth.hh"
+#include "prog/workloads/workloads.hh"
 
 namespace svw::harness {
 
@@ -136,6 +141,142 @@ fig8Spec(const std::vector<std::string> &suite, std::uint64_t insts)
 }
 
 SweepSpec
+ablLqValuesSpec(const std::vector<std::string> &suite, std::uint64_t insts)
+{
+    ExperimentConfig blind;
+    blind.machine = Machine::EightWide;
+    blind.opt = OptMode::Baseline;
+    auto aware = blind;
+    aware.lqValueCheck = true;
+
+    SweepSpec spec("abl_lq_values");
+    for (const auto &w : suite) {
+        spec.add(cell(w, insts, "blind", blind, true));
+        spec.add(cell(w, insts, "value-aware", aware));
+    }
+    return spec;
+}
+
+SweepSpec
+ablSpecSsbfSpec(const std::vector<std::string> &suite, std::uint64_t insts)
+{
+    ExperimentConfig spec8;
+    spec8.machine = Machine::EightWide;
+    spec8.opt = OptMode::Ssq;
+    spec8.svw = SvwMode::Upd;
+    spec8.speculativeSsbfUpdate = true;
+    auto atomic = spec8;
+    atomic.speculativeSsbfUpdate = false;
+
+    SweepSpec spec("abl_spec_ssbf");
+    for (const auto &w : suite) {
+        spec.add(cell(w, insts, "speculative", spec8));
+        spec.add(cell(w, insts, "atomic", atomic));
+    }
+    return spec;
+}
+
+SweepSpec
+ablSsnWidthSpec(const std::vector<std::string> &suite, std::uint64_t insts)
+{
+    const unsigned widths[] = {8, 10, 12, 16, 64};
+
+    SweepSpec spec("abl_ssn_width");
+    for (const auto &w : suite) {
+        for (unsigned bits : widths) {
+            ExperimentConfig cfg;
+            cfg.machine = Machine::EightWide;
+            cfg.opt = OptMode::Ssq;
+            cfg.svw = SvwMode::Upd;
+            cfg.ssnBits = bits;
+            // 64-bit SSNs are the slowdown reference column.
+            spec.add(cell(w, insts, std::to_string(bits) + "b", cfg,
+                          bits == 64));
+        }
+    }
+    return spec;
+}
+
+SweepSpec
+ablStorePortsSpec(const std::vector<std::string> &suite, std::uint64_t insts)
+{
+    SweepSpec spec("abl_store_ports");
+    for (const auto &w : suite) {
+        for (OptMode opt : {OptMode::Baseline, OptMode::Ssq}) {
+            const char *tag = opt == OptMode::Baseline ? "base" : "ssq";
+            ExperimentConfig cfg;
+            cfg.machine = Machine::EightWide;
+            cfg.opt = opt;
+            cfg.svw = opt == OptMode::Baseline ? SvwMode::None
+                                               : SvwMode::Upd;
+            for (unsigned ports = 1; ports <= 2; ++ports) {
+                cfg.dcachePorts = ports;
+                spec.add(cell(w, insts,
+                              std::string(tag) + "-" +
+                                  std::to_string(ports) + "p",
+                              cfg));
+            }
+        }
+    }
+    return spec;
+}
+
+SweepSpec
+extNlqsmSpec(const std::vector<std::string> &suite, std::uint64_t insts)
+{
+    const Cycle intervals[] = {200, 1000, 5000};
+
+    SweepSpec spec("ext_nlqsm");
+    for (const auto &w : suite) {
+        for (Cycle interval : intervals) {
+            ExperimentConfig cfg;
+            cfg.machine = Machine::EightWide;
+            cfg.opt = OptMode::Nlq;
+            cfg.svw = SvwMode::Upd;
+            cfg.nlqsm = true;
+            SweepCell c =
+                cell(w, insts, "inv@" + std::to_string(interval), cfg);
+
+            // Invalidation injector: every `interval` cycles another
+            // agent "writes" (silently) a pseudo-random data line.
+            auto rng = std::make_shared<Random>(0x5111d + interval);
+            c.hook = [rng, interval](Core &core) {
+                if (core.cycle() == 0 || core.cycle() % interval != 0)
+                    return;
+                const Addr addr = 0x10000 +
+                    (rng->nextBounded(1 << 14) & ~Addr(7));
+                const std::uint64_t v = core.memory().read(addr, 8);
+                core.externalStore(addr, 8, v);  // silent external write
+            };
+            spec.add(c);
+        }
+    }
+    return spec;
+}
+
+SweepSpec
+extSvwReplaceSpec(const std::vector<std::string> &suite,
+                  std::uint64_t insts)
+{
+    SweepSpec spec("ext_svw_replace");
+    for (const auto &w : suite) {
+        for (OptMode opt : {OptMode::Nlq, OptMode::Ssq}) {
+            const char *tag = opt == OptMode::Nlq ? "nlq" : "ssq";
+            ExperimentConfig rex;
+            rex.machine = Machine::EightWide;
+            rex.opt = opt;
+            rex.svw = SvwMode::Upd;
+            auto repl = rex;
+            repl.svwReplace = true;
+
+            spec.add(cell(w, insts, std::string(tag) + "-rex", rex));
+            spec.add(cell(w, insts, std::string(tag) + "-repl", repl));
+        }
+    }
+    return spec;
+}
+
+SweepSpec
 synthDiffSpec(std::uint64_t seedsPerKind, std::uint64_t insts)
 {
     ExperimentConfig base;
@@ -189,6 +330,75 @@ synthDiffSpec(std::uint64_t seedsPerKind, std::uint64_t insts)
         }
     }
     return spec;
+}
+
+std::vector<std::string>
+familySuite(Families fam, const std::vector<std::string> &paper)
+{
+    switch (fam) {
+      case Families::Paper:
+        return paper;
+      case Families::Synth:
+        return workloads::synthSuiteNames();
+      case Families::All: {
+        std::vector<std::string> all = paper;
+        const auto &synth = workloads::synthSuiteNames();
+        all.insert(all.end(), synth.begin(), synth.end());
+        return all;
+      }
+    }
+    return paper;  // unreachable
+}
+
+bool
+parseFamilies(const std::string &text, Families &out)
+{
+    if (text == "paper")
+        out = Families::Paper;
+    else if (text == "synth")
+        out = Families::Synth;
+    else if (text == "all")
+        out = Families::All;
+    else
+        return false;
+    return true;
+}
+
+const std::vector<FigureDef> &
+figureRegistry()
+{
+    static const std::vector<FigureDef> defs = {
+        {"fig5", "NLQ-LS re-execution rate and speedup (figure 5)",
+         &workloads::suiteNames, &fig5Spec},
+        {"fig6", "SSQ vs associative-SQ baseline (figure 6)",
+         &workloads::suiteNames, &fig6Spec},
+        {"fig7", "RLE on the 4-wide machine (figure 7)",
+         &workloads::suiteNames, &fig7Spec},
+        {"fig8", "SSBF organization sensitivity (figure 8)",
+         &workloads::fig8Names, &fig8Spec},
+        {"abl_lq_values", "value-aware LQ search ablation",
+         &workloads::suiteNames, &ablLqValuesSpec},
+        {"abl_spec_ssbf", "speculative vs atomic SSBF update ablation",
+         &workloads::fig8Names, &ablSpecSsbfSpec},
+        {"abl_ssn_width", "SSN width ablation",
+         &workloads::fig8Names, &ablSsnWidthSpec},
+        {"abl_store_ports", "store retirement port ablation",
+         &workloads::suiteNames, &ablStorePortsSpec},
+        {"ext_nlqsm", "NLQ-SM invalidation-stream extension",
+         &workloads::fig8Names, &extNlqsmSpec},
+        {"ext_svw_replace", "SVW-as-replacement extension",
+         &workloads::suiteNames, &extSvwReplaceSpec},
+    };
+    return defs;
+}
+
+const FigureDef *
+findFigure(const std::string &name)
+{
+    for (const FigureDef &def : figureRegistry())
+        if (name == def.name)
+            return &def;
+    return nullptr;
 }
 
 } // namespace svw::harness

@@ -1,10 +1,13 @@
 /**
  * @file
- * Declarative sweep specs for the paper's figures (5-8). One builder
- * per figure, shared by the bench binary that formats the figure, by
- * table_machine_config (which prints the configurations these specs
- * materialize), and by the sweep-engine tests (which assert that
- * parallel execution reproduces the sequential figure byte for byte).
+ * Declarative sweep specs for the paper's figures (5-8) and the
+ * ablation/extension studies, plus the figure registry that maps a
+ * figure name to its spec builder. One builder per figure, shared by
+ * the bench binary that formats the figure, by table_machine_config
+ * (which prints the configurations these specs materialize), by the
+ * sweepd service daemon (which opens sweep sessions by figure name),
+ * and by the sweep-engine tests (which assert that parallel execution
+ * reproduces the sequential figure byte for byte).
  *
  * Cell labels are stable API: "BASE" is always the figure's baseline
  * column (marked baseline in the spec); optimization columns carry the
@@ -42,6 +45,36 @@ SweepSpec fig7Spec(const std::vector<std::string> &suite,
 SweepSpec fig8Spec(const std::vector<std::string> &suite,
                    std::uint64_t insts);
 
+/** Section 2.2 ablation: value-blind vs value-aware LQ search.
+ * Labels: blind (baseline), value-aware. */
+SweepSpec ablLqValuesSpec(const std::vector<std::string> &suite,
+                          std::uint64_t insts);
+
+/** Section 3.6 ablation: speculative vs atomic SSBF update under
+ * SSQ+SVW+UPD. Labels: speculative, atomic. */
+SweepSpec ablSpecSsbfSpec(const std::vector<std::string> &suite,
+                          std::uint64_t insts);
+
+/** Section 3.6 ablation: SSN width sweep under SSQ+SVW+UPD.
+ * Labels: 8b, 10b, 12b, 16b, 64b (baseline = 64b). */
+SweepSpec ablSsnWidthSpec(const std::vector<std::string> &suite,
+                          std::uint64_t insts);
+
+/** Section 4 ablation: D$ commit/re-execution port width under the
+ * baseline and SSQ+SVW. Labels: base-1p, base-2p, ssq-1p, ssq-2p. */
+SweepSpec ablStorePortsSpec(const std::vector<std::string> &suite,
+                            std::uint64_t insts);
+
+/** Section 3.2 extension: NLQ-SM under an injected invalidation
+ * stream (per-cycle hook). Labels: inv@200, inv@1000, inv@5000. */
+SweepSpec extNlqsmSpec(const std::vector<std::string> &suite,
+                       std::uint64_t insts);
+
+/** Section 6 extension: SVW as a re-execution replacement under NLQ
+ * and SSQ. Labels: nlq-rex, nlq-repl, ssq-rex, ssq-repl. */
+SweepSpec extSvwReplaceSpec(const std::vector<std::string> &suite,
+                            std::uint64_t insts);
+
 /**
  * Differential-fuzz grid over the synthetic generator: every synth
  * kind x seeds [1, seedsPerKind] with the aggressive config rotated by
@@ -52,6 +85,51 @@ SweepSpec fig8Spec(const std::vector<std::string> &suite,
  * CI fuzz job.
  */
 SweepSpec synthDiffSpec(std::uint64_t seedsPerKind, std::uint64_t insts);
+
+// -- Workload families --------------------------------------------------
+
+/** Which workload rows a figure sweeps (the --families= selector). */
+enum class Families
+{
+    Paper, ///< the figure's paper suite (default; byte-identical output)
+    Synth, ///< the synthetic generator suite (synth:<kind>:1 per kind)
+    All,   ///< paper rows followed by the synth rows
+};
+
+/** Resolve a family selection against a figure's paper suite. Paper
+ * returns @p paper unchanged; Synth returns workloads::synthSuiteNames;
+ * All concatenates paper then synth. */
+std::vector<std::string> familySuite(Families fam,
+                                     const std::vector<std::string> &paper);
+
+/** Parse "paper"/"synth"/"all" into @p out; false on anything else. */
+bool parseFamilies(const std::string &text, Families &out);
+
+// -- Figure registry ----------------------------------------------------
+
+/**
+ * One openable figure: a stable name, its default (paper) suite, and
+ * the spec builder. The registry is how a sweep can be opened by name
+ * alone — sweepd resolves "POST /sweep" figure names through it, and
+ * the bench binaries use the same entries so daemon and CLI can never
+ * disagree about what a figure means.
+ */
+struct FigureDef
+{
+    const char *name;  ///< registry key, e.g. "fig5"
+    const char *title; ///< one-line description for listings
+    /** The figure's paper-suite rows (workloads.hh accessor). */
+    const std::vector<std::string> &(*paperSuite)();
+    /** Build the spec over @p suite rows at @p insts per cell. */
+    SweepSpec (*build)(const std::vector<std::string> &suite,
+                       std::uint64_t insts);
+};
+
+/** All registered figures, in a stable listing order. */
+const std::vector<FigureDef> &figureRegistry();
+
+/** Look up a figure by name; null if unknown. */
+const FigureDef *findFigure(const std::string &name);
 
 } // namespace svw::harness
 

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * SweepSession: the sweep engine's primary entry point.
+ *
+ * A session owns one sweep end to end — spec selection (sharding),
+ * result-cache probing, co-simulation unit planning, and execution —
+ * and streams per-cell events to its caller as the sweep progresses:
+ * cell started, cell done, and cached-hit, each carrying the lossless
+ * RunResult JSON line (serialize.hh runResultToJson) for completed
+ * cells. The legacy one-shot runSweep (executor.hh) is a thin wrapper
+ * that opens a session and runs it to completion; the bench binaries
+ * and the sweepd service daemon are both clients of this API.
+ *
+ * Two driving styles:
+ *
+ *  - Blocking: run(cb) executes the whole sweep (in-process,
+ *    --threads thread pool, or --jobs fork pool per the options) and
+ *    returns the merged SweepResults. Exceptions keep their runSweep
+ *    semantics: the sequential path propagates cell failures, pooled
+ *    paths contain them per unit.
+ *
+ *  - Incremental: start(cb) probes the caches (firing CachedHit
+ *    events) and plans the work; step() then advances the sweep one
+ *    slice at a time so a single-threaded event loop (sweepd) can
+ *    interleave many sessions with socket I/O. With threads == 0 a
+ *    step() runs one planned unit in the calling thread; with
+ *    threads >= 1 start() launches the worker threads and step()
+ *    merely drains completed units — events always fire on the
+ *    *driving* thread, and wakeFd() is readable whenever completions
+ *    are waiting, so the loop can poll it alongside its sockets.
+ *    Unlike the blocking sequential path, incremental execution
+ *    contains exceptions per unit (a long-lived daemon must outlive a
+ *    golden-model mismatch); abort() discards not-yet-started work so
+ *    a disconnected client stops costing simulation time. finish()
+ *    joins workers, writes successful fresh results back to the
+ *    caches, and returns the merged results.
+ *
+ * Determinism: outcomes depend only on the cells, so the merged
+ * results are byte-identical across every driving style, thread/job
+ * count, and batch width — the invariant the CI diff gates enforce.
+ */
+
+#ifndef SVW_HARNESS_SESSION_HH
+#define SVW_HARNESS_SESSION_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness/executor.hh"
+#include "harness/sweep.hh"
+
+namespace svw::harness {
+
+/** What happened to a cell (CellEvent::kind). */
+enum class CellEventKind
+{
+    Started,   ///< dealt for execution (no outcome yet)
+    Done,      ///< executed; outcome records success or failure
+    CachedHit, ///< served from a result cache without simulating
+};
+
+/** One streamed per-cell event. Pointers are valid only during the
+ * callback (they alias session-owned storage). */
+struct CellEvent
+{
+    CellEventKind kind = CellEventKind::Done;
+    std::size_t index = 0;            ///< cell index in the spec
+    const SweepCell *cell = nullptr;  ///< always set
+    /** Outcome for Done/CachedHit; null for Started. */
+    const CellOutcome *outcome = nullptr;
+    /** Lossless RunResult JSON line (runResultToJson) for successful
+     * Done/CachedHit events; empty otherwise. This is the same wire
+     * format the worker pool and the result cache use, so a stream
+     * consumer (sweepd clients) sees bit-exact metrics. */
+    std::string resultLine;
+};
+
+using SessionCallback = std::function<void(const CellEvent &)>;
+
+/** One sweep, opened over a spec and execution options. */
+class SweepSession
+{
+  public:
+    /** The session owns a copy of @p spec (cells, hooks, and all). */
+    SweepSession(SweepSpec spec, SweepOptions opts);
+    ~SweepSession();
+
+    SweepSession(const SweepSession &) = delete;
+    SweepSession &operator=(const SweepSession &) = delete;
+
+    const SweepSpec &spec() const { return spec_; }
+    const SweepOptions &options() const { return opts_; }
+
+    /** Run the whole sweep (blocking) and return merged results.
+     * Equivalent to runSweep(spec, opts) plus the event stream. */
+    SweepResults run(const SessionCallback &cb = nullptr);
+
+    // -- Incremental driving (sweepd's event loop) --------------------
+
+    /** Probe caches, plan units, and (threads >= 1) launch workers.
+     * Fires CachedHit events for cache-served cells. Incremental mode
+     * supports threads >= 1 or in-caller execution; a jobs > 1 fork
+     * pool is blocking-only (panics here). */
+    void start(SessionCallback cb = nullptr);
+
+    bool started() const { return started_; }
+
+    /** True once every planned unit is recorded or discarded. */
+    bool finished() const;
+
+    /**
+     * Advance the sweep. threads == 0: run the next planned unit in
+     * the calling thread (one unit per call — the event-loop slice).
+     * threads >= 1: drain completed units from the workers without
+     * blocking. Events fire on this thread either way.
+     * @return false once the session is finished.
+     */
+    bool step();
+
+    /**
+     * Readable whenever worker completions are waiting to be drained
+     * (threads >= 1 incremental mode); -1 otherwise. Poll it next to
+     * the sockets: when it fires, call step().
+     */
+    int wakeFd() const { return wakePipe_[0]; }
+
+    /** Discard all not-yet-started units (a disconnected client). The
+     * in-flight unit, if any, still completes and is recorded. */
+    void abort();
+
+    /** Join workers, drain remaining events, write fresh results to
+     * the caches, and return the merged results. Terminal. */
+    SweepResults finish();
+
+    // -- Progress -----------------------------------------------------
+
+    /** Cells selected by this session's shard. */
+    std::size_t cellsSelected() const { return selected_; }
+    /** Cells recorded so far (cache hits included). */
+    std::size_t cellsDone() const { return done_; }
+    /** Recorded cells that failed so far. */
+    std::size_t failuresSoFar() const { return failures_; }
+    /** Cells served from a cache (memory or disk) by this session. */
+    std::size_t cacheHits() const { return cacheHits_; }
+
+  private:
+    using BatchUnit = std::vector<std::size_t>;
+
+    void probeAndPlan();
+    void record(std::size_t idx, CellOutcome o, CellEventKind kind);
+    void emit(CellEventKind kind, std::size_t idx, const CellOutcome *o);
+    void runUnitInCaller(const BatchUnit &unit);
+    void workerMain();
+    void wakeDriver();
+    void drainCompletions();
+    void storeFreshResults();
+    void joinWorkers();
+
+    SweepSpec spec_;
+    SweepOptions opts_;
+    SessionCallback cb_;
+
+    std::vector<CellOutcome> outcomes_;
+    std::optional<ResultCache> cache_;
+    std::vector<std::pair<std::size_t, CellKey>> probed_;
+    std::deque<BatchUnit> pending_;
+
+    bool started_ = false;
+    bool finishedCalled_ = false;
+    bool aborted_ = false;
+    std::size_t selected_ = 0;
+    std::size_t done_ = 0;
+    std::size_t failures_ = 0;
+    std::size_t cacheHits_ = 0;
+    std::size_t plannedUnits_ = 0;
+    std::size_t recordedUnits_ = 0;
+    std::size_t discardedUnits_ = 0;
+
+    // Threaded incremental machinery: workers pull units from
+    // pending_ and push finished units here; the driving thread
+    // drains them in step(). One byte per completion keeps wakeFd
+    // readable while the queue is non-empty.
+    struct CompletedUnit
+    {
+        BatchUnit unit;
+        std::vector<CellOutcome> outcomes;
+        bool isStart = false;  ///< a Started notification, no outcomes
+    };
+    mutable std::mutex mutex_;
+    std::deque<CompletedUnit> completed_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+    int wakePipe_[2] = {-1, -1};
+};
+
+} // namespace svw::harness
+
+#endif // SVW_HARNESS_SESSION_HH

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "../bench/bench_common.hh"
+#include "service/server.hh"
 
 using namespace svw::bench;
 
@@ -30,6 +31,21 @@ parse(std::vector<std::string> args)
     for (auto &s : storage)
         argv.push_back(s.data());
     return parseArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+/** Same, for sweepd's flag parser (service/server.hh). */
+svw::service::SweepdOptions
+parseDaemon(std::vector<std::string> args)
+{
+    std::vector<std::string> storage;
+    storage.push_back("sweepd_test");
+    for (auto &a : args)
+        storage.push_back(std::move(a));
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    return svw::service::parseSweepdArgs(static_cast<int>(argv.size()),
+                                         argv.data());
 }
 
 } // namespace
@@ -189,6 +205,75 @@ TEST(BenchArgsDeath, ProfileFlagArmsAndPlumbs)
             std::exit(ok ? 0 : 1);
         },
         ::testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchArgs, FamiliesAndMemCacheFlagsParseAndDefault)
+{
+    using svw::harness::Families;
+    EXPECT_EQ(parse({}).families, Families::Paper);
+    EXPECT_EQ(parse({"--families=paper"}).families, Families::Paper);
+    EXPECT_EQ(parse({"--families=synth"}).families, Families::Synth);
+    EXPECT_EQ(parse({"--families=all"}).families, Families::All);
+
+    // Generous default so batch binaries never notice the cap; 0
+    // turns the bound off entirely.
+    EXPECT_EQ(parse({}).memCacheMaxMb, 512u);
+    EXPECT_EQ(parse({"--mem-cache-max-mb=64"}).memCacheMaxMb, 64u);
+    EXPECT_EQ(parse({"--mem-cache-max-mb=0"}).memCacheMaxMb, 0u);
+
+    EXPECT_EQ(parse({"--emit-cells=/tmp/c.jsonl"}).emitCells,
+              "/tmp/c.jsonl");
+    EXPECT_EQ(parse({}).emitCells, "");
+}
+
+TEST(BenchArgsDeath, FamiliesAndMemCacheFlagsValidate)
+{
+    EXPECT_EXIT(parse({"--families=banana"}),
+                ::testing::ExitedWithCode(2),
+                "bad value 'banana' for --families");
+    EXPECT_EXIT(parse({"--families="}), ::testing::ExitedWithCode(2),
+                "bad value '' for --families");
+    EXPECT_EXIT(parse({"--mem-cache-max-mb=64x"}),
+                ::testing::ExitedWithCode(2),
+                "bad number '64x' for --mem-cache-max-mb");
+    EXPECT_EXIT(parse({"--emit-cells="}), ::testing::ExitedWithCode(2),
+                "--emit-cells needs a file path");
+}
+
+TEST(BenchArgs, SweepdFlagsParseAndDefault)
+{
+    const auto d = parseDaemon({});
+    EXPECT_EQ(d.port, 8573u);
+    EXPECT_EQ(d.bindAddr, "127.0.0.1");
+    EXPECT_EQ(d.memCacheMaxMb, 512u);
+    EXPECT_FALSE(d.quiet);
+
+    const auto e = parseDaemon({"--port=0", "--bind=0.0.0.0",
+                                "--cache-dir=/tmp/c",
+                                "--mem-cache-max-mb=32", "--quiet"});
+    EXPECT_EQ(e.port, 0u);
+    EXPECT_EQ(e.bindAddr, "0.0.0.0");
+    EXPECT_EQ(e.cacheDir, "/tmp/c");
+    EXPECT_EQ(e.memCacheMaxMb, 32u);
+    EXPECT_TRUE(e.quiet);
+}
+
+TEST(BenchArgsDeath, SweepdFlagsValidate)
+{
+    EXPECT_EXIT(parseDaemon({"--port=http"}),
+                ::testing::ExitedWithCode(2),
+                "bad number 'http' for --port");
+    EXPECT_EXIT(parseDaemon({"--port=70000"}),
+                ::testing::ExitedWithCode(2),
+                "--port value '70000' out of range");
+    EXPECT_EXIT(parseDaemon({"--mem-cache-max-mb=1e3"}),
+                ::testing::ExitedWithCode(2),
+                "bad number '1e3' for --mem-cache-max-mb");
+    EXPECT_EXIT(parseDaemon({"--bind="}), ::testing::ExitedWithCode(2),
+                "--bind needs an address");
+    EXPECT_EXIT(parseDaemon({"--frobnicate"}),
+                ::testing::ExitedWithCode(2),
+                "unknown arg --frobnicate");
 }
 
 TEST(BenchArgsDeath, RecordTraceRecordsAndExitsZero)
